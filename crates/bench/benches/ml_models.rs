@@ -1,0 +1,89 @@
+//! Criterion benchmarks for the six regression families: fit + predict
+//! cost on an EASE-shaped dataset (8 numeric features + 11-way one-hot,
+//! like the quality-predictor rows).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ease_ml::{Matrix, ModelConfig};
+use std::hint::black_box;
+
+fn synthetic_dataset(rows: usize) -> (Matrix, Vec<f64>) {
+    let mut state = 0x9E37u64;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut x = state;
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        (x ^ (x >> 31)) as f64 / u64::MAX as f64
+    };
+    let mut data = Vec::with_capacity(rows);
+    let mut y = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        let mut row: Vec<f64> = (0..8).map(|_| next()).collect();
+        let hot = (next() * 11.0) as usize % 11;
+        for i in 0..11 {
+            row.push(if i == hot { 1.0 } else { 0.0 });
+        }
+        y.push(row[0] * 3.0 + (row[1] * 6.0).sin() + hot as f64 * 0.2);
+        data.push(row);
+    }
+    (Matrix::from_rows(&data), y)
+}
+
+fn bench_fit(c: &mut Criterion) {
+    let (x, y) = synthetic_dataset(2_000);
+    let configs = [
+        ModelConfig::Poly { degree: 2, alpha: 1e-3 },
+        ModelConfig::Svr { c: 10.0, epsilon: 0.01, gamma: 0.5 },
+        ModelConfig::Forest { n_trees: 60, max_depth: 14, feature_fraction: 0.6 },
+        ModelConfig::Xgb { n_estimators: 100, learning_rate: 0.1, max_depth: 5, lambda: 1.0 },
+        ModelConfig::Knn { k: 5, distance_weighted: true },
+        ModelConfig::Mlp { hidden: vec![32, 16], epochs: 20, learning_rate: 1e-3 },
+    ];
+    let mut group = c.benchmark_group("model_fit_2000rows");
+    group.sample_size(10);
+    for cfg in &configs {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(cfg.kind().name()),
+            cfg,
+            |b, cfg| {
+                b.iter(|| {
+                    let mut m = cfg.build();
+                    m.fit(&x, &y);
+                    black_box(m.predict_row(x.row(0)))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let (x, y) = synthetic_dataset(2_000);
+    let mut group = c.benchmark_group("model_predict_row");
+    group.sample_size(20);
+    for cfg in [
+        ModelConfig::Forest { n_trees: 60, max_depth: 14, feature_fraction: 0.6 },
+        ModelConfig::Xgb { n_estimators: 100, learning_rate: 0.1, max_depth: 5, lambda: 1.0 },
+        ModelConfig::Knn { k: 5, distance_weighted: true },
+    ] {
+        let mut m = cfg.build();
+        m.fit(&x, &y);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(cfg.kind().name()),
+            &m,
+            |b, m| {
+                b.iter(|| black_box(m.predict_row(x.row(7))));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_fit, bench_predict
+}
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion benchmarks for graph property extraction — the inference-time
+//! cost EASE pays before selection (the paper argues this must stay far
+//! below partitioning cost, unlike GNN embeddings; Sec. IV-E).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ease_graph::{DegreeTable, GraphProperties, PropertyTier};
+use ease_graphgen::rmat::{Rmat, RMAT_COMBOS};
+use std::hint::black_box;
+
+fn bench_property_tiers(c: &mut Criterion) {
+    let graph = Rmat::new(RMAT_COMBOS[5], 1 << 13, 40_000, 11).generate();
+    let mut group = c.benchmark_group("properties_40k_edges");
+    group.sample_size(10);
+    for tier in PropertyTier::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(tier.name()), &tier, |b, &tier| {
+            b.iter(|| black_box(GraphProperties::compute(&graph, tier)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_degree_table(c: &mut Criterion) {
+    let graph = Rmat::new(RMAT_COMBOS[2], 1 << 13, 40_000, 3).generate();
+    c.bench_function("degree_table_40k_edges", |b| {
+        b.iter(|| black_box(DegreeTable::compute(&graph)));
+    });
+}
+
+fn bench_triangles(c: &mut Criterion) {
+    let graph = Rmat::new(RMAT_COMBOS[0], 1 << 12, 24_000, 5).generate();
+    c.bench_function("triangle_stats_24k_edges", |b| {
+        b.iter(|| black_box(ease_graph::triangles::triangle_stats(&graph)));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_property_tiers, bench_degree_table, bench_triangles
+}
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Tables I & II — the R-MAT training grids and parameter combinations,
+//! plus summary statistics of the generated corpora at the active scale.
+
+use ease::report::{f3, render_table, write_csv};
+use ease_bench::{banner, results_dir, scale_from_env};
+use ease_graphgen::grids::{rmat_large_corpus, rmat_small_corpus};
+use ease_graphgen::rmat::RMAT_COMBOS;
+
+fn main() {
+    banner("Tables I & II", "R-MAT training corpora");
+    // Table II: parameter combinations
+    let combo_rows: Vec<Vec<String>> = RMAT_COMBOS
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            vec![
+                format!("C{}", i + 1),
+                format!("{:.2}", p.a),
+                format!("{:.2}", p.b),
+                format!("{:.2}", p.c),
+                format!("{:.2}", p.d),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table("Table II — R-MAT combos", &["combo", "a", "b", "c", "d"], &combo_rows)
+    );
+
+    let scale = scale_from_env();
+    for (label, corpus) in [
+        ("Ia (R-MAT-SMALL)", rmat_small_corpus(scale)),
+        ("Ib (R-MAT-LARGE)", rmat_large_corpus(scale)),
+    ] {
+        // summarize the (E, V) grid
+        let mut grid: Vec<(usize, Vec<usize>)> = Vec::new();
+        for s in &corpus {
+            match grid.iter_mut().find(|(e, _)| *e == s.num_edges) {
+                Some((_, vs)) => {
+                    if !vs.contains(&s.num_vertices) {
+                        vs.push(s.num_vertices);
+                    }
+                }
+                None => grid.push((s.num_edges, vec![s.num_vertices])),
+            }
+        }
+        let rows: Vec<Vec<String>> = grid
+            .iter()
+            .map(|(e, vs)| {
+                let mut vs = vs.clone();
+                vs.sort_unstable();
+                vec![
+                    format!("{e}"),
+                    vs.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(", "),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(
+                &format!("Table {label} at scale {} — {} graphs", scale.name(), corpus.len()),
+                &["|E|", "|V| values (x9 combos each)"],
+                &rows
+            )
+        );
+        let csv: Vec<Vec<String>> = corpus
+            .iter()
+            .map(|s| {
+                vec![
+                    s.name.clone(),
+                    format!("{}", s.num_edges),
+                    format!("{}", s.num_vertices),
+                    format!("C{}", s.combo_index + 1),
+                    f3(2.0 * s.num_edges as f64 / s.num_vertices as f64),
+                ]
+            })
+            .collect();
+        let file = if label.starts_with("Ia") { "table1a.csv" } else { "table1b.csv" };
+        write_csv(
+            &results_dir().join(file),
+            &["name", "edges", "vertices", "combo", "mean_degree"],
+            &csv,
+        )
+        .expect("write corpus csv");
+        println!("wrote results/{file}\n");
+    }
+}

@@ -1,0 +1,74 @@
+//! Fig. 1 — Performance comparison of graph partitioning algorithms for
+//! PageRank on the Friendster (FR) and sk-2005 (SK) analogues.
+//!
+//! Paper setup: CRVC, 2D, 2PS, NE on 64 partitions / 64 machines,
+//! PageRank for 50 iterations. Expected shape: a lower replication factor
+//! buys a lower processing time but costs partitioning time; NE ≪ 2D on
+//! quality; 2PS is graph-dependent (≈ NE on the clustered web crawl,
+//! ≈ hash partitioning on the social network).
+
+use ease::report::{f3, render_table, write_csv};
+use ease_bench::{banner, results_dir, scale_from_env, seed_from_env};
+use ease_graph::GraphProperties;
+use ease_partition::{run_partitioner, PartitionerId};
+use ease_procsim::{ClusterSpec, DistributedGraph, Workload};
+
+fn main() {
+    banner("Fig. 1", "PageRank: RF / partitioning time / processing time");
+    let scale = scale_from_env();
+    let seed = seed_from_env();
+    let k = 64;
+    let workload = Workload::PageRank { iterations: 50 };
+    let cluster = ClusterSpec::new(k);
+    let partitioners =
+        [PartitionerId::Crvc, PartitionerId::TwoD, PartitionerId::TwoPs, PartitionerId::Ne];
+    let graphs = [
+        ease_graphgen::realworld::friendster_analogue(scale, seed),
+        ease_graphgen::realworld::sk2005_analogue(scale, seed ^ 1),
+    ];
+    let mut csv_rows = Vec::new();
+    for tg in &graphs {
+        let props = GraphProperties::compute(&tg.graph, ease_graph::PropertyTier::Basic);
+        println!(
+            "graph {} — |V|={} |E|={} mean degree {:.1}",
+            tg.name,
+            props.num_vertices,
+            props.num_edges,
+            props.mean_degree
+        );
+        let mut rows = Vec::new();
+        for &p in &partitioners {
+            let run = run_partitioner(p, &tg.graph, k, seed);
+            let dg = DistributedGraph::build(&tg.graph, &run.partition);
+            let report = workload.execute(&dg, &cluster);
+            rows.push(vec![
+                p.name().to_string(),
+                f3(run.metrics.replication_factor),
+                f3(run.partitioning_secs),
+                f3(report.total_secs),
+            ]);
+            csv_rows.push(vec![
+                tg.name.clone(),
+                p.name().to_string(),
+                f3(run.metrics.replication_factor),
+                format!("{}", run.partitioning_secs),
+                format!("{}", report.total_secs),
+            ]);
+        }
+        println!(
+            "{}",
+            render_table(
+                &format!("Fig. 1 rows for {}", tg.name),
+                &["partitioner", "replication factor", "partitioning s", "pagerank s"],
+                &rows
+            )
+        );
+    }
+    write_csv(
+        &results_dir().join("fig1.csv"),
+        &["graph", "partitioner", "replication_factor", "partitioning_secs", "processing_secs"],
+        &csv_rows,
+    )
+    .expect("write fig1.csv");
+    println!("wrote results/fig1.csv");
+}

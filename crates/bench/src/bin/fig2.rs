@@ -1,0 +1,62 @@
+//! Fig. 2 — Label Propagation on the Socfb-A-anon analogue: processing
+//! time, vertex balance and replication factor for DBH, 2D, NE
+//! (4 partitions / 4 machines, 10 iterations).
+//!
+//! Expected shape (paper Sec. III-B): vertex balance close to 1 yields the
+//! lowest processing time; the replication factor matters less because the
+//! workload is computation-bound.
+
+use ease::report::{f3, render_table, write_csv};
+use ease_bench::{banner, results_dir, scale_from_env, seed_from_env};
+use ease_partition::{run_partitioner, PartitionerId};
+use ease_procsim::{ClusterSpec, DistributedGraph, Workload};
+
+fn main() {
+    banner("Fig. 2", "Label Propagation: time / vertex balance / RF");
+    let scale = scale_from_env();
+    let seed = seed_from_env();
+    let k = 4;
+    let tg = ease_graphgen::realworld::socfb_analogue(scale, seed);
+    println!(
+        "graph {} — |V|={} |E|={}",
+        tg.name,
+        tg.graph.num_vertices(),
+        tg.graph.num_edges()
+    );
+    let workload = Workload::LabelPropagation { iterations: 10 };
+    let cluster = ClusterSpec::new(k);
+    let mut rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    for p in [PartitionerId::Dbh, PartitionerId::TwoD, PartitionerId::Ne] {
+        let run = run_partitioner(p, &tg.graph, k, seed);
+        let dg = DistributedGraph::build(&tg.graph, &run.partition);
+        let report = workload.execute(&dg, &cluster);
+        rows.push(vec![
+            p.name().to_string(),
+            f3(report.total_secs),
+            f3(run.metrics.vertex_balance),
+            f3(run.metrics.replication_factor),
+        ]);
+        csv_rows.push(vec![
+            p.name().to_string(),
+            format!("{}", report.total_secs),
+            f3(run.metrics.vertex_balance),
+            f3(run.metrics.replication_factor),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            "Fig. 2 rows (Socfb-A-anon analogue)",
+            &["partitioner", "lp seconds", "vertex balance", "replication factor"],
+            &rows
+        )
+    );
+    write_csv(
+        &results_dir().join("fig2.csv"),
+        &["partitioner", "processing_secs", "vertex_balance", "replication_factor"],
+        &csv_rows,
+    )
+    .expect("write fig2.csv");
+    println!("wrote results/fig2.csv");
+}

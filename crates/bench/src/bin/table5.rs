@@ -1,0 +1,70 @@
+//! Table V — ProcessingTimePredictor accuracy on the Table IV test graphs:
+//! MAPE per graph processing algorithm, with the winning model family.
+//! Also reports the PartitioningTimePredictor test MAPE (paper: 0.335).
+
+use ease::evaluation::{partitioning_time_score, processing_test_scores};
+use ease::pipeline::{dedup_partition_runs, train_ease};
+use ease::profiling::{profile_processing, GraphInput};
+use ease::report::{f3, render_table, write_csv};
+use ease_bench::{banner, config_from_env, results_dir, seed_from_env};
+
+fn main() {
+    banner("Table V", "processing-time predictor MAPE per algorithm");
+    let cfg = config_from_env();
+    let seed = seed_from_env();
+    println!(
+        "training EASE on R-MAT-LARGE ({} graphs, k={})...",
+        cfg.large_inputs().len(),
+        cfg.processing_k
+    );
+    let (ease, _artifacts) = train_ease(&cfg);
+
+    println!("profiling Table IV test graphs...");
+    let test_inputs = GraphInput::from_tests(ease_graphgen::realworld::table4_test_set(
+        cfg.scale,
+        seed ^ 0x7AB4,
+    ));
+    let test_records = profile_processing(
+        &test_inputs,
+        &cfg.partitioners,
+        cfg.processing_k,
+        &cfg.workloads,
+        cfg.seed ^ 2,
+    );
+
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for (name, mape) in processing_test_scores(&ease.processing_time, &test_records) {
+        let workload_label = test_records
+            .iter()
+            .find(|r| r.workload.name() == name)
+            .map(|r| r.workload.label())
+            .unwrap_or(name);
+        let model = ease
+            .processing_time
+            .chosen
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, c)| c.config.kind().name())
+            .unwrap_or("?");
+        rows.push(vec![workload_label.to_string(), model.to_string(), f3(mape)]);
+        csv.push(vec![name.to_string(), model.to_string(), format!("{mape}")]);
+    }
+    println!(
+        "{}",
+        render_table("Table V — ProcessingTimePredictor test MAPE", &["algorithm", "model", "MAPE"], &rows)
+    );
+    println!("(paper MAPEs: CC 0.272, K-Cores 0.401, PR 0.295, SSSP 0.300, Syn-High 0.259, Syn-Low 0.271)\n");
+
+    let ptime_mape =
+        partitioning_time_score(&ease.partitioning_time, &dedup_partition_runs(&test_records));
+    println!(
+        "PartitioningTimePredictor test MAPE = {} (paper: 0.335, model XGB; ours chose {})",
+        f3(ptime_mape),
+        ease.partitioning_time.chosen.config.kind().name()
+    );
+    csv.push(vec!["partitioning-time".into(), ease.partitioning_time.chosen.config.kind().name().into(), format!("{ptime_mape}")]);
+    write_csv(&results_dir().join("table5.csv"), &["algorithm", "model", "mape"], &csv)
+        .expect("write table5.csv");
+    println!("wrote results/table5.csv");
+}

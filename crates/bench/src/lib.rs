@@ -1,0 +1,67 @@
+//! Shared scaffolding for the experiment binaries: environment-driven scale
+//! selection, result-directory handling, and common profiling shortcuts.
+//!
+//! Every binary honours two environment variables:
+//!
+//! * `EASE_SCALE` — `tiny` | `small` (default) | `medium`,
+//! * `EASE_SEED`  — experiment seed (default 42).
+//!
+//! Outputs go to stdout (paper-style tables) and `results/*.csv`.
+
+use ease::pipeline::EaseConfig;
+use ease_graphgen::Scale;
+use std::path::PathBuf;
+
+/// Scale from `EASE_SCALE` (default: Small).
+pub fn scale_from_env() -> Scale {
+    match std::env::var("EASE_SCALE") {
+        Ok(v) => Scale::parse(&v).unwrap_or_else(|| {
+            eprintln!("unknown EASE_SCALE={v}, using small");
+            Scale::Small
+        }),
+        Err(_) => Scale::Small,
+    }
+}
+
+/// Seed from `EASE_SEED` (default 42).
+pub fn seed_from_env() -> u64 {
+    std::env::var("EASE_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(42)
+}
+
+/// Pipeline config honouring the environment.
+pub fn config_from_env() -> EaseConfig {
+    let mut cfg = EaseConfig::at_scale(scale_from_env());
+    cfg.seed = seed_from_env();
+    cfg
+}
+
+/// The results directory (created on demand).
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from("results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// Banner printed by every experiment binary.
+pub fn banner(experiment: &str, what: &str) {
+    let scale = scale_from_env();
+    println!("### {experiment} — {what}");
+    println!(
+        "### scale={} seed={} (set EASE_SCALE / EASE_SEED to change)\n",
+        scale.name(),
+        seed_from_env()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        // do not set the env vars here: just exercise default paths
+        let cfg = config_from_env();
+        assert!(!cfg.ks.is_empty());
+        assert!(cfg.processing_k >= 2);
+    }
+}

@@ -1,0 +1,44 @@
+//! EASE — **E**dge p**A**rtitioner **SE**lection (Merkel et al., ICDE 2023).
+//!
+//! The paper's primary contribution: a machine-learning system that, for a
+//! given graph, graph-processing algorithm and optimization goal, predicts
+//!
+//! 1. the five partitioning quality metrics ([`QualityPredictor`]),
+//! 2. the partitioning run-time ([`PartitioningTimePredictor`]),
+//! 3. the processing run-time ([`ProcessingTimePredictor`]),
+//!
+//! for each of the 11 supported edge partitioners, and automatically picks
+//! the partitioner minimizing either the processing time or the end-to-end
+//! time ([`Ease::select`]).
+//!
+//! The training pipeline (paper Fig. 5) lives in [`profiling`] (steps 1–3:
+//! generate graphs, partition + measure, process + measure) and
+//! [`pipeline`] (step 4: model selection via 5-fold cross-validation and
+//! training). [`enrich`] implements the Sec. V-D refinement of the
+//! synthetic training set with real-world graphs, and [`evaluation`]
+//! regenerates the paper's accuracy matrices and strategy comparisons.
+//!
+//! ```no_run
+//! use ease::pipeline::{train_ease, EaseConfig};
+//! use ease::selector::OptGoal;
+//! use ease_graphgen::Scale;
+//! use ease_procsim::Workload;
+//!
+//! let (system, _artifacts) = train_ease(&EaseConfig::at_scale(Scale::Tiny));
+//! let graph = ease_graphgen::realworld::socfb_analogue(Scale::Tiny, 42).graph;
+//! let props = ease_graph::GraphProperties::compute_advanced(&graph);
+//! let pick = system.select(&props, Workload::PageRank { iterations: 10 }, 4, OptGoal::EndToEnd);
+//! println!("EASE picks {}", pick.best.name());
+//! ```
+
+pub mod enrich;
+pub mod evaluation;
+pub mod features;
+pub mod pipeline;
+pub mod predictors;
+pub mod profiling;
+pub mod report;
+pub mod selector;
+
+pub use predictors::{PartitioningTimePredictor, ProcessingTimePredictor, QualityPredictor};
+pub use selector::{Ease, OptGoal, Selection};

@@ -1,0 +1,443 @@
+//! The three prediction components of EASE (paper Fig. 4) and their
+//! training (step 4 of Fig. 5): per-component model selection across the
+//! six ML families with K-fold cross-validation, then retraining the winner
+//! on the full training set.
+
+use crate::features;
+use crate::profiling::{ProcessingRecord, QualityRecord};
+use ease_graph::{GraphProperties, PropertyTier};
+use ease_ml::cv::grid_search;
+use ease_ml::{Dataset, ModelConfig, Regressor};
+use ease_partition::{PartitionerId, QualityMetrics, QualityTarget};
+use ease_procsim::Workload;
+
+/// Run-times span orders of magnitude, so the time predictors fit
+/// `log1p(secs)` and invert at prediction — a standard MAPE-friendly
+/// transform (implementation choice documented in DESIGN.md).
+fn to_log(secs: f64) -> f64 {
+    secs.max(0.0).ln_1p()
+}
+
+fn from_log(value: f64) -> f64 {
+    // Models extrapolating far outside the training range can emit negative
+    // log-space values; a run-time prediction of exactly zero is physically
+    // meaningless (and breaks ratio-based selection), so floor at 1 µs.
+    value.exp_m1().max(1e-6)
+}
+
+/// Which model won a component's grid search, with its CV score.
+#[derive(Debug, Clone)]
+pub struct ChosenModel {
+    pub config: ModelConfig,
+    pub cv_mape: f64,
+}
+
+// ---------------------------------------------------------------------
+// PartitioningQualityPredictor
+// ---------------------------------------------------------------------
+
+/// Predicts the five partitioning quality metrics for (graph, partitioner,
+/// k) triples. One model per target metric, independently selected.
+pub struct QualityPredictor {
+    pub tier: PropertyTier,
+    models: Vec<(QualityTarget, Box<dyn Regressor>)>,
+    pub chosen: Vec<(QualityTarget, ChosenModel)>,
+}
+
+impl QualityPredictor {
+    /// Assemble the training dataset for one quality target.
+    pub fn dataset(records: &[QualityRecord], tier: PropertyTier, target: QualityTarget) -> Dataset {
+        let mut ds = Dataset::new(features::quality_feature_names(tier));
+        for r in records {
+            ds.push(
+                &features::quality_row(&r.props, tier, r.k, r.partitioner),
+                r.metrics.get(target),
+            );
+        }
+        ds
+    }
+
+    /// Grid-search each target's model on the training records (paper:
+    /// 5-fold CV), then retrain winners on the full set.
+    pub fn train(
+        records: &[QualityRecord],
+        tier: PropertyTier,
+        grid: &[ModelConfig],
+        folds: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(!records.is_empty(), "no quality training records");
+        let mut models = Vec::new();
+        let mut chosen = Vec::new();
+        for target in QualityTarget::ALL {
+            let ds = Self::dataset(records, tier, target);
+            let result = grid_search(grid, &ds, folds, seed);
+            let mut model = result.best.build();
+            model.fit(&ds.x, &ds.y);
+            chosen.push((
+                target,
+                ChosenModel { config: result.best, cv_mape: result.best_score },
+            ));
+            models.push((target, model));
+        }
+        QualityPredictor { tier, models, chosen }
+    }
+
+    /// Train with a *fixed* model configuration for every target (used by
+    /// the enrichment study, which pins RFR per the paper).
+    pub fn train_fixed(
+        records: &[QualityRecord],
+        tier: PropertyTier,
+        config: &ModelConfig,
+    ) -> Self {
+        assert!(!records.is_empty());
+        let mut models = Vec::new();
+        let mut chosen = Vec::new();
+        for target in QualityTarget::ALL {
+            let ds = Self::dataset(records, tier, target);
+            let mut model = config.build();
+            model.fit(&ds.x, &ds.y);
+            chosen.push((target, ChosenModel { config: config.clone(), cv_mape: f64::NAN }));
+            models.push((target, model));
+        }
+        QualityPredictor { tier, models, chosen }
+    }
+
+    fn model(&self, target: QualityTarget) -> &dyn Regressor {
+        self.models
+            .iter()
+            .find(|(t, _)| *t == target)
+            .map(|(_, m)| m.as_ref())
+            .expect("model per target")
+    }
+
+    /// Predict one metric.
+    pub fn predict_target(
+        &self,
+        target: QualityTarget,
+        props: &GraphProperties,
+        partitioner: PartitionerId,
+        k: usize,
+    ) -> f64 {
+        let row = features::quality_row(props, self.tier, k, partitioner);
+        // quality metrics are ≥ 1 by definition; clamp regressor output
+        self.model(target).predict_row(&row).max(1.0)
+    }
+
+    /// Predict all five metrics at once.
+    pub fn predict(
+        &self,
+        props: &GraphProperties,
+        partitioner: PartitionerId,
+        k: usize,
+    ) -> QualityMetrics {
+        QualityMetrics {
+            replication_factor: self.predict_target(
+                QualityTarget::ReplicationFactor,
+                props,
+                partitioner,
+                k,
+            ),
+            edge_balance: self.predict_target(QualityTarget::EdgeBalance, props, partitioner, k),
+            vertex_balance: self.predict_target(
+                QualityTarget::VertexBalance,
+                props,
+                partitioner,
+                k,
+            ),
+            source_balance: self.predict_target(
+                QualityTarget::SourceBalance,
+                props,
+                partitioner,
+                k,
+            ),
+            dest_balance: self.predict_target(QualityTarget::DestBalance, props, partitioner, k),
+        }
+    }
+
+    /// Feature importances of the replication-factor model, if available.
+    pub fn importances(&self, target: QualityTarget) -> Option<Vec<f64>> {
+        self.model(target).feature_importances()
+    }
+}
+
+// ---------------------------------------------------------------------
+// PartitioningTimePredictor
+// ---------------------------------------------------------------------
+
+/// Predicts partitioning wall-clock time for (graph, partitioner) pairs.
+pub struct PartitioningTimePredictor {
+    model: Box<dyn Regressor>,
+    pub chosen: ChosenModel,
+}
+
+impl PartitioningTimePredictor {
+    pub fn dataset(records: &[QualityRecord]) -> Dataset {
+        let mut ds = Dataset::new(features::partitioning_time_feature_names());
+        for r in records {
+            ds.push(
+                &features::partitioning_time_row(&r.props, r.partitioner),
+                to_log(r.partitioning_secs),
+            );
+        }
+        ds
+    }
+
+    pub fn train(
+        records: &[QualityRecord],
+        grid: &[ModelConfig],
+        folds: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(!records.is_empty(), "no partitioning-time records");
+        let ds = Self::dataset(records);
+        let result = grid_search(grid, &ds, folds, seed);
+        let mut model = result.best.build();
+        model.fit(&ds.x, &ds.y);
+        PartitioningTimePredictor {
+            model,
+            chosen: ChosenModel { config: result.best, cv_mape: result.best_score },
+        }
+    }
+
+    pub fn predict(&self, props: &GraphProperties, partitioner: PartitionerId) -> f64 {
+        let row = features::partitioning_time_row(props, partitioner);
+        from_log(self.model.predict_row(&row))
+    }
+}
+
+// ---------------------------------------------------------------------
+// ProcessingTimePredictor
+// ---------------------------------------------------------------------
+
+/// Predicts processing run-time per workload. One independent model per
+/// graph processing algorithm — the paper's design choice that lets new
+/// algorithms join without retraining anything else (Sec. IV-E).
+pub struct ProcessingTimePredictor {
+    models: Vec<(&'static str, Box<dyn Regressor>)>,
+    pub chosen: Vec<(&'static str, ChosenModel)>,
+}
+
+impl ProcessingTimePredictor {
+    /// Dataset for one workload.
+    pub fn dataset(records: &[ProcessingRecord], workload_name: &str) -> Dataset {
+        let mut ds = Dataset::new(features::processing_time_feature_names());
+        for r in records.iter().filter(|r| r.workload.name() == workload_name) {
+            let iters = r.workload.fixed_iterations().unwrap_or(0);
+            ds.push(
+                &features::processing_time_row(&r.props, &r.metrics, iters),
+                to_log(r.target_secs),
+            );
+        }
+        ds
+    }
+
+    pub fn train(
+        records: &[ProcessingRecord],
+        grid: &[ModelConfig],
+        folds: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(!records.is_empty(), "no processing records");
+        let mut names: Vec<&'static str> = Vec::new();
+        for r in records {
+            if !names.contains(&r.workload.name()) {
+                names.push(r.workload.name());
+            }
+        }
+        let mut models = Vec::new();
+        let mut chosen = Vec::new();
+        for name in names {
+            let ds = Self::dataset(records, name);
+            let result = grid_search(grid, &ds, folds, seed);
+            let mut model = result.best.build();
+            model.fit(&ds.x, &ds.y);
+            chosen.push((name, ChosenModel { config: result.best, cv_mape: result.best_score }));
+            models.push((name, model));
+        }
+        ProcessingTimePredictor { models, chosen }
+    }
+
+    /// Predict the target metric (avg-iteration or total seconds) for a
+    /// workload given predicted/measured quality metrics.
+    pub fn predict_target(
+        &self,
+        workload: Workload,
+        props: &GraphProperties,
+        metrics: &QualityMetrics,
+    ) -> f64 {
+        let model = self
+            .models
+            .iter()
+            .find(|(n, _)| *n == workload.name())
+            .map(|(_, m)| m.as_ref())
+            .unwrap_or_else(|| panic!("no model trained for workload {}", workload.name()));
+        let iters = workload.fixed_iterations().unwrap_or(0);
+        let row = features::processing_time_row(props, metrics, iters);
+        from_log(model.predict_row(&row))
+    }
+
+    /// Predict the *total* processing time for a workload.
+    pub fn predict_total(
+        &self,
+        workload: Workload,
+        props: &GraphProperties,
+        metrics: &QualityMetrics,
+    ) -> f64 {
+        workload.total_from_target(self.predict_target(workload, props, metrics))
+    }
+
+    pub fn supported_workloads(&self) -> Vec<&'static str> {
+        self.models.iter().map(|(n, _)| *n).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiling::{profile_processing, profile_quality, GraphInput};
+    use ease_graphgen::grids::RmatSpec;
+    use ease_graphgen::rmat::RMAT_COMBOS;
+    use ease_ml::zoo;
+
+    fn inputs(n: usize, edges: usize) -> Vec<GraphInput> {
+        (0..n)
+            .map(|i| {
+                GraphInput::Rmat(RmatSpec {
+                    name: format!("train-{i}"),
+                    combo_index: i % 9,
+                    params: RMAT_COMBOS[i % 9],
+                    num_vertices: 64 << (i % 3),
+                    num_edges: edges,
+                    seed: 1000 + i as u64,
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn quality_predictor_end_to_end() {
+        let records = profile_quality(
+            &inputs(6, 900),
+            &[PartitionerId::OneDD, PartitionerId::Ne, PartitionerId::Hdrf],
+            &[2, 4, 8],
+            7,
+        );
+        let qp = QualityPredictor::train(
+            &records,
+            PropertyTier::Basic,
+            &zoo::quick_grid(),
+            3,
+            1,
+        );
+        // predictions are clamped to the metric domain
+        let g = inputs(1, 900)[0].generate();
+        let props = GraphProperties::compute_advanced(&g);
+        let m = qp.predict(&props, PartitionerId::Ne, 4);
+        assert!(m.replication_factor >= 1.0);
+        assert!(m.edge_balance >= 1.0);
+        // higher k should predict higher RF for a hash partitioner
+        let rf2 = qp.predict_target(QualityTarget::ReplicationFactor, &props, PartitionerId::OneDD, 2);
+        let rf8 = qp.predict_target(QualityTarget::ReplicationFactor, &props, PartitionerId::OneDD, 8);
+        assert!(rf8 > rf2 * 0.9, "rf2={rf2} rf8={rf8}");
+        assert_eq!(qp.chosen.len(), 5);
+    }
+
+    #[test]
+    fn quality_predictor_learns_partitioner_differences() {
+        let records = profile_quality(
+            &inputs(8, 1_200),
+            &[PartitionerId::Crvc, PartitionerId::Ne],
+            &[8],
+            3,
+        );
+        let qp = QualityPredictor::train(
+            &records,
+            PropertyTier::Basic,
+            &zoo::quick_grid(),
+            3,
+            2,
+        );
+        let g = inputs(1, 1_200)[0].generate();
+        let props = GraphProperties::compute_advanced(&g);
+        let rf_hash = qp.predict_target(
+            QualityTarget::ReplicationFactor,
+            &props,
+            PartitionerId::Crvc,
+            8,
+        );
+        let rf_ne =
+            qp.predict_target(QualityTarget::ReplicationFactor, &props, PartitionerId::Ne, 8);
+        assert!(rf_ne < rf_hash, "ne {rf_ne} vs crvc {rf_hash}");
+    }
+
+    #[test]
+    fn partitioning_time_predictor_orders_families() {
+        let records = profile_quality(
+            &inputs(8, 4_000),
+            &[PartitionerId::OneDD, PartitionerId::Ne],
+            &[4],
+            5,
+        );
+        let tp = PartitioningTimePredictor::train(&records, &zoo::quick_grid(), 3, 1);
+        let g = inputs(1, 4_000)[0].generate();
+        let props = GraphProperties::compute_advanced(&g);
+        let fast = tp.predict(&props, PartitionerId::OneDD);
+        let slow = tp.predict(&props, PartitionerId::Ne);
+        assert!(fast >= 0.0 && slow >= 0.0);
+        assert!(slow > fast, "ne {slow} should cost more than 1dd {fast}");
+    }
+
+    #[test]
+    fn processing_time_predictor_per_workload() {
+        let records = profile_processing(
+            &inputs(5, 1_000),
+            &[PartitionerId::Dbh, PartitionerId::Ne],
+            4,
+            &[Workload::PageRank { iterations: 5 }, Workload::ConnectedComponents],
+            3,
+        );
+        let pp = ProcessingTimePredictor::train(&records, &zoo::quick_grid(), 3, 1);
+        assert_eq!(pp.supported_workloads().len(), 2);
+        let g = inputs(1, 1_000)[0].generate();
+        let props = GraphProperties::compute_advanced(&g);
+        let metrics = ease_partition::QualityMetrics {
+            replication_factor: 2.0,
+            edge_balance: 1.05,
+            vertex_balance: 1.2,
+            source_balance: 1.2,
+            dest_balance: 1.2,
+        };
+        let t = pp.predict_target(Workload::PageRank { iterations: 5 }, &props, &metrics);
+        assert!(t > 0.0);
+        let total = pp.predict_total(Workload::PageRank { iterations: 5 }, &props, &metrics);
+        assert!((total - t * 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "no model trained for workload")]
+    fn unknown_workload_panics() {
+        let records = profile_processing(
+            &inputs(2, 600),
+            &[PartitionerId::Dbh],
+            2,
+            &[Workload::ConnectedComponents],
+            3,
+        );
+        let pp = ProcessingTimePredictor::train(&records, &zoo::quick_grid(), 2, 1);
+        let g = inputs(1, 600)[0].generate();
+        let props = GraphProperties::compute_advanced(&g);
+        let metrics = records[0].metrics;
+        let _ = pp.predict_target(Workload::KCores, &props, &metrics);
+    }
+
+    #[test]
+    fn log_transform_round_trips() {
+        for v in [0.001, 1.0, 1234.5] {
+            assert!((from_log(to_log(v)) - v).abs() < 1e-9);
+        }
+        // negative log-space predictions clamp to the 1 µs floor
+        assert_eq!(from_log(-5.0), 1e-6);
+        assert_eq!(from_log(to_log(0.0)), 1e-6);
+    }
+}

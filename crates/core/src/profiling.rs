@@ -1,0 +1,256 @@
+//! Training-data acquisition — steps 1–3 of the paper's training pipeline
+//! (Fig. 5): obtain graphs, partition them with every partitioner and
+//! measure quality + run-time, then execute the processing workloads and
+//! measure their (simulated) run-time.
+//!
+//! Profiling fans out over graphs with crossbeam scoped threads; each
+//! worker generates its graph, measures, and drops it — the corpora are
+//! never materialized at once.
+
+use ease_graph::{Graph, GraphProperties, PropertyTier};
+use ease_graphgen::grids::RmatSpec;
+use ease_graphgen::realworld::{GraphType, TestGraph};
+use ease_partition::{run_partitioner, PartitionerId, QualityMetrics};
+use ease_procsim::{ClusterSpec, DistributedGraph, Workload};
+use parking_lot::Mutex;
+
+/// A graph to profile: either a lazily generated R-MAT spec or an already
+/// materialized test graph.
+#[derive(Debug, Clone)]
+pub enum GraphInput {
+    Rmat(RmatSpec),
+    Materialized(TestGraph),
+}
+
+impl GraphInput {
+    pub fn name(&self) -> &str {
+        match self {
+            GraphInput::Rmat(s) => &s.name,
+            GraphInput::Materialized(t) => &t.name,
+        }
+    }
+
+    pub fn graph_type(&self) -> Option<GraphType> {
+        match self {
+            GraphInput::Rmat(_) => None,
+            GraphInput::Materialized(t) => Some(t.graph_type),
+        }
+    }
+
+    pub fn generate(&self) -> Graph {
+        match self {
+            GraphInput::Rmat(s) => s.generate(),
+            GraphInput::Materialized(t) => t.graph.clone(),
+        }
+    }
+
+    pub fn from_specs(specs: Vec<RmatSpec>) -> Vec<GraphInput> {
+        specs.into_iter().map(GraphInput::Rmat).collect()
+    }
+
+    pub fn from_tests(tests: Vec<TestGraph>) -> Vec<GraphInput> {
+        tests.into_iter().map(GraphInput::Materialized).collect()
+    }
+}
+
+/// One measured partitioning execution (training row for the quality and
+/// partitioning-time predictors).
+#[derive(Debug, Clone)]
+pub struct QualityRecord {
+    pub graph_name: String,
+    pub graph_type: Option<GraphType>,
+    pub props: GraphProperties,
+    pub partitioner: PartitionerId,
+    pub k: usize,
+    pub metrics: QualityMetrics,
+    pub partitioning_secs: f64,
+}
+
+/// One measured workload execution (training row for the processing-time
+/// predictor). Carries the measured quality metrics of the partitioning the
+/// workload ran on.
+#[derive(Debug, Clone)]
+pub struct ProcessingRecord {
+    pub graph_name: String,
+    pub graph_type: Option<GraphType>,
+    pub props: GraphProperties,
+    pub partitioner: PartitionerId,
+    pub k: usize,
+    pub metrics: QualityMetrics,
+    pub partitioning_secs: f64,
+    pub workload: Workload,
+    /// The prediction target: average iteration time for fixed-iteration
+    /// workloads, total time otherwise (paper Sec. V-C).
+    pub target_secs: f64,
+    /// Total processing time.
+    pub total_secs: f64,
+}
+
+fn worker_count(n_items: usize) -> usize {
+    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).min(n_items.max(1))
+}
+
+/// Run `f` over the inputs with scoped-thread fan-out, collecting outputs.
+fn parallel_profile<T: Send, F>(inputs: &[GraphInput], f: F) -> Vec<T>
+where
+    F: Fn(&GraphInput) -> Vec<T> + Sync,
+{
+    let results: Mutex<Vec<T>> = Mutex::new(Vec::new());
+    let next: Mutex<usize> = Mutex::new(0);
+    let workers = worker_count(inputs.len());
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let idx = {
+                    let mut guard = next.lock();
+                    let idx = *guard;
+                    *guard += 1;
+                    idx
+                };
+                if idx >= inputs.len() {
+                    break;
+                }
+                let out = f(&inputs[idx]);
+                results.lock().extend(out);
+            });
+        }
+    })
+    .expect("profiling worker panicked");
+    results.into_inner()
+}
+
+/// Step 2 of the pipeline: partition every input graph with every
+/// partitioner for every `k`, measuring quality metrics and wall-clock
+/// partitioning time.
+pub fn profile_quality(
+    inputs: &[GraphInput],
+    partitioners: &[PartitionerId],
+    ks: &[usize],
+    seed: u64,
+) -> Vec<QualityRecord> {
+    parallel_profile(inputs, |input| {
+        let graph = input.generate();
+        let props = GraphProperties::compute(&graph, PropertyTier::Advanced);
+        let mut out = Vec::with_capacity(partitioners.len() * ks.len());
+        for &p in partitioners {
+            for &k in ks {
+                let run = run_partitioner(p, &graph, k, seed ^ k as u64);
+                out.push(QualityRecord {
+                    graph_name: input.name().to_string(),
+                    graph_type: input.graph_type(),
+                    props: props.clone(),
+                    partitioner: p,
+                    k,
+                    metrics: run.metrics,
+                    partitioning_secs: run.partitioning_secs,
+                });
+            }
+        }
+        out
+    })
+}
+
+/// Steps 2+3 combined for the time predictors: partition with every
+/// partitioner at a fixed `k`, then execute every workload on the
+/// partitioned graph with the cluster cost model.
+pub fn profile_processing(
+    inputs: &[GraphInput],
+    partitioners: &[PartitionerId],
+    k: usize,
+    workloads: &[Workload],
+    seed: u64,
+) -> Vec<ProcessingRecord> {
+    let cluster = ClusterSpec::new(k);
+    parallel_profile(inputs, |input| {
+        let graph = input.generate();
+        let props = GraphProperties::compute(&graph, PropertyTier::Advanced);
+        let mut out = Vec::with_capacity(partitioners.len() * workloads.len());
+        for &p in partitioners {
+            let run = run_partitioner(p, &graph, k, seed);
+            let dg = DistributedGraph::build(&graph, &run.partition);
+            for &w in workloads {
+                let report = w.execute(&dg, &cluster);
+                out.push(ProcessingRecord {
+                    graph_name: input.name().to_string(),
+                    graph_type: input.graph_type(),
+                    props: props.clone(),
+                    partitioner: p,
+                    k,
+                    metrics: run.metrics,
+                    partitioning_secs: run.partitioning_secs,
+                    workload: w,
+                    target_secs: w.prediction_target(&report),
+                    total_secs: report.total_secs,
+                });
+            }
+        }
+        out
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ease_graphgen::rmat::RmatParams;
+
+    fn tiny_inputs(n: usize) -> Vec<GraphInput> {
+        (0..n)
+            .map(|i| {
+                GraphInput::Rmat(RmatSpec {
+                    name: format!("tiny-{i}"),
+                    combo_index: i % 9,
+                    params: RmatParams::new(0.45, 0.22, 0.22, 0.11),
+                    num_vertices: 128,
+                    num_edges: 700,
+                    seed: i as u64,
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn quality_profiling_covers_the_cross_product() {
+        let inputs = tiny_inputs(3);
+        let parts = [PartitionerId::OneDD, PartitionerId::Hdrf];
+        let records = profile_quality(&inputs, &parts, &[2, 4], 1);
+        assert_eq!(records.len(), 3 * 2 * 2);
+        for r in &records {
+            assert!(r.metrics.replication_factor >= 1.0);
+            assert!(r.partitioning_secs >= 0.0);
+            assert!(r.props.avg_lcc.is_some(), "advanced props computed");
+        }
+        // all combos present
+        let combos: std::collections::HashSet<_> =
+            records.iter().map(|r| (r.graph_name.clone(), r.partitioner, r.k)).collect();
+        assert_eq!(combos.len(), 12);
+    }
+
+    #[test]
+    fn processing_profiling_executes_workloads() {
+        let inputs = tiny_inputs(2);
+        let parts = [PartitionerId::Dbh];
+        let workloads = [
+            Workload::PageRank { iterations: 3 },
+            Workload::ConnectedComponents,
+        ];
+        let records = profile_processing(&inputs, &parts, 4, &workloads, 2);
+        assert_eq!(records.len(), 2 * 1 * 2);
+        for r in &records {
+            assert!(r.target_secs > 0.0, "{}", r.workload.name());
+            assert!(r.total_secs >= r.target_secs * 0.99);
+        }
+    }
+
+    #[test]
+    fn materialized_inputs_round_trip() {
+        let tg = ease_graphgen::realworld::generate_typed(
+            GraphType::Social,
+            0,
+            ease_graphgen::Scale::Tiny,
+            3,
+        );
+        let gi = GraphInput::Materialized(tg.clone());
+        assert_eq!(gi.graph_type(), Some(GraphType::Social));
+        assert_eq!(gi.generate().num_edges(), tg.graph.num_edges());
+    }
+}

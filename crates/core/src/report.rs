@@ -1,0 +1,110 @@
+//! Plain-text table rendering and CSV output shared by the experiment
+//! binaries (each binary prints paper-style rows and mirrors them into
+//! `results/*.csv`).
+
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+/// Render an aligned text table.
+pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("== {title} ==\n"));
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<w$}", c, w = widths.get(i).copied().unwrap_or(c.len())))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Write rows as CSV (creates parent directories).
+pub fn write_csv(path: &Path, headers: &[&str], rows: &[Vec<String>]) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let f = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(f);
+    writeln!(w, "{}", headers.join(","))?;
+    for row in rows {
+        let escaped: Vec<String> = row
+            .iter()
+            .map(|c| {
+                if c.contains(',') || c.contains('"') {
+                    format!("\"{}\"", c.replace('"', "\"\""))
+                } else {
+                    c.clone()
+                }
+            })
+            .collect();
+        writeln!(w, "{}", escaped.join(","))?;
+    }
+    w.flush()
+}
+
+/// Format a float with 3 decimals (the paper's table precision).
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Format a percentage (paper's Table VIII style: integer percents).
+pub fn pct(v: f64) -> String {
+    format!("{:.0}", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let s = render_table(
+            "T",
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1.000".into()],
+                vec!["longer-name".into(), "2".into()],
+            ],
+        );
+        assert!(s.contains("== T =="));
+        assert!(s.contains("longer-name"));
+        // header row padded at least as wide as the longest cell
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[1].starts_with("name"));
+    }
+
+    #[test]
+    fn csv_escaping() {
+        let dir = std::env::temp_dir().join(format!("ease_report_{}", std::process::id()));
+        let path = dir.join("t.csv");
+        write_csv(&path, &["a", "b"], &[vec!["x,y".into(), "plain".into()]]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        assert!(text.contains("\"x,y\",plain"));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f3(0.29612), "0.296");
+        assert_eq!(pct(1.02), "102");
+    }
+}

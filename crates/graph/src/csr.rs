@@ -1,0 +1,207 @@
+//! Compressed sparse row adjacency.
+
+use crate::edge_list::Graph;
+use crate::types::VertexId;
+
+/// Which adjacency direction a [`Csr`] encodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// `neighbors(v)` = out-neighbors (edge targets).
+    Out,
+    /// `neighbors(v)` = in-neighbors (edge sources).
+    In,
+    /// `neighbors(v)` = union of both directions (each directed edge
+    /// contributes to both endpoints' lists).
+    Undirected,
+}
+
+/// Compressed sparse row adjacency built from a [`Graph`].
+///
+/// `offsets` has `n+1` entries; the neighbors of `v` are
+/// `targets[offsets[v]..offsets[v+1]]`. Built with a counting pass followed
+/// by a placement pass — no per-vertex `Vec` allocations (perf-book:
+/// preallocate, avoid allocation in hot loops).
+#[derive(Debug, Clone)]
+pub struct Csr {
+    offsets: Vec<usize>,
+    targets: Vec<VertexId>,
+    direction: Direction,
+}
+
+impl Csr {
+    /// Build adjacency in the requested direction.
+    pub fn build(graph: &Graph, direction: Direction) -> Self {
+        let n = graph.num_vertices();
+        let mut counts = vec![0usize; n + 1];
+        match direction {
+            Direction::Out => {
+                for e in graph.edges() {
+                    counts[e.src as usize + 1] += 1;
+                }
+            }
+            Direction::In => {
+                for e in graph.edges() {
+                    counts[e.dst as usize + 1] += 1;
+                }
+            }
+            Direction::Undirected => {
+                for e in graph.edges() {
+                    counts[e.src as usize + 1] += 1;
+                    counts[e.dst as usize + 1] += 1;
+                }
+            }
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let offsets = counts;
+        let mut cursor = offsets.clone();
+        let mut targets = vec![0 as VertexId; offsets[n]];
+        match direction {
+            Direction::Out => {
+                for e in graph.edges() {
+                    let c = &mut cursor[e.src as usize];
+                    targets[*c] = e.dst;
+                    *c += 1;
+                }
+            }
+            Direction::In => {
+                for e in graph.edges() {
+                    let c = &mut cursor[e.dst as usize];
+                    targets[*c] = e.src;
+                    *c += 1;
+                }
+            }
+            Direction::Undirected => {
+                for e in graph.edges() {
+                    let c = &mut cursor[e.src as usize];
+                    targets[*c] = e.dst;
+                    *c += 1;
+                    let c = &mut cursor[e.dst as usize];
+                    targets[*c] = e.src;
+                    *c += 1;
+                }
+            }
+        }
+        Csr { offsets, targets, direction }
+    }
+
+    /// Build undirected *simple* adjacency: reciprocal duplicates, parallel
+    /// edges and self-loops removed, each list sorted. This is the input for
+    /// triangle counting and neighborhood expansion.
+    pub fn build_undirected_simple(graph: &Graph) -> Self {
+        let mut csr = Csr::build(graph, Direction::Undirected);
+        let n = csr.num_vertices();
+        let mut new_targets: Vec<VertexId> = Vec::with_capacity(csr.targets.len());
+        let mut new_offsets: Vec<usize> = Vec::with_capacity(n + 1);
+        new_offsets.push(0);
+        // Sort + dedup each list, dropping self-loops.
+        for v in 0..n {
+            let start = new_targets.len();
+            let (lo, hi) = (csr.offsets[v], csr.offsets[v + 1]);
+            let list = &mut csr.targets[lo..hi];
+            list.sort_unstable();
+            let mut prev = None;
+            for &t in list.iter() {
+                if t as usize == v || prev == Some(t) {
+                    continue;
+                }
+                new_targets.push(t);
+                prev = Some(t);
+            }
+            let _ = start;
+            new_offsets.push(new_targets.len());
+        }
+        Csr { offsets: new_offsets, targets: new_targets, direction: Direction::Undirected }
+    }
+
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    #[inline]
+    pub fn direction(&self) -> Direction {
+        self.direction
+    }
+
+    /// Neighbor slice of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.targets[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+
+    /// Degree of `v` in this adjacency.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    /// Total number of stored adjacency entries.
+    #[inline]
+    pub fn num_entries(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Iterate `(vertex, neighbors)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (VertexId, &[VertexId])> {
+        (0..self.num_vertices() as VertexId).map(move |v| (v, self.neighbors(v)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Graph {
+        Graph::from_pairs([(0, 1), (0, 2), (1, 2), (2, 0), (1, 1)])
+    }
+
+    #[test]
+    fn out_adjacency() {
+        let csr = Csr::build(&toy(), Direction::Out);
+        assert_eq!(csr.neighbors(0), &[1, 2]);
+        assert_eq!(csr.neighbors(1), &[2, 1]);
+        assert_eq!(csr.neighbors(2), &[0]);
+        assert_eq!(csr.num_entries(), 5);
+    }
+
+    #[test]
+    fn in_adjacency() {
+        let csr = Csr::build(&toy(), Direction::In);
+        assert_eq!(csr.neighbors(0), &[2]);
+        assert_eq!(csr.degree(2), 2);
+    }
+
+    #[test]
+    fn undirected_counts_both_sides() {
+        let csr = Csr::build(&toy(), Direction::Undirected);
+        assert_eq!(csr.num_entries(), 10);
+        assert_eq!(csr.degree(1), 4); // (0,1), (1,2), (1,1) twice
+    }
+
+    #[test]
+    fn undirected_simple_drops_loops_and_dupes() {
+        let g = Graph::from_pairs([(0, 1), (1, 0), (0, 1), (1, 1), (1, 2)]);
+        let csr = Csr::build_undirected_simple(&g);
+        assert_eq!(csr.neighbors(0), &[1]);
+        assert_eq!(csr.neighbors(1), &[0, 2]);
+        assert_eq!(csr.neighbors(2), &[1]);
+    }
+
+    #[test]
+    fn degrees_sum_to_entries() {
+        let g = toy();
+        let csr = Csr::build(&g, Direction::Out);
+        let total: usize = (0..g.num_vertices() as u32).map(|v| csr.degree(v)).sum();
+        assert_eq!(total, csr.num_entries());
+    }
+
+    #[test]
+    fn empty_graph_csr() {
+        let csr = Csr::build(&Graph::empty(3), Direction::Out);
+        assert_eq!(csr.num_vertices(), 3);
+        assert_eq!(csr.num_entries(), 0);
+        assert_eq!(csr.neighbors(1), &[] as &[u32]);
+    }
+}

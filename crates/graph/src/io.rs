@@ -1,0 +1,108 @@
+//! Buffered edge-list text I/O.
+//!
+//! Format: one `src dst` pair per line, `#`-prefixed comment lines ignored —
+//! the same whitespace-separated format used by SNAP/KONECT dumps, so users
+//! can feed their own graphs to the examples. Reads and writes are buffered
+//! (perf-book: Rust file I/O is unbuffered by default).
+
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use crate::edge_list::Graph;
+use crate::types::Edge;
+
+/// Read a graph from a whitespace-separated edge-list file.
+pub fn read_edge_list(path: &Path) -> io::Result<Graph> {
+    let file = File::open(path)?;
+    read_edge_list_from(BufReader::new(file))
+}
+
+/// Read a graph from any buffered reader (useful for tests / stdin).
+pub fn read_edge_list_from<R: BufRead>(reader: R) -> io::Result<Graph> {
+    let mut edges: Vec<Edge> = Vec::new();
+    let mut max_v: u32 = 0;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let parse = |tok: Option<&str>| -> io::Result<u32> {
+            tok.ok_or_else(|| bad_line(lineno))?
+                .parse::<u32>()
+                .map_err(|_| bad_line(lineno))
+        };
+        let src = parse(it.next())?;
+        let dst = parse(it.next())?;
+        max_v = max_v.max(src).max(dst);
+        edges.push(Edge::new(src, dst));
+    }
+    let n = if edges.is_empty() { 0 } else { max_v as usize + 1 };
+    Ok(Graph::new(n, edges))
+}
+
+fn bad_line(lineno: usize) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("malformed edge-list line {}", lineno + 1),
+    )
+}
+
+/// Write a graph as a whitespace-separated edge list.
+pub fn write_edge_list(graph: &Graph, path: &Path) -> io::Result<()> {
+    let file = File::create(path)?;
+    let mut w = BufWriter::new(file);
+    writeln!(w, "# vertices {} edges {}", graph.num_vertices(), graph.num_edges())?;
+    for e in graph.edges() {
+        writeln!(w, "{} {}", e.src, e.dst)?;
+    }
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parse_with_comments_and_blanks() {
+        let input = "# header\n0 1\n\n% konect style\n1 2\n 2 0 \n";
+        let g = read_edge_list_from(Cursor::new(input)).unwrap();
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.num_vertices(), 3);
+    }
+
+    #[test]
+    fn malformed_line_reports_line_number() {
+        let input = "0 1\nnot numbers\n";
+        let err = read_edge_list_from(Cursor::new(input)).unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn missing_second_column_is_an_error() {
+        let err = read_edge_list_from(Cursor::new("42\n")).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn round_trip_through_tempfile() {
+        let g = Graph::from_pairs([(0, 1), (1, 2), (2, 0)]);
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("ease_graph_io_test_{}.txt", std::process::id()));
+        write_edge_list(&g, &path).unwrap();
+        let g2 = read_edge_list(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(g.edges(), g2.edges());
+        assert_eq!(g.num_vertices(), g2.num_vertices());
+    }
+
+    #[test]
+    fn empty_input_gives_empty_graph() {
+        let g = read_edge_list_from(Cursor::new("# nothing\n")).unwrap();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

@@ -1,0 +1,31 @@
+//! Graph data structures and property extraction for the EASE reproduction.
+//!
+//! This crate provides the substrate every other crate builds on:
+//!
+//! * [`Graph`] — an owned directed edge list with a known vertex count,
+//! * [`Csr`] — compressed sparse row adjacency (out, in, or undirected),
+//! * [`DegreeTable`] — degree statistics including Pearson's first skewness
+//!   coefficient used by the paper as a machine-learning feature,
+//! * [`triangles`] — per-vertex triangle counts and local clustering
+//!   coefficients,
+//! * [`GraphProperties`] — the simple/basic/advanced feature tiers of
+//!   Table III of the paper,
+//! * [`hash`] — fast seeded mixing functions shared by the hash partitioners.
+//!
+//! Everything is deterministic: no global RNG state, no time-dependent
+//! behaviour. Vertex ids are dense `u32`s in `0..num_vertices`.
+
+pub mod csr;
+pub mod degree;
+pub mod edge_list;
+pub mod hash;
+pub mod io;
+pub mod properties;
+pub mod triangles;
+pub mod types;
+
+pub use csr::Csr;
+pub use degree::DegreeTable;
+pub use edge_list::Graph;
+pub use properties::{GraphProperties, PropertyTier};
+pub use types::{Edge, VertexId};

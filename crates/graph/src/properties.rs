@@ -1,0 +1,190 @@
+//! Graph property extraction — the feature tiers of Table III.
+//!
+//! The paper distinguishes three feature sets:
+//!
+//! * **Simple**: `|E|`, `|V|` — cheap, used by the processing-time predictor.
+//! * **Basic**: simple + mean degree, density, in-degree skewness,
+//!   out-degree skewness — used by quality & time predictors.
+//! * **Advanced**: basic + average triangles + average local clustering
+//!   coefficient — compute-intensive, optionally improves RF prediction.
+
+use crate::degree::DegreeTable;
+use crate::edge_list::Graph;
+use crate::triangles;
+
+/// Which tier of features to compute / use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PropertyTier {
+    Simple,
+    Basic,
+    Advanced,
+}
+
+impl PropertyTier {
+    pub const ALL: [PropertyTier; 3] =
+        [PropertyTier::Simple, PropertyTier::Basic, PropertyTier::Advanced];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            PropertyTier::Simple => "simple",
+            PropertyTier::Basic => "basic",
+            PropertyTier::Advanced => "advanced",
+        }
+    }
+}
+
+/// Extracted graph properties (paper Sec. II-B).
+///
+/// `avg_triangles`/`avg_lcc` are `None` unless the advanced tier was
+/// requested — they are the only super-linear-cost features.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphProperties {
+    pub num_vertices: usize,
+    pub num_edges: usize,
+    /// `|E| / (|V|·(|V|−1))`
+    pub density: f64,
+    /// `2|E| / |V|`
+    pub mean_degree: f64,
+    /// Pearson's first skewness of the in-degree distribution.
+    pub in_degree_skew: f64,
+    /// Pearson's first skewness of the out-degree distribution.
+    pub out_degree_skew: f64,
+    /// Average number of triangles per vertex (advanced tier only).
+    pub avg_triangles: Option<f64>,
+    /// Average local clustering coefficient (advanced tier only).
+    pub avg_lcc: Option<f64>,
+}
+
+impl GraphProperties {
+    /// Compute properties up to the requested tier.
+    pub fn compute(graph: &Graph, tier: PropertyTier) -> Self {
+        let n = graph.num_vertices();
+        let m = graph.num_edges();
+        let density = if n > 1 { m as f64 / (n as f64 * (n as f64 - 1.0)) } else { 0.0 };
+        let mean_degree = if n > 0 { 2.0 * m as f64 / n as f64 } else { 0.0 };
+        let (in_skew, out_skew) = if matches!(tier, PropertyTier::Simple) {
+            (0.0, 0.0)
+        } else {
+            let deg = DegreeTable::compute(graph);
+            (deg.in_moments.pearson_skew, deg.out_moments.pearson_skew)
+        };
+        let (avg_triangles, avg_lcc) = if matches!(tier, PropertyTier::Advanced) {
+            let s = triangles::triangle_stats(graph);
+            (Some(s.avg_triangles), Some(s.avg_lcc))
+        } else {
+            (None, None)
+        };
+        GraphProperties {
+            num_vertices: n,
+            num_edges: m,
+            density,
+            mean_degree,
+            in_degree_skew: in_skew,
+            out_degree_skew: out_skew,
+            avg_triangles,
+            avg_lcc,
+        }
+    }
+
+    /// Convenience: compute the full advanced tier.
+    pub fn compute_advanced(graph: &Graph) -> Self {
+        Self::compute(graph, PropertyTier::Advanced)
+    }
+
+    /// Feature vector for a given tier; panics if the tier requires advanced
+    /// values that were not computed. Order is stable and documented:
+    /// simple  = [|E|, |V|]
+    /// basic   = simple + [mean_degree, density, in_skew, out_skew]
+    /// advanced= basic + [avg_triangles, avg_lcc]
+    pub fn feature_vector(&self, tier: PropertyTier) -> Vec<f64> {
+        let mut v = vec![self.num_edges as f64, self.num_vertices as f64];
+        if matches!(tier, PropertyTier::Basic | PropertyTier::Advanced) {
+            v.extend([self.mean_degree, self.density, self.in_degree_skew, self.out_degree_skew]);
+        }
+        if matches!(tier, PropertyTier::Advanced) {
+            v.push(self.avg_triangles.expect("advanced properties not computed"));
+            v.push(self.avg_lcc.expect("advanced properties not computed"));
+        }
+        v
+    }
+
+    /// Column names matching [`Self::feature_vector`].
+    pub fn feature_names(tier: PropertyTier) -> Vec<&'static str> {
+        let mut v = vec!["num_edges", "num_vertices"];
+        if matches!(tier, PropertyTier::Basic | PropertyTier::Advanced) {
+            v.extend(["mean_degree", "density", "in_degree_skew", "out_degree_skew"]);
+        }
+        if matches!(tier, PropertyTier::Advanced) {
+            v.extend(["avg_triangles", "avg_lcc"]);
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle_graph() -> Graph {
+        Graph::from_pairs([(0, 1), (1, 2), (2, 0)])
+    }
+
+    #[test]
+    fn density_and_mean_degree() {
+        let p = GraphProperties::compute(&triangle_graph(), PropertyTier::Basic);
+        assert!((p.density - 3.0 / 6.0).abs() < 1e-12);
+        assert!((p.mean_degree - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn advanced_tier_fills_triangles() {
+        let p = GraphProperties::compute_advanced(&triangle_graph());
+        assert_eq!(p.avg_triangles, Some(1.0));
+        assert_eq!(p.avg_lcc, Some(1.0));
+    }
+
+    #[test]
+    fn basic_tier_leaves_advanced_none() {
+        let p = GraphProperties::compute(&triangle_graph(), PropertyTier::Basic);
+        assert!(p.avg_triangles.is_none());
+        assert!(p.avg_lcc.is_none());
+    }
+
+    #[test]
+    fn feature_vector_lengths_match_names() {
+        let p = GraphProperties::compute_advanced(&triangle_graph());
+        for tier in PropertyTier::ALL {
+            assert_eq!(
+                p.feature_vector(tier).len(),
+                GraphProperties::feature_names(tier).len()
+            );
+        }
+        assert_eq!(p.feature_vector(PropertyTier::Simple).len(), 2);
+        assert_eq!(p.feature_vector(PropertyTier::Basic).len(), 6);
+        assert_eq!(p.feature_vector(PropertyTier::Advanced).len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "advanced properties not computed")]
+    fn advanced_vector_requires_advanced_compute() {
+        let p = GraphProperties::compute(&triangle_graph(), PropertyTier::Basic);
+        let _ = p.feature_vector(PropertyTier::Advanced);
+    }
+
+    #[test]
+    fn skew_positive_for_star() {
+        // Star: hub has out-degree n-1, leaves 0 -> out-degree distribution
+        // is right-skewed (mean > mode = 0).
+        let g = Graph::from_pairs((1..40u32).map(|i| (0u32, i)));
+        let p = GraphProperties::compute(&g, PropertyTier::Basic);
+        assert!(p.out_degree_skew > 0.0);
+    }
+
+    #[test]
+    fn singleton_graph_is_degenerate_but_finite() {
+        let p = GraphProperties::compute(&Graph::empty(1), PropertyTier::Advanced);
+        assert_eq!(p.density, 0.0);
+        assert_eq!(p.mean_degree, 0.0);
+        assert!(p.feature_vector(PropertyTier::Advanced).iter().all(|x| x.is_finite()));
+    }
+}

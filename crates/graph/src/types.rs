@@ -1,0 +1,68 @@
+//! Core identifier and edge types.
+
+/// Dense vertex identifier. Graphs in this workspace are laptop-scale
+/// (≤ tens of millions of vertices), so `u32` halves memory traffic
+/// compared to `usize` — a deliberate type-size choice (perf-book).
+pub type VertexId = u32;
+
+/// A directed edge `src -> dst`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Edge {
+    pub src: VertexId,
+    pub dst: VertexId,
+}
+
+impl Edge {
+    #[inline]
+    pub fn new(src: VertexId, dst: VertexId) -> Self {
+        Edge { src, dst }
+    }
+
+    /// Endpoints in canonical (unordered) order; used by CRVC-style hashing
+    /// and by undirected metrics.
+    #[inline]
+    pub fn canonical(self) -> (VertexId, VertexId) {
+        if self.src <= self.dst {
+            (self.src, self.dst)
+        } else {
+            (self.dst, self.src)
+        }
+    }
+
+    /// True if the edge is a self-loop.
+    #[inline]
+    pub fn is_loop(self) -> bool {
+        self.src == self.dst
+    }
+}
+
+impl From<(VertexId, VertexId)> for Edge {
+    #[inline]
+    fn from((src, dst): (VertexId, VertexId)) -> Self {
+        Edge { src, dst }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_orders_endpoints() {
+        assert_eq!(Edge::new(5, 3).canonical(), (3, 5));
+        assert_eq!(Edge::new(3, 5).canonical(), (3, 5));
+        assert_eq!(Edge::new(4, 4).canonical(), (4, 4));
+    }
+
+    #[test]
+    fn loop_detection() {
+        assert!(Edge::new(7, 7).is_loop());
+        assert!(!Edge::new(7, 8).is_loop());
+    }
+
+    #[test]
+    fn tuple_conversion() {
+        let e: Edge = (1u32, 2u32).into();
+        assert_eq!(e, Edge::new(1, 2));
+    }
+}

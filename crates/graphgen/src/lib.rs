@@ -1,0 +1,32 @@
+//! Synthetic graph generators for the EASE reproduction.
+//!
+//! Two roles:
+//!
+//! 1. **Training-data acquisition** (paper Sec. IV-A): the R-MAT generator
+//!    with the nine parameter combinations of Table II and the (V, E) grids
+//!    of Tables Ia/Ib (scaled ~1000× down, grid structure preserved —
+//!    see DESIGN.md §2.5), plus Barabási–Albert for the Fig. 6 comparison.
+//! 2. **Real-world test library** (substitution, DESIGN.md §2.3): the paper
+//!    evaluates on 175 downloaded real graphs of nine types; this crate
+//!    synthesizes an analogous library with *different generator families*
+//!    than the R-MAT training distribution, reproducing the train/test
+//!    distribution shift that the paper's generalization study depends on.
+//!
+//! All generators are deterministic given a seed.
+
+pub mod affiliation;
+pub mod ba;
+pub mod chung_lu;
+pub mod community;
+pub mod copying;
+pub mod erdos_renyi;
+pub mod grids;
+pub mod holme_kim;
+pub mod kronecker;
+pub mod realworld;
+pub mod rmat;
+pub mod watts_strogatz;
+
+pub use grids::{rmat_large_corpus, rmat_small_corpus, Scale};
+pub use realworld::{GraphType, TestGraph};
+pub use rmat::{Rmat, RmatParams, RMAT_COMBOS};

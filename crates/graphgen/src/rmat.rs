@@ -1,0 +1,177 @@
+//! R-MAT recursive matrix graph generator (Chakrabarti et al., SDM 2004).
+//!
+//! The paper uses R-MAT (implementation of Khorasani et al.) as its training
+//! graph generator because it is lightweight, scales well, and covers the
+//! property space of real graphs. Partition probabilities `(a, b, c, d)`
+//! recursively pick the adjacency-matrix quadrant of each edge; `a`/`d` act
+//! as communities, `b`/`c` as inter-community edges. Table II of the paper
+//! defines nine combinations C1..C9 (d fixed at 0.05) reproduced here in
+//! [`RMAT_COMBOS`].
+
+use ease_graph::{Edge, Graph};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// R-MAT quadrant probabilities. Must sum to 1 (checked on construction).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RmatParams {
+    pub a: f64,
+    pub b: f64,
+    pub c: f64,
+    pub d: f64,
+}
+
+impl RmatParams {
+    pub fn new(a: f64, b: f64, c: f64, d: f64) -> Self {
+        let sum = a + b + c + d;
+        assert!(
+            (sum - 1.0).abs() < 1e-9,
+            "R-MAT probabilities must sum to 1 (got {sum})"
+        );
+        assert!(a >= 0.0 && b >= 0.0 && c >= 0.0 && d >= 0.0);
+        RmatParams { a, b, c, d }
+    }
+}
+
+/// The nine R-MAT parameter combinations C1..C9 of Table II
+/// (`d` fixed at 0.05; `c` ∈ {0.34, 0.19}; `a`/`b` sweep skewness).
+pub const RMAT_COMBOS: [RmatParams; 9] = [
+    RmatParams { a: 0.35, b: 0.26, c: 0.34, d: 0.05 },
+    RmatParams { a: 0.45, b: 0.16, c: 0.34, d: 0.05 },
+    RmatParams { a: 0.55, b: 0.06, c: 0.34, d: 0.05 },
+    RmatParams { a: 0.60, b: 0.01, c: 0.34, d: 0.05 },
+    RmatParams { a: 0.40, b: 0.36, c: 0.19, d: 0.05 },
+    RmatParams { a: 0.50, b: 0.26, c: 0.19, d: 0.05 },
+    RmatParams { a: 0.60, b: 0.16, c: 0.19, d: 0.05 },
+    RmatParams { a: 0.65, b: 0.11, c: 0.19, d: 0.05 },
+    RmatParams { a: 0.70, b: 0.06, c: 0.19, d: 0.05 },
+];
+
+/// R-MAT generator configuration.
+#[derive(Debug, Clone)]
+pub struct Rmat {
+    pub params: RmatParams,
+    /// Number of vertices. Internally rounded up to the next power of two
+    /// for the quadrant recursion; sampled ids are folded back with modulo.
+    pub num_vertices: usize,
+    pub num_edges: usize,
+    /// Multiplicative noise on the quadrant probabilities per recursion
+    /// level (smoothing parameter of Chakrabarti et al.; 0.1 ≈ realistic).
+    pub noise: f64,
+    pub seed: u64,
+}
+
+impl Rmat {
+    pub fn new(params: RmatParams, num_vertices: usize, num_edges: usize, seed: u64) -> Self {
+        Rmat { params, num_vertices, num_edges, noise: 0.1, seed }
+    }
+
+    /// Generate the directed multigraph (self-loops removed, parallel edges
+    /// kept — streaming partitioners consume raw edge streams).
+    pub fn generate(&self) -> Graph {
+        assert!(self.num_vertices >= 2, "R-MAT needs at least 2 vertices");
+        let levels = (usize::BITS - (self.num_vertices - 1).leading_zeros()) as usize;
+        let levels = levels.max(1);
+        let n = self.num_vertices as u64;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut edges = Vec::with_capacity(self.num_edges);
+        let RmatParams { a, b, c, d } = self.params;
+        while edges.len() < self.num_edges {
+            let (mut row, mut col) = (0u64, 0u64);
+            for _ in 0..levels {
+                // Perturb probabilities per level to avoid lattice artefacts.
+                let na = a * (1.0 - self.noise + 2.0 * self.noise * rng.gen::<f64>());
+                let nb = b * (1.0 - self.noise + 2.0 * self.noise * rng.gen::<f64>());
+                let nc = c * (1.0 - self.noise + 2.0 * self.noise * rng.gen::<f64>());
+                let nd = d * (1.0 - self.noise + 2.0 * self.noise * rng.gen::<f64>());
+                let total = na + nb + nc + nd;
+                let r = rng.gen::<f64>() * total;
+                row <<= 1;
+                col <<= 1;
+                if r < na {
+                    // quadrant a: (0,0)
+                } else if r < na + nb {
+                    col |= 1; // b: (0,1)
+                } else if r < na + nb + nc {
+                    row |= 1; // c: (1,0)
+                } else {
+                    row |= 1;
+                    col |= 1; // d: (1,1)
+                }
+            }
+            let src = (row % n) as u32;
+            let dst = (col % n) as u32;
+            if src != dst {
+                edges.push(Edge::new(src, dst));
+            }
+        }
+        Graph::new(self.num_vertices, edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ease_graph::DegreeTable;
+
+    #[test]
+    fn combos_match_table_ii() {
+        assert_eq!(RMAT_COMBOS.len(), 9);
+        for p in RMAT_COMBOS {
+            let sum = p.a + p.b + p.c + p.d;
+            assert!((sum - 1.0).abs() < 1e-9, "{p:?}");
+            assert!((p.d - 0.05).abs() < 1e-12);
+        }
+        // first four use c = 0.34, last five c = 0.19
+        assert!(RMAT_COMBOS[..4].iter().all(|p| (p.c - 0.34).abs() < 1e-12));
+        assert!(RMAT_COMBOS[4..].iter().all(|p| (p.c - 0.19).abs() < 1e-12));
+    }
+
+    #[test]
+    fn generates_requested_edge_count() {
+        let g = Rmat::new(RMAT_COMBOS[0], 1 << 10, 5_000, 7).generate();
+        assert_eq!(g.num_edges(), 5_000);
+        assert_eq!(g.num_vertices(), 1 << 10);
+        assert!(g.edges().iter().all(|e| !e.is_loop()));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = Rmat::new(RMAT_COMBOS[3], 512, 2_000, 42).generate();
+        let b = Rmat::new(RMAT_COMBOS[3], 512, 2_000, 42).generate();
+        assert_eq!(a.edges(), b.edges());
+        let c = Rmat::new(RMAT_COMBOS[3], 512, 2_000, 43).generate();
+        assert_ne!(a.edges(), c.edges());
+    }
+
+    #[test]
+    fn skewed_params_make_skewed_degrees() {
+        // C9 (a=0.70) should be much more skewed than C1 (a=0.35).
+        let flat = Rmat::new(RMAT_COMBOS[0], 1 << 11, 20_000, 1).generate();
+        let skew = Rmat::new(RMAT_COMBOS[8], 1 << 11, 20_000, 1).generate();
+        let d_flat = DegreeTable::compute(&flat).out_moments;
+        let d_skew = DegreeTable::compute(&skew).out_moments;
+        assert!(
+            d_skew.max > d_flat.max,
+            "skewed max {} vs flat max {}",
+            d_skew.max,
+            d_flat.max
+        );
+    }
+
+    #[test]
+    fn non_power_of_two_vertex_counts_fold_in_range() {
+        let g = Rmat::new(RMAT_COMBOS[5], 1_000, 3_000, 5).generate();
+        assert_eq!(g.num_vertices(), 1_000);
+        assert!(g
+            .edges()
+            .iter()
+            .all(|e| (e.src as usize) < 1_000 && (e.dst as usize) < 1_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn invalid_params_rejected() {
+        let _ = RmatParams::new(0.5, 0.5, 0.5, 0.5);
+    }
+}

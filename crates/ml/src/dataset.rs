@@ -1,0 +1,184 @@
+//! Row-major feature matrices and labelled datasets.
+
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+/// Dense row-major matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    data: Vec<f64>,
+    pub rows: usize,
+    pub cols: usize,
+}
+
+impl Matrix {
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { data: vec![0.0; rows * cols], rows, cols }
+    }
+
+    pub fn with_cols(cols: usize) -> Self {
+        Matrix { data: Vec::new(), rows: 0, cols }
+    }
+
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let cols = rows.first().map_or(0, Vec::len);
+        let mut m = Matrix::with_cols(cols);
+        for r in rows {
+            m.push_row(r);
+        }
+        m
+    }
+
+    pub fn push_row(&mut self, row: &[f64]) {
+        assert_eq!(row.len(), self.cols, "row width mismatch");
+        self.data.extend_from_slice(row);
+        self.rows += 1;
+    }
+
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.cols + j]
+    }
+
+    /// Select a subset of rows by index.
+    pub fn select(&self, indices: &[usize]) -> Matrix {
+        let mut m = Matrix::with_cols(self.cols);
+        for &i in indices {
+            m.push_row(self.row(i));
+        }
+        m
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+}
+
+/// A labelled dataset with named feature columns.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    pub feature_names: Vec<String>,
+    pub x: Matrix,
+    pub y: Vec<f64>,
+}
+
+impl Dataset {
+    pub fn new(feature_names: Vec<String>) -> Self {
+        let cols = feature_names.len();
+        Dataset { feature_names, x: Matrix::with_cols(cols), y: Vec::new() }
+    }
+
+    pub fn push(&mut self, row: &[f64], target: f64) {
+        self.x.push_row(row);
+        self.y.push(target);
+    }
+
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+
+    /// Subset by row indices.
+    pub fn select(&self, indices: &[usize]) -> Dataset {
+        Dataset {
+            feature_names: self.feature_names.clone(),
+            x: self.x.select(indices),
+            y: indices.iter().map(|&i| self.y[i]).collect(),
+        }
+    }
+
+    /// Append all rows of another dataset (same schema) — the enrichment
+    /// operation of paper Sec. V-D.
+    pub fn extend_from(&mut self, other: &Dataset) {
+        assert_eq!(self.feature_names, other.feature_names, "schema mismatch");
+        for i in 0..other.len() {
+            self.push(other.x.row(i), other.y[i]);
+        }
+    }
+
+    /// Write as CSV (features then `target` column).
+    pub fn write_csv(&self, path: &Path) -> io::Result<()> {
+        let f = std::fs::File::create(path)?;
+        let mut w = BufWriter::new(f);
+        writeln!(w, "{},target", self.feature_names.join(","))?;
+        for i in 0..self.len() {
+            let row: Vec<String> = self.x.row(i).iter().map(|v| format!("{v}")).collect();
+            writeln!(w, "{},{}", row.join(","), self.y[i])?;
+        }
+        w.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_row_access() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(m.rows, 2);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+        assert_eq!(m.get(0, 1), 2.0);
+    }
+
+    #[test]
+    fn matrix_select() {
+        let m = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]);
+        let s = m.select(&[2, 0]);
+        assert_eq!(s.row(0), &[3.0]);
+        assert_eq!(s.row(1), &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn push_row_checks_width() {
+        let mut m = Matrix::with_cols(2);
+        m.push_row(&[1.0]);
+    }
+
+    #[test]
+    fn dataset_push_and_select() {
+        let mut ds = Dataset::new(vec!["a".into(), "b".into()]);
+        ds.push(&[1.0, 2.0], 10.0);
+        ds.push(&[3.0, 4.0], 20.0);
+        let s = ds.select(&[1]);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.y, vec![20.0]);
+    }
+
+    #[test]
+    fn dataset_extend() {
+        let mut a = Dataset::new(vec!["f".into()]);
+        a.push(&[1.0], 1.0);
+        let mut b = Dataset::new(vec!["f".into()]);
+        b.push(&[2.0], 2.0);
+        a.extend_from(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.y, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn csv_round_shape() {
+        let mut ds = Dataset::new(vec!["a".into()]);
+        ds.push(&[1.5], 3.0);
+        let path = std::env::temp_dir().join(format!("ease_ml_ds_{}.csv", std::process::id()));
+        ds.write_csv(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.starts_with("a,target"));
+    }
+}

@@ -1,0 +1,106 @@
+//! Regression evaluation metrics (paper Sec. V-A).
+
+/// Root mean squared error: `sqrt(mean((y - ŷ)²))`.
+pub fn rmse(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len());
+    if y_true.is_empty() {
+        return 0.0;
+    }
+    let mse = y_true
+        .iter()
+        .zip(y_pred)
+        .map(|(t, p)| (t - p) * (t - p))
+        .sum::<f64>()
+        / y_true.len() as f64;
+    mse.sqrt()
+}
+
+/// Mean absolute percentage error with the paper's ε guard:
+/// `mean(|y − ŷ| / max(ε, |y|))`.
+pub fn mape(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len());
+    if y_true.is_empty() {
+        return 0.0;
+    }
+    const EPS: f64 = 1e-10;
+    y_true
+        .iter()
+        .zip(y_pred)
+        .map(|(t, p)| (t - p).abs() / t.abs().max(EPS))
+        .sum::<f64>()
+        / y_true.len() as f64
+}
+
+/// Mean absolute error.
+pub fn mae(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len());
+    if y_true.is_empty() {
+        return 0.0;
+    }
+    y_true.iter().zip(y_pred).map(|(t, p)| (t - p).abs()).sum::<f64>() / y_true.len() as f64
+}
+
+/// Coefficient of determination R².
+pub fn r2(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len());
+    if y_true.is_empty() {
+        return 0.0;
+    }
+    let mean = y_true.iter().sum::<f64>() / y_true.len() as f64;
+    let ss_tot: f64 = y_true.iter().map(|t| (t - mean) * (t - mean)).sum();
+    let ss_res: f64 = y_true.iter().zip(y_pred).map(|(t, p)| (t - p) * (t - p)).sum();
+    if ss_tot == 0.0 {
+        if ss_res == 0.0 {
+            1.0
+        } else {
+            f64::NEG_INFINITY
+        }
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction() {
+        let y = [1.0, 2.0, 3.0];
+        assert_eq!(rmse(&y, &y), 0.0);
+        assert_eq!(mape(&y, &y), 0.0);
+        assert_eq!(mae(&y, &y), 0.0);
+        assert_eq!(r2(&y, &y), 1.0);
+    }
+
+    #[test]
+    fn hand_computed_values() {
+        let t = [2.0, 4.0];
+        let p = [1.0, 6.0];
+        // errors: 1, 2 -> rmse = sqrt((1+4)/2)
+        assert!((rmse(&t, &p) - (2.5f64).sqrt()).abs() < 1e-12);
+        // mape = (0.5 + 0.5)/2
+        assert!((mape(&t, &p) - 0.5).abs() < 1e-12);
+        assert!((mae(&t, &p) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mape_guards_zero_targets() {
+        let v = mape(&[0.0], &[1.0]);
+        assert!(v.is_finite());
+        assert!(v > 1e9); // enormous but finite
+    }
+
+    #[test]
+    fn r2_of_mean_prediction_is_zero() {
+        let t = [1.0, 2.0, 3.0];
+        let p = [2.0, 2.0, 2.0];
+        assert!(r2(&t, &p).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs_are_zero() {
+        assert_eq!(rmse(&[], &[]), 0.0);
+        assert_eq!(mape(&[], &[]), 0.0);
+    }
+}

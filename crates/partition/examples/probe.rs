@@ -1,0 +1,23 @@
+//! Quick diagnostic: replication factors of all partitioners on two graphs.
+use ease_partition::{run_partitioner, PartitionerId};
+
+fn main() {
+    let rmat = ease_graphgen::rmat::Rmat::new(
+        ease_graphgen::rmat::RMAT_COMBOS[6],
+        1 << 11,
+        16_000,
+        5,
+    )
+    .generate();
+    let comm = ease_graphgen::community::CommunityGraph::new(2_000, 16_000, 0.04, 3).generate();
+    for (name, g) in [("rmat-c7", &rmat), ("community", &comm)] {
+        for k in [8, 16] {
+            print!("{name} k={k}: ");
+            for id in PartitionerId::ALL {
+                let r = run_partitioner(id, g, k, 1);
+                print!("{}={:.2} ", id.name(), r.metrics.replication_factor);
+            }
+            println!();
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! HDRF — High-Degree Replicated First (Petroni et al., CIKM 2015).
+//!
+//! Stateful streaming: tracks partial vertex degrees `δ(v)`, per-vertex
+//! replica sets `A(v)` and partition sizes. For each edge `(u, v)` it picks
+//! the partition maximizing
+//!
+//! ```text
+//! C(u,v,p) = C_REP(u,v,p) + λ · C_BAL(p)
+//! C_REP    = g(u,p) + g(v,p),  g(x,p) = [p ∈ A(x)] · (1 + 1 − θ(x))
+//! θ(x)     = δ(x) / (δ(u) + δ(v))
+//! C_BAL    = (maxsize − |p|) / (ε + maxsize − minsize)
+//! ```
+//!
+//! so the *lower*-degree endpoint dominates placement and high-degree
+//! vertices get replicated first. Replica sets are `u128` bitmasks
+//! (k ≤ 128), making the score loop branch-light.
+
+use crate::assignment::EdgePartition;
+use crate::{Partitioner, PartitionerId, MAX_PARTITIONS};
+use ease_graph::hash::SplitMix64;
+use ease_graph::Graph;
+
+/// HDRF with the standard balance weight λ = 1.1 (paper default).
+#[derive(Debug, Clone)]
+pub struct Hdrf {
+    pub lambda: f64,
+    seed: u64,
+}
+
+impl Hdrf {
+    pub fn new(seed: u64) -> Self {
+        Hdrf { lambda: 1.1, seed }
+    }
+
+    pub fn with_lambda(lambda: f64, seed: u64) -> Self {
+        Hdrf { lambda, seed }
+    }
+}
+
+impl Partitioner for Hdrf {
+    fn id(&self) -> PartitionerId {
+        PartitionerId::Hdrf
+    }
+
+    fn partition(&self, graph: &Graph, k: usize) -> EdgePartition {
+        assert!(k >= 1 && k <= MAX_PARTITIONS);
+        let mut state = HdrfState::new(graph.num_vertices(), k, self.lambda, self.seed);
+        let mut assignment = Vec::with_capacity(graph.num_edges());
+        for e in graph.edges() {
+            let p = state.place(e.src, e.dst);
+            assignment.push(p as u16);
+        }
+        EdgePartition::new(k, assignment)
+    }
+}
+
+/// Reusable streaming state — HEP's streaming phase drives it directly with
+/// pre-seeded replica sets.
+pub(crate) struct HdrfState {
+    pub degrees: Vec<u32>,
+    pub replicas: Vec<u128>,
+    pub sizes: Vec<usize>,
+    lambda: f64,
+    k: usize,
+    rng: SplitMix64,
+}
+
+impl HdrfState {
+    pub fn new(num_vertices: usize, k: usize, lambda: f64, seed: u64) -> Self {
+        HdrfState {
+            degrees: vec![0; num_vertices],
+            replicas: vec![0; num_vertices],
+            sizes: vec![0; k],
+            lambda,
+            k,
+            rng: SplitMix64::new(seed),
+        }
+    }
+
+    /// Pre-register a replica (used by HEP to carry phase-1 placements).
+    pub fn seed_replica(&mut self, v: u32, p: usize) {
+        self.replicas[v as usize] |= 1u128 << p;
+    }
+
+    /// Account an externally placed edge in the size table.
+    pub fn seed_size(&mut self, p: usize, count: usize) {
+        self.sizes[p] += count;
+    }
+
+    /// Place one edge, updating all state. Returns the chosen partition.
+    pub fn place(&mut self, src: u32, dst: u32) -> usize {
+        let (su, sv) = (src as usize, dst as usize);
+        self.degrees[su] += 1;
+        self.degrees[sv] += 1;
+        let (du, dv) = (f64::from(self.degrees[su]), f64::from(self.degrees[sv]));
+        let theta_u = du / (du + dv);
+        let theta_v = 1.0 - theta_u;
+        let max_size = self.sizes.iter().copied().max().unwrap_or(0) as f64;
+        let min_size = self.sizes.iter().copied().min().unwrap_or(0) as f64;
+        let denom = 1e-3 + (max_size - min_size);
+        let (ru, rv) = (self.replicas[su], self.replicas[sv]);
+        let mut best_p = 0usize;
+        let mut best_score = f64::NEG_INFINITY;
+        let mut ties = 0u32;
+        for p in 0..self.k {
+            let bit = 1u128 << p;
+            let mut c_rep = 0.0;
+            if ru & bit != 0 {
+                c_rep += 1.0 + (1.0 - theta_u);
+            }
+            if rv & bit != 0 {
+                c_rep += 1.0 + (1.0 - theta_v);
+            }
+            let c_bal = self.lambda * (max_size - self.sizes[p] as f64) / denom;
+            let score = c_rep + c_bal;
+            if score > best_score + 1e-12 {
+                best_score = score;
+                best_p = p;
+                ties = 1;
+            } else if (score - best_score).abs() <= 1e-12 {
+                // reservoir-style random tie-break keeps placement unbiased
+                ties += 1;
+                if self.rng.next_below(ties as usize) == 0 {
+                    best_p = p;
+                }
+            }
+        }
+        self.replicas[su] |= 1u128 << best_p;
+        self.replicas[sv] |= 1u128 << best_p;
+        self.sizes[best_p] += 1;
+        best_p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hashing::OneD;
+    use crate::metrics::QualityMetrics;
+    use ease_graphgen::rmat::{Rmat, RMAT_COMBOS};
+
+    #[test]
+    fn assigns_all_edges_in_range() {
+        let g = Rmat::new(RMAT_COMBOS[2], 512, 4_000, 1).generate();
+        let p = Hdrf::new(7).partition(&g, 16);
+        assert_eq!(p.num_edges(), 4_000);
+        assert!(p.assignment().iter().all(|&x| x < 16));
+    }
+
+    #[test]
+    fn beats_stateless_hashing_on_replication() {
+        let g = Rmat::new(RMAT_COMBOS[6], 1 << 11, 16_000, 3).generate();
+        let hdrf = QualityMetrics::compute(&g, &Hdrf::new(5).partition(&g, 32));
+        let oned = QualityMetrics::compute(&g, &OneD::destination(5).partition(&g, 32));
+        assert!(
+            hdrf.replication_factor < oned.replication_factor,
+            "hdrf {} vs 1dd {}",
+            hdrf.replication_factor,
+            oned.replication_factor
+        );
+    }
+
+    #[test]
+    fn keeps_edges_balanced() {
+        let g = Rmat::new(RMAT_COMBOS[8], 1 << 11, 20_000, 9).generate();
+        let m = QualityMetrics::compute(&g, &Hdrf::new(1).partition(&g, 8));
+        assert!(m.edge_balance < 1.2, "edge balance {}", m.edge_balance);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = Rmat::new(RMAT_COMBOS[0], 256, 2_000, 2).generate();
+        let a = Hdrf::new(11).partition(&g, 8);
+        let b = Hdrf::new(11).partition(&g, 8);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn lambda_zero_chases_locality_over_balance() {
+        let g = Rmat::new(RMAT_COMBOS[4], 1 << 10, 10_000, 4).generate();
+        let greedy = QualityMetrics::compute(&g, &Hdrf::with_lambda(0.01, 3).partition(&g, 8));
+        let balanced = QualityMetrics::compute(&g, &Hdrf::with_lambda(5.0, 3).partition(&g, 8));
+        // with strong balance pressure, edge balance improves
+        assert!(balanced.edge_balance <= greedy.edge_balance + 0.05);
+        // with weak balance pressure, replication improves
+        assert!(greedy.replication_factor <= balanced.replication_factor + 0.05);
+    }
+
+    #[test]
+    fn k_equals_one_trivially_works() {
+        let g = Rmat::new(RMAT_COMBOS[0], 128, 500, 6).generate();
+        let p = Hdrf::new(1).partition(&g, 1);
+        assert!(p.assignment().iter().all(|&x| x == 0));
+    }
+}

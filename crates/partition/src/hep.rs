@@ -1,0 +1,172 @@
+//! HEP — Hybrid Edge Partitioner (Mayer & Jacobsen, SIGMOD 2021).
+//!
+//! Splits the work by vertex degree: edges incident to at least one
+//! *low-degree* vertex (degree ≤ τ · mean degree) are partitioned in memory
+//! with neighborhood expansion; the remaining high-degree core is streamed
+//! with HDRF scoring that is *aware of the phase-1 replica placement*.
+//!
+//! τ controls the memory/quality trade-off and the paper treats each
+//! setting as a separate partitioner: HEP-1 streams the hub core (fast,
+//! lower quality), HEP-100 keeps nearly everything in memory (≈ NE quality,
+//! slower). Exactly as in the paper (Sec. IV-B2 and V-C).
+
+use crate::assignment::EdgePartition;
+use crate::hdrf::HdrfState;
+use crate::ne::neighborhood_expansion;
+use crate::{Partitioner, PartitionerId, MAX_PARTITIONS};
+use ease_graph::Graph;
+
+#[derive(Debug, Clone)]
+pub struct Hep {
+    /// Degree threshold multiplier τ.
+    pub tau: f64,
+    seed: u64,
+}
+
+impl Hep {
+    pub fn new(tau: f64, seed: u64) -> Self {
+        assert!(tau > 0.0);
+        Hep { tau, seed }
+    }
+
+    fn id_for_tau(&self) -> PartitionerId {
+        if self.tau <= 1.0 {
+            PartitionerId::Hep1
+        } else if self.tau <= 10.0 {
+            PartitionerId::Hep10
+        } else {
+            PartitionerId::Hep100
+        }
+    }
+}
+
+impl Partitioner for Hep {
+    fn id(&self) -> PartitionerId {
+        self.id_for_tau()
+    }
+
+    fn partition(&self, graph: &Graph, k: usize) -> EdgePartition {
+        assert!(k >= 1 && k <= MAX_PARTITIONS);
+        let m = graph.num_edges();
+        if m == 0 {
+            return EdgePartition::new(k, Vec::new());
+        }
+        let degrees = graph.total_degrees();
+        let used = degrees.iter().filter(|&&d| d > 0).count().max(1);
+        let mean_degree = 2.0 * m as f64 / used as f64;
+        let threshold = (self.tau * mean_degree).max(1.0);
+        // Phase split: only edges between two *low*-degree vertices are kept
+        // in memory (this is where HEP's memory savings come from — hubs and
+        // all their incident edges never enter the in-memory graph). Any
+        // edge touching a high-degree vertex is streamed in phase 2.
+        let eligible: Vec<bool> = graph
+            .edges()
+            .iter()
+            .map(|e| {
+                f64::from(degrees[e.src as usize]) <= threshold
+                    && f64::from(degrees[e.dst as usize]) <= threshold
+            })
+            .collect();
+        let capacity = m.div_ceil(k).max(1);
+        // ---- phase 1: in-memory neighborhood expansion on the low part ----
+        let ex = neighborhood_expansion(graph, k, capacity, Some(&eligible), false, self.seed);
+        let mut assignment = ex.assignment;
+        // ---- phase 2: stream the high-degree core with placement-aware HDRF
+        let mut state = HdrfState::new(graph.num_vertices(), k, 1.1, self.seed ^ 0x48E5);
+        for (p, &count) in ex.sizes.iter().enumerate() {
+            state.seed_size(p, count);
+        }
+        for (i, e) in graph.edges().iter().enumerate() {
+            if ex.assigned[i] {
+                let p = assignment[i] as usize;
+                state.seed_replica(e.src, p);
+                state.seed_replica(e.dst, p);
+            }
+        }
+        for (i, e) in graph.edges().iter().enumerate() {
+            if !ex.assigned[i] {
+                assignment[i] = state.place(e.src, e.dst) as u16;
+            }
+        }
+        EdgePartition::new(k, assignment)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hashing::OneD;
+    use crate::metrics::QualityMetrics;
+    use crate::ne::Ne;
+    use ease_graphgen::rmat::{Rmat, RMAT_COMBOS};
+
+    fn test_graph() -> Graph {
+        Rmat::new(RMAT_COMBOS[6], 1 << 11, 16_000, 5).generate()
+    }
+
+    #[test]
+    fn tau_maps_to_distinct_partitioner_ids() {
+        assert_eq!(Hep::new(1.0, 0).id(), PartitionerId::Hep1);
+        assert_eq!(Hep::new(10.0, 0).id(), PartitionerId::Hep10);
+        assert_eq!(Hep::new(100.0, 0).id(), PartitionerId::Hep100);
+    }
+
+    #[test]
+    fn assigns_all_edges() {
+        let g = test_graph();
+        for tau in [1.0, 10.0, 100.0] {
+            let p = Hep::new(tau, 3).partition(&g, 8);
+            assert_eq!(p.num_edges(), g.num_edges());
+            assert!(p.assignment().iter().all(|&x| x < 8), "tau={tau}");
+        }
+    }
+
+    #[test]
+    fn quality_improves_with_tau() {
+        let g = test_graph();
+        let rf = |tau: f64| {
+            QualityMetrics::compute(&g, &Hep::new(tau, 1).partition(&g, 16)).replication_factor
+        };
+        let (rf1, rf100) = (rf(1.0), rf(100.0));
+        assert!(
+            rf100 <= rf1 * 1.05,
+            "hep-100 rf {rf100} should not trail hep-1 rf {rf1}"
+        );
+    }
+
+    #[test]
+    fn hep100_close_to_ne() {
+        let g = test_graph();
+        let hep = QualityMetrics::compute(&g, &Hep::new(100.0, 1).partition(&g, 8));
+        let ne = QualityMetrics::compute(&g, &Ne::new(1).partition(&g, 8));
+        assert!(
+            hep.replication_factor < 1.5 * ne.replication_factor,
+            "hep100 {} vs ne {}",
+            hep.replication_factor,
+            ne.replication_factor
+        );
+    }
+
+    #[test]
+    fn beats_stateless_hashing() {
+        let g = test_graph();
+        for tau in [1.0, 10.0, 100.0] {
+            let hep = QualityMetrics::compute(&g, &Hep::new(tau, 2).partition(&g, 16));
+            let hash = QualityMetrics::compute(&g, &OneD::destination(2).partition(&g, 16));
+            assert!(
+                hep.replication_factor < hash.replication_factor,
+                "tau={tau}: hep {} vs 1dd {}",
+                hep.replication_factor,
+                hash.replication_factor
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = Rmat::new(RMAT_COMBOS[0], 512, 3_000, 7).generate();
+        let a = Hep::new(10.0, 5).partition(&g, 4);
+        let b = Hep::new(10.0, 5).partition(&g, 4);
+        assert_eq!(a, b);
+    }
+}

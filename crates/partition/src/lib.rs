@@ -1,0 +1,195 @@
+//! Edge partitioners and partitioning quality metrics.
+//!
+//! Implements the 11 partitioners of the paper's evaluation (Sec. V-C),
+//! covering all four categories of the taxonomy in Sec. I:
+//!
+//! * **Stateless streaming** — `1DD`, `1DS` (1-dimensional destination /
+//!   source hashing), `2D` (grid hashing), `CRVC` (canonical random vertex
+//!   cut), `DBH` (degree-based hashing).
+//! * **Stateful streaming** — `HDRF` (high-degree replicated first),
+//!   `2PS` (two-phase streaming: clustering then placement).
+//! * **In-memory** — `NE` (neighborhood expansion).
+//! * **Hybrid** — `HEP-τ` for τ ∈ {1, 10, 100} (in-memory NE on the
+//!   low-degree part, streaming on the rest); each τ is treated as its own
+//!   partitioner, exactly as the paper does.
+//!
+//! The [`metrics`] module computes the five quality metrics of Sec. II-A:
+//! replication factor and the edge/vertex/source/destination balances.
+
+pub mod assignment;
+pub mod hashing;
+pub mod hdrf;
+pub mod hep;
+pub mod metrics;
+pub mod ne;
+pub mod runner;
+pub mod two_ps;
+
+pub use assignment::EdgePartition;
+pub use metrics::{QualityMetrics, QualityTarget};
+pub use runner::{run_partitioner, PartitionRun};
+
+use ease_graph::Graph;
+
+/// Taxonomy of partitioner categories (paper Sec. I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Category {
+    StatelessStreaming,
+    StatefulStreaming,
+    InMemory,
+    Hybrid,
+}
+
+impl Category {
+    pub fn name(self) -> &'static str {
+        match self {
+            Category::StatelessStreaming => "stateless-streaming",
+            Category::StatefulStreaming => "stateful-streaming",
+            Category::InMemory => "in-memory",
+            Category::Hybrid => "hybrid",
+        }
+    }
+}
+
+/// The 11 partitioners of the paper, named as in its figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PartitionerId {
+    OneDD,
+    OneDS,
+    TwoD,
+    TwoPs,
+    Crvc,
+    Dbh,
+    Hdrf,
+    Hep1,
+    Hep10,
+    Hep100,
+    Ne,
+}
+
+impl PartitionerId {
+    /// All partitioners in the column order of the paper's Fig. 7 heatmaps.
+    pub const ALL: [PartitionerId; 11] = [
+        PartitionerId::OneDD,
+        PartitionerId::OneDS,
+        PartitionerId::TwoD,
+        PartitionerId::TwoPs,
+        PartitionerId::Crvc,
+        PartitionerId::Dbh,
+        PartitionerId::Hdrf,
+        PartitionerId::Hep1,
+        PartitionerId::Hep10,
+        PartitionerId::Hep100,
+        PartitionerId::Ne,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            PartitionerId::OneDD => "1dd",
+            PartitionerId::OneDS => "1ds",
+            PartitionerId::TwoD => "2d",
+            PartitionerId::TwoPs => "2ps",
+            PartitionerId::Crvc => "crvc",
+            PartitionerId::Dbh => "dbh",
+            PartitionerId::Hdrf => "hdrf",
+            PartitionerId::Hep1 => "hep1",
+            PartitionerId::Hep10 => "hep10",
+            PartitionerId::Hep100 => "hep100",
+            PartitionerId::Ne => "ne",
+        }
+    }
+
+    pub fn category(self) -> Category {
+        match self {
+            PartitionerId::OneDD
+            | PartitionerId::OneDS
+            | PartitionerId::TwoD
+            | PartitionerId::Crvc
+            | PartitionerId::Dbh => Category::StatelessStreaming,
+            PartitionerId::TwoPs | PartitionerId::Hdrf => Category::StatefulStreaming,
+            PartitionerId::Ne => Category::InMemory,
+            PartitionerId::Hep1 | PartitionerId::Hep10 | PartitionerId::Hep100 => Category::Hybrid,
+        }
+    }
+
+    /// Index into [`Self::ALL`] (stable across the workspace — used for
+    /// one-hot encoding in the ML feature builder).
+    pub fn index(self) -> usize {
+        Self::ALL.iter().position(|&p| p == self).expect("id in ALL")
+    }
+
+    /// Parse a paper-style name.
+    pub fn parse(s: &str) -> Option<PartitionerId> {
+        Self::ALL.iter().copied().find(|p| p.name() == s.to_ascii_lowercase())
+    }
+
+    /// Instantiate the partitioner with a hash/tie-breaking seed.
+    pub fn build(self, seed: u64) -> Box<dyn Partitioner> {
+        match self {
+            PartitionerId::OneDD => Box::new(hashing::OneD::destination(seed)),
+            PartitionerId::OneDS => Box::new(hashing::OneD::source(seed)),
+            PartitionerId::TwoD => Box::new(hashing::TwoD::new(seed)),
+            PartitionerId::Crvc => Box::new(hashing::Crvc::new(seed)),
+            PartitionerId::Dbh => Box::new(hashing::Dbh::new(seed)),
+            PartitionerId::Hdrf => Box::new(hdrf::Hdrf::new(seed)),
+            PartitionerId::TwoPs => Box::new(two_ps::TwoPs::new(seed)),
+            PartitionerId::Ne => Box::new(ne::Ne::new(seed)),
+            PartitionerId::Hep1 => Box::new(hep::Hep::new(1.0, seed)),
+            PartitionerId::Hep10 => Box::new(hep::Hep::new(10.0, seed)),
+            PartitionerId::Hep100 => Box::new(hep::Hep::new(100.0, seed)),
+        }
+    }
+}
+
+/// An edge partitioner: assigns every edge of a graph to one of `k`
+/// partitions. Implementations must be deterministic for a fixed seed.
+pub trait Partitioner: Send + Sync {
+    fn id(&self) -> PartitionerId;
+
+    /// Partition the edges of `graph` into `k` parts (`1 ≤ k ≤ 128`).
+    fn partition(&self, graph: &Graph, k: usize) -> EdgePartition;
+}
+
+/// Maximum supported partition count (replica sets are u128 bitmasks; the
+/// paper's largest K is also 128).
+pub const MAX_PARTITIONS: usize = 128;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eleven_partitioners() {
+        assert_eq!(PartitionerId::ALL.len(), 11);
+        let names: std::collections::HashSet<_> =
+            PartitionerId::ALL.iter().map(|p| p.name()).collect();
+        assert_eq!(names.len(), 11);
+    }
+
+    #[test]
+    fn category_taxonomy_matches_paper() {
+        use Category::*;
+        assert_eq!(PartitionerId::OneDD.category(), StatelessStreaming);
+        assert_eq!(PartitionerId::Dbh.category(), StatelessStreaming);
+        assert_eq!(PartitionerId::Hdrf.category(), StatefulStreaming);
+        assert_eq!(PartitionerId::TwoPs.category(), StatefulStreaming);
+        assert_eq!(PartitionerId::Ne.category(), InMemory);
+        assert_eq!(PartitionerId::Hep10.category(), Hybrid);
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        for p in PartitionerId::ALL {
+            assert_eq!(PartitionerId::parse(p.name()), Some(p));
+        }
+        assert_eq!(PartitionerId::parse("HDRF"), Some(PartitionerId::Hdrf));
+        assert_eq!(PartitionerId::parse("metis"), None);
+    }
+
+    #[test]
+    fn index_is_position_in_all() {
+        for (i, p) in PartitionerId::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+        }
+    }
+}

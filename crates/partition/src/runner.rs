@@ -1,0 +1,84 @@
+//! Timed partitioner execution — the measurement step of the EASE training
+//! pipeline (Fig. 5, step 2): run a partitioner, record quality metrics and
+//! the *actual* partitioning run-time.
+//!
+//! Run-times are wall-clock measurements of this crate's implementations,
+//! which preserves the real trade-off the paper studies: in-memory NE costs
+//! orders of magnitude more time than one-pass hashing, with 2PS/HDRF/HEP
+//! in between.
+
+use crate::assignment::EdgePartition;
+use crate::metrics::QualityMetrics;
+use crate::PartitionerId;
+use ease_graph::Graph;
+use std::time::Instant;
+
+/// One profiled partitioning execution.
+#[derive(Debug, Clone)]
+pub struct PartitionRun {
+    pub partitioner: PartitionerId,
+    pub k: usize,
+    pub metrics: QualityMetrics,
+    pub partition: EdgePartition,
+    /// Wall-clock seconds spent inside `Partitioner::partition`.
+    pub partitioning_secs: f64,
+}
+
+/// Execute `partitioner` on `graph` with `k` partitions and measure
+/// run-time + quality metrics.
+pub fn run_partitioner(
+    partitioner: PartitionerId,
+    graph: &Graph,
+    k: usize,
+    seed: u64,
+) -> PartitionRun {
+    let p = partitioner.build(seed);
+    let start = Instant::now();
+    let partition = p.partition(graph, k);
+    let partitioning_secs = start.elapsed().as_secs_f64();
+    let metrics = QualityMetrics::compute(graph, &partition);
+    PartitionRun { partitioner, k, metrics, partition, partitioning_secs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ease_graphgen::rmat::{Rmat, RMAT_COMBOS};
+
+    #[test]
+    fn run_produces_consistent_record() {
+        let g = Rmat::new(RMAT_COMBOS[3], 512, 3_000, 1).generate();
+        let run = run_partitioner(PartitionerId::Dbh, &g, 8, 42);
+        assert_eq!(run.partitioner, PartitionerId::Dbh);
+        assert_eq!(run.k, 8);
+        assert_eq!(run.partition.num_edges(), g.num_edges());
+        assert!(run.partitioning_secs >= 0.0);
+        assert!(run.metrics.replication_factor >= 1.0);
+    }
+
+    #[test]
+    fn all_eleven_partitioners_run_end_to_end() {
+        let g = Rmat::new(RMAT_COMBOS[5], 512, 4_000, 2).generate();
+        for id in PartitionerId::ALL {
+            let run = run_partitioner(id, &g, 4, 7);
+            assert_eq!(run.partition.num_edges(), g.num_edges(), "{id:?}");
+            assert!(run.metrics.edge_balance >= 1.0, "{id:?}");
+            assert!(run.metrics.vertex_balance >= 1.0, "{id:?}");
+        }
+    }
+
+    #[test]
+    fn in_memory_costs_more_time_than_hashing() {
+        // The central trade-off of the paper's Sec. III: NE is slower to
+        // partition than stateless hashing. Use a graph large enough for the
+        // signal to dominate timer noise.
+        let g = Rmat::new(RMAT_COMBOS[6], 1 << 12, 60_000, 3).generate();
+        let fast: f64 = (0..3)
+            .map(|s| run_partitioner(PartitionerId::OneDD, &g, 8, s).partitioning_secs)
+            .sum();
+        let slow: f64 = (0..3)
+            .map(|s| run_partitioner(PartitionerId::Ne, &g, 8, s).partitioning_secs)
+            .sum();
+        assert!(slow > fast, "ne {slow} vs 1dd {fast}");
+    }
+}

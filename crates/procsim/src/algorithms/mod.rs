@@ -1,0 +1,22 @@
+//! The graph processing algorithms of the paper's evaluation (Sec. V-C):
+//! PageRank, Connected Components, Single-Source Shortest Paths, K-Cores,
+//! the two synthetic communication workloads, plus Label Propagation for
+//! the Sec. III showcase.
+//!
+//! Each algorithm is a [`crate::engine::VertexProgram`] with calibrated cost
+//! constants; all of them produce *correct* outputs (unit-tested against
+//! single-machine references).
+
+pub mod cc;
+pub mod kcores;
+pub mod label_prop;
+pub mod pagerank;
+pub mod sssp;
+pub mod synthetic;
+
+pub use cc::ConnectedComponents;
+pub use kcores::KCores;
+pub use label_prop::LabelPropagation;
+pub use pagerank::PageRank;
+pub use sssp::Sssp;
+pub use synthetic::Synthetic;

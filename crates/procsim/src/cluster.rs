@@ -1,0 +1,74 @@
+//! Cluster cost-model parameters.
+
+/// Simulated cluster. One machine hosts one edge partition, as in the
+/// paper's Spark/GraphX deployments (64 machines / 64 partitions for Fig. 1,
+/// 4 machines / 4 partitions for the training runs).
+///
+/// The default rates are calibrated for the workspace's ~1000×-scaled
+/// graphs: they are deliberately "slow" so that a scaled graph produces the
+/// same compute-vs-communication regime as the paper's billion-edge graphs
+/// on real hardware — per-superstep times are dominated by work and bytes,
+/// not by the barrier latency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterSpec {
+    /// Number of machines (must equal the partition count of the graph).
+    pub machines: usize,
+    /// Compute throughput per machine, in cost units per second
+    /// (one unit ≈ one edge traversal).
+    pub compute_units_per_sec: f64,
+    /// Network throughput per machine, bytes per second.
+    pub bytes_per_sec: f64,
+    /// Fixed per-superstep barrier/scheduling latency, seconds.
+    pub superstep_latency_secs: f64,
+}
+
+impl ClusterSpec {
+    /// Default calibration for `machines` machines.
+    pub fn new(machines: usize) -> Self {
+        assert!(machines >= 1);
+        ClusterSpec {
+            machines,
+            compute_units_per_sec: 2.0e6,
+            bytes_per_sec: 2.0e6,
+            superstep_latency_secs: 0.002,
+        }
+    }
+
+    /// Seconds to compute `units` of work on one machine.
+    #[inline]
+    pub fn compute_secs(&self, units: f64) -> f64 {
+        units / self.compute_units_per_sec
+    }
+
+    /// Seconds to move `bytes` through one machine's NIC.
+    #[inline]
+    pub fn network_secs(&self, bytes: f64) -> f64 {
+        bytes / self.bytes_per_sec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_rates_positive() {
+        let c = ClusterSpec::new(4);
+        assert_eq!(c.machines, 4);
+        assert!(c.compute_units_per_sec > 0.0);
+        assert!(c.bytes_per_sec > 0.0);
+    }
+
+    #[test]
+    fn conversion_math() {
+        let c = ClusterSpec::new(2);
+        assert!((c.compute_secs(c.compute_units_per_sec) - 1.0).abs() < 1e-12);
+        assert!((c.network_secs(c.bytes_per_sec) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_machines_rejected() {
+        let _ = ClusterSpec::new(0);
+    }
+}

@@ -1,0 +1,33 @@
+//! Distributed vertex-cut graph processing engine with an explicit cluster
+//! cost model — the substitute for the paper's Spark/GraphX cluster
+//! (DESIGN.md §2.1).
+//!
+//! The engine executes vertex programs **for real** (PageRank ranks,
+//! component ids, distances, core numbers and labels are all correct and
+//! testable) over a graph that has been edge-partitioned across `k`
+//! simulated machines. While executing, it charges a cost ledger modelled on
+//! the PowerGraph/GraphX vertex-cut architecture:
+//!
+//! * masters broadcast vertex state to mirrors (bytes ∝ replication factor),
+//! * each machine gathers along its local edges (compute ∝ local edges),
+//! * mirrors pre-aggregate and ship accumulators back to masters
+//!   (bytes + compute ∝ local vertex replicas),
+//! * a superstep ends at a barrier: its wall time is the *maximum* over
+//!   machines of compute time plus the maximum of network time plus a fixed
+//!   latency — which is precisely how poor edge/vertex balance creates
+//!   stragglers.
+//!
+//! This reproduces the paper's empirical structure: replication factor
+//! drives communication-bound workloads (PageRank, Synthetic-High), vertex
+//! balance drives computation-bound workloads (Label Propagation).
+
+pub mod algorithms;
+pub mod cluster;
+pub mod engine;
+pub mod placement;
+pub mod workload;
+
+pub use cluster::ClusterSpec;
+pub use engine::{SimReport, VertexProgram};
+pub use placement::DistributedGraph;
+pub use workload::Workload;

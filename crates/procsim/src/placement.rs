@@ -1,0 +1,204 @@
+//! Placement of an edge-partitioned graph onto simulated machines.
+
+use ease_graph::{Edge, Graph};
+use ease_partition::EdgePartition;
+
+/// One machine's slice of the graph.
+#[derive(Debug, Clone)]
+pub struct PartitionData {
+    /// Local edges (global vertex ids).
+    pub edges: Vec<Edge>,
+    /// Sorted global ids of vertices covered by this partition.
+    pub vertices: Vec<u32>,
+    /// For each local edge: local index (into `vertices`) of its source.
+    pub edge_src_local: Vec<u32>,
+    /// For each local edge: local index of its destination.
+    pub edge_dst_local: Vec<u32>,
+}
+
+/// A graph distributed over `k` machines by a vertex-cut edge partitioning,
+/// mirroring the PowerGraph/GraphX placement model: each covered vertex has
+/// one *master* replica (lowest covering partition) and mirrors elsewhere.
+#[derive(Debug, Clone)]
+pub struct DistributedGraph {
+    parts: Vec<PartitionData>,
+    /// Master partition per vertex (`u16::MAX` for vertices with no edges).
+    master: Vec<u16>,
+    /// Covering-partition bitmask per vertex.
+    replicas: Vec<u128>,
+    /// Global out-degree per vertex (for PageRank-style normalization).
+    out_degree: Vec<u32>,
+    /// Global undirected degree per vertex (for K-Cores / LP semantics).
+    total_degree: Vec<u32>,
+    num_vertices: usize,
+}
+
+pub const NO_MASTER: u16 = u16::MAX;
+
+impl DistributedGraph {
+    pub fn build(graph: &Graph, partition: &EdgePartition) -> Self {
+        assert_eq!(graph.num_edges(), partition.num_edges());
+        let k = partition.num_partitions();
+        assert!(k <= 128, "replica masks are u128");
+        let n = graph.num_vertices();
+        let mut replicas = vec![0u128; n];
+        let mut part_edges: Vec<Vec<Edge>> = vec![Vec::new(); k];
+        for (i, e) in graph.edges().iter().enumerate() {
+            let p = partition.partition_of(i);
+            part_edges[p].push(*e);
+            replicas[e.src as usize] |= 1 << p;
+            replicas[e.dst as usize] |= 1 << p;
+        }
+        // Master replica: a deterministic hash-spread pick among the
+        // covering partitions (GraphX hash-partitions vertex state
+        // independently of edges; picking the lowest partition would pile
+        // all master-side apply work onto machine 0).
+        let mut master = vec![NO_MASTER; n];
+        for (v, &mask) in replicas.iter().enumerate() {
+            if mask != 0 {
+                let r = mask.count_ones();
+                let pick = (ease_graph::hash::hash_vertex(v as u32, 0x5A57E12) % u64::from(r)) as u32;
+                let mut m = mask;
+                for _ in 0..pick {
+                    m &= m - 1;
+                }
+                master[v] = m.trailing_zeros() as u16;
+            }
+        }
+        let parts = part_edges
+            .into_iter()
+            .map(|edges| {
+                let mut vertices: Vec<u32> = edges
+                    .iter()
+                    .flat_map(|e| [e.src, e.dst])
+                    .collect();
+                vertices.sort_unstable();
+                vertices.dedup();
+                let local = |v: u32| -> u32 {
+                    vertices.binary_search(&v).expect("covered vertex") as u32
+                };
+                let edge_src_local = edges.iter().map(|e| local(e.src)).collect();
+                let edge_dst_local = edges.iter().map(|e| local(e.dst)).collect();
+                PartitionData { edges, vertices, edge_src_local, edge_dst_local }
+            })
+            .collect();
+        DistributedGraph {
+            parts,
+            master,
+            replicas,
+            out_degree: graph.out_degrees(),
+            total_degree: graph.total_degrees(),
+            num_vertices: n,
+        }
+    }
+
+    #[inline]
+    pub fn num_partitions(&self) -> usize {
+        self.parts.len()
+    }
+
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    #[inline]
+    pub fn partition(&self, p: usize) -> &PartitionData {
+        &self.parts[p]
+    }
+
+    #[inline]
+    pub fn master_of(&self, v: u32) -> u16 {
+        self.master[v as usize]
+    }
+
+    /// Number of partitions covering `v`.
+    #[inline]
+    pub fn replica_count(&self, v: u32) -> u32 {
+        self.replicas[v as usize].count_ones()
+    }
+
+    #[inline]
+    pub fn replica_mask(&self, v: u32) -> u128 {
+        self.replicas[v as usize]
+    }
+
+    #[inline]
+    pub fn out_degree(&self, v: u32) -> u32 {
+        self.out_degree[v as usize]
+    }
+
+    #[inline]
+    pub fn total_degree(&self, v: u32) -> u32 {
+        self.total_degree[v as usize]
+    }
+
+    /// Total number of vertex replicas (Σ_p |V(p)|).
+    pub fn total_replicas(&self) -> usize {
+        self.parts.iter().map(|p| p.vertices.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ease_graph::Graph;
+    use ease_partition::EdgePartition;
+
+    fn toy() -> (Graph, EdgePartition) {
+        let g = Graph::from_pairs([(0, 1), (1, 2), (2, 0), (2, 3)]);
+        let p = EdgePartition::new(2, vec![0, 0, 1, 1]);
+        (g, p)
+    }
+
+    #[test]
+    fn local_structures_consistent() {
+        let (g, p) = toy();
+        let dg = DistributedGraph::build(&g, &p);
+        assert_eq!(dg.num_partitions(), 2);
+        let p0 = dg.partition(0);
+        assert_eq!(p0.vertices, vec![0, 1, 2]);
+        assert_eq!(p0.edges.len(), 2);
+        // local index arrays point at the right globals
+        for (i, e) in p0.edges.iter().enumerate() {
+            assert_eq!(p0.vertices[p0.edge_src_local[i] as usize], e.src);
+            assert_eq!(p0.vertices[p0.edge_dst_local[i] as usize], e.dst);
+        }
+    }
+
+    #[test]
+    fn masters_are_covering_and_deterministic() {
+        let (g, p) = toy();
+        let dg = DistributedGraph::build(&g, &p);
+        // master must be one of the covering partitions
+        for v in 0..4u32 {
+            let m = dg.master_of(v);
+            assert!(dg.replica_mask(v) & (1 << m) != 0, "vertex {v}");
+        }
+        assert_eq!(dg.master_of(3), 1); // only covered by partition 1
+        assert_eq!(dg.replica_count(0), 2);
+        assert_eq!(dg.replica_count(3), 1);
+        // determinism
+        let dg2 = DistributedGraph::build(&g, &p);
+        for v in 0..4u32 {
+            assert_eq!(dg.master_of(v), dg2.master_of(v));
+        }
+    }
+
+    #[test]
+    fn isolated_vertices_have_no_master() {
+        let g = Graph::new(5, vec![Edge::new(0, 1)]);
+        let p = EdgePartition::new(2, vec![0]);
+        let dg = DistributedGraph::build(&g, &p);
+        assert_eq!(dg.master_of(4), NO_MASTER);
+        assert_eq!(dg.replica_count(4), 0);
+    }
+
+    #[test]
+    fn total_replicas_matches_metric_numerator() {
+        let (g, p) = toy();
+        let dg = DistributedGraph::build(&g, &p);
+        // partition 0 covers {0,1,2}, partition 1 covers {0,2,3}
+        assert_eq!(dg.total_replicas(), 6);
+    }
+}

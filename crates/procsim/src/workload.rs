@@ -1,0 +1,167 @@
+//! Workload catalog — the graph processing algorithms used to train and
+//! evaluate EASE's ProcessingTimePredictor.
+
+use crate::algorithms::{
+    ConnectedComponents, KCores, LabelPropagation, PageRank, Sssp, Synthetic,
+};
+use crate::cluster::ClusterSpec;
+use crate::engine::{run, SimReport};
+use crate::placement::DistributedGraph;
+
+/// A graph processing workload with the paper's parametrization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Workload {
+    /// PageRank, fixed iterations (training runs use 10).
+    PageRank { iterations: usize },
+    ConnectedComponents,
+    /// SSSP from a pseudo-random seed vertex.
+    Sssp { source_seed: u64 },
+    /// K-Cores with k = ⌈mean degree⌉.
+    KCores,
+    /// Label Propagation, fixed iterations (showcase algorithm of Fig. 2).
+    LabelPropagation { iterations: usize },
+    /// Synthetic workload with feature width `s` (1 = low, 10 = high).
+    Synthetic { s: usize, iterations: usize },
+}
+
+impl Workload {
+    /// The six training workloads of the paper (Sec. V-C), in Table V order.
+    pub fn all_training() -> [Workload; 6] {
+        [
+            Workload::ConnectedComponents,
+            Workload::KCores,
+            Workload::PageRank { iterations: 10 },
+            Workload::Sssp { source_seed: 0x55AA },
+            Workload::Synthetic { s: 10, iterations: 5 },
+            Workload::Synthetic { s: 1, iterations: 5 },
+        ]
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::PageRank { .. } => "pr",
+            Workload::ConnectedComponents => "cc",
+            Workload::Sssp { .. } => "sssp",
+            Workload::KCores => "kcores",
+            Workload::LabelPropagation { .. } => "lp",
+            Workload::Synthetic { s, .. } => {
+                if s >= 10 {
+                    "synthetic-high"
+                } else {
+                    "synthetic-low"
+                }
+            }
+        }
+    }
+
+    /// Human-readable label matching the paper's tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Workload::PageRank { .. } => "PageRank",
+            Workload::ConnectedComponents => "Connected Components",
+            Workload::Sssp { .. } => "Single Source Shortest Paths",
+            Workload::KCores => "K-Cores",
+            Workload::LabelPropagation { .. } => "Label Propagation",
+            Workload::Synthetic { s, .. } => {
+                if s >= 10 {
+                    "Synthetic-High"
+                } else {
+                    "Synthetic-Low"
+                }
+            }
+        }
+    }
+
+    /// Fixed iteration count, if the workload has one. Fixed-iteration
+    /// workloads are predicted by average iteration time (paper Sec. V-C).
+    pub fn fixed_iterations(self) -> Option<usize> {
+        match self {
+            Workload::PageRank { iterations }
+            | Workload::LabelPropagation { iterations }
+            | Workload::Synthetic { iterations, .. } => Some(iterations),
+            _ => None,
+        }
+    }
+
+    /// Execute the workload on a distributed graph; returns the cost report.
+    pub fn execute(self, dg: &DistributedGraph, cluster: &ClusterSpec) -> SimReport {
+        match self {
+            Workload::PageRank { iterations } => run(&PageRank::new(iterations), dg, cluster).0,
+            Workload::ConnectedComponents => run(&ConnectedComponents, dg, cluster).0,
+            Workload::Sssp { source_seed } => {
+                run(&Sssp::with_random_source(dg, source_seed), dg, cluster).0
+            }
+            Workload::KCores => run(&KCores::with_mean_degree(dg), dg, cluster).0,
+            Workload::LabelPropagation { iterations } => {
+                run(&LabelPropagation::new(iterations), dg, cluster).0
+            }
+            Workload::Synthetic { s, iterations } => {
+                run(&Synthetic { s, iterations }, dg, cluster).0
+            }
+        }
+    }
+
+    /// The prediction target the paper uses: average iteration time for
+    /// fixed-iteration workloads, total time-to-convergence otherwise.
+    pub fn prediction_target(self, report: &SimReport) -> f64 {
+        if self.fixed_iterations().is_some() {
+            report.avg_superstep_secs()
+        } else {
+            report.total_secs
+        }
+    }
+
+    /// Total processing time implied by a predicted target value.
+    pub fn total_from_target(self, target: f64) -> f64 {
+        match self.fixed_iterations() {
+            Some(iters) => target * iters as f64,
+            None => target,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ease_partition::PartitionerId;
+
+    #[test]
+    fn six_training_workloads_with_unique_names() {
+        let all = Workload::all_training();
+        let names: std::collections::HashSet<_> = all.iter().map(|w| w.name()).collect();
+        assert_eq!(names.len(), 6);
+        assert!(names.contains("synthetic-high") && names.contains("synthetic-low"));
+    }
+
+    #[test]
+    fn every_training_workload_executes() {
+        let g = ease_graphgen::rmat::Rmat::new(
+            ease_graphgen::rmat::RMAT_COMBOS[1],
+            256,
+            2_000,
+            2,
+        )
+        .generate();
+        let part = PartitionerId::Dbh.build(1).partition(&g, 4);
+        let dg = DistributedGraph::build(&g, &part);
+        let cluster = ClusterSpec::new(4);
+        for w in Workload::all_training() {
+            let report = w.execute(&dg, &cluster);
+            assert!(report.total_secs > 0.0, "{}", w.name());
+            assert!(report.supersteps > 0, "{}", w.name());
+            let target = w.prediction_target(&report);
+            assert!(target > 0.0, "{}", w.name());
+            assert!(w.total_from_target(target) > 0.0);
+        }
+    }
+
+    #[test]
+    fn fixed_iteration_reconstruction() {
+        let w = Workload::PageRank { iterations: 10 };
+        assert_eq!(w.fixed_iterations(), Some(10));
+        assert!((w.total_from_target(0.5) - 5.0).abs() < 1e-12);
+        let cc = Workload::ConnectedComponents;
+        assert_eq!(cc.fixed_iterations(), None);
+        assert_eq!(cc.total_from_target(3.0), 3.0);
+    }
+}

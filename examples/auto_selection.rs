@@ -1,0 +1,80 @@
+//! Automatic partitioner selection — the paper's end-to-end scenario.
+//!
+//! Trains EASE at tiny scale (seconds), then asks it to pick partitioners
+//! for an unseen social-network graph under both optimization goals, and
+//! verifies the choice against measured ground truth.
+//!
+//! ```sh
+//! cargo run --release --example auto_selection
+//! ```
+
+use ease_repro::core::pipeline::{train_ease, EaseConfig};
+use ease_repro::core::selector::OptGoal;
+use ease_repro::graph::GraphProperties;
+use ease_repro::graphgen::Scale;
+use ease_repro::partition::run_partitioner;
+use ease_repro::procsim::{ClusterSpec, DistributedGraph, Workload};
+
+fn main() {
+    println!("training EASE at tiny scale (this profiles two corpora)...");
+    let mut cfg = EaseConfig::at_scale(Scale::Tiny);
+    // the default tiny caps (24 + 10 graphs) are sized for unit tests;
+    // give the example enough training data for a credible ranking
+    cfg.max_small_graphs = Some(80);
+    cfg.max_large_graphs = Some(36);
+    let (ease, _artifacts) = train_ease(&cfg);
+
+    // an unseen graph: the Socfb-A-anon analogue of the paper's Fig. 2
+    let tg = ease_repro::graphgen::realworld::socfb_analogue(Scale::Tiny, 777);
+    let props = GraphProperties::compute_advanced(&tg.graph);
+    println!(
+        "\nunseen graph {}: |V|={} |E|={}",
+        tg.name,
+        props.num_vertices,
+        props.num_edges
+    );
+
+    let k = cfg.processing_k;
+    let workload = Workload::PageRank { iterations: 10 };
+    for goal in [OptGoal::EndToEnd, OptGoal::ProcessingOnly] {
+        let selection = ease.select(&props, workload, k, goal);
+        println!("\ngoal {:?}: EASE picks {}", goal, selection.best.name());
+        println!("  {:<8} {:>10} {:>10} {:>10}", "algo", "pred-part", "pred-proc", "pred-e2e");
+        let mut ranked = selection.candidates.clone();
+        ranked.sort_by(|a, b| a.end_to_end_secs.partial_cmp(&b.end_to_end_secs).unwrap());
+        for c in ranked.iter().take(5) {
+            println!(
+                "  {:<8} {:>9.3}s {:>9.3}s {:>9.3}s",
+                c.partitioner.name(),
+                c.partitioning_secs,
+                c.processing_secs,
+                c.end_to_end_secs
+            );
+        }
+    }
+
+    // ground truth for the EndToEnd goal
+    println!("\nmeasured ground truth (all 11 partitioners):");
+    let cluster = ClusterSpec::new(k);
+    let mut truth: Vec<(String, f64)> = ease
+        .catalog
+        .iter()
+        .map(|&p| {
+            let run = run_partitioner(p, &tg.graph, k, 5);
+            let dg = DistributedGraph::build(&tg.graph, &run.partition);
+            let rep = workload.execute(&dg, &cluster);
+            (p.name().to_string(), run.partitioning_secs + rep.total_secs)
+        })
+        .collect();
+    truth.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+    for (name, secs) in &truth {
+        println!("  {name:<8} {secs:>9.3}s");
+    }
+    let pick = ease
+        .select(&props, workload, k, OptGoal::EndToEnd)
+        .best
+        .name()
+        .to_string();
+    let rank = truth.iter().position(|(n, _)| *n == pick).unwrap_or(99);
+    println!("\nEASE's pick `{pick}` ranks #{} of {} by true end-to-end time.", rank + 1, truth.len());
+}

@@ -1,0 +1,20 @@
+//! Facade crate for the EASE reproduction workspace.
+//!
+//! Re-exports the individual crates so examples and integration tests can
+//! use one coherent namespace:
+//!
+//! ```
+//! use ease_repro::graph::Graph;
+//! use ease_repro::partition::PartitionerId;
+//!
+//! let g = Graph::from_pairs([(0, 1), (1, 2), (2, 0)]);
+//! assert_eq!(g.num_edges(), 3);
+//! assert_eq!(PartitionerId::ALL.len(), 11);
+//! ```
+
+pub use ease as core;
+pub use ease_graph as graph;
+pub use ease_graphgen as graphgen;
+pub use ease_ml as ml;
+pub use ease_partition as partition;
+pub use ease_procsim as procsim;

@@ -1,0 +1,82 @@
+//! Property-based invariants of the ML substrate.
+
+use ease_repro::ml::{mape, rmse, Matrix, ModelConfig, StandardScaler};
+use proptest::prelude::*;
+
+fn arb_dataset() -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<f64>)> {
+    (10usize..80, 1usize..5).prop_flat_map(|(rows, cols)| {
+        (
+            prop::collection::vec(
+                prop::collection::vec(-100.0f64..100.0, cols..=cols),
+                rows..=rows,
+            ),
+            prop::collection::vec(-50.0f64..50.0, rows..=rows),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Tree-family predictions never leave the convex hull of the targets.
+    #[test]
+    fn tree_predictions_within_target_hull((rows, y) in arb_dataset()) {
+        let x = Matrix::from_rows(&rows);
+        let lo = y.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = y.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mut forest =
+            ModelConfig::Forest { n_trees: 10, max_depth: 8, feature_fraction: 1.0 }.build();
+        forest.fit(&x, &y);
+        for row in &rows {
+            let p = forest.predict_row(row);
+            prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9, "{p} outside [{lo},{hi}]");
+        }
+    }
+
+    /// KNN with k = n predicts the global mean everywhere.
+    #[test]
+    fn knn_full_k_is_global_mean((rows, y) in arb_dataset()) {
+        let x = Matrix::from_rows(&rows);
+        let mut knn = ModelConfig::Knn { k: y.len(), distance_weighted: false }.build();
+        knn.fit(&x, &y);
+        let mean = y.iter().sum::<f64>() / y.len() as f64;
+        let p = knn.predict_row(&rows[0]);
+        prop_assert!((p - mean).abs() < 1e-6, "{p} vs mean {mean}");
+    }
+
+    /// z-score transform is invertible in distribution: transformed columns
+    /// have mean ~0, and transforming twice equals composing scales.
+    #[test]
+    fn scaler_centers_columns((rows, _y) in arb_dataset()) {
+        let x = Matrix::from_rows(&rows);
+        let s = StandardScaler::fit(&x);
+        let t = s.transform(&x);
+        for j in 0..x.cols {
+            let mean: f64 = (0..t.rows).map(|i| t.get(i, j)).sum::<f64>() / t.rows as f64;
+            prop_assert!(mean.abs() < 1e-8, "col {j} mean {mean}");
+        }
+    }
+
+    /// Metric identities: rmse/mape vanish iff predictions equal targets;
+    /// rmse is symmetric in its arguments.
+    #[test]
+    fn metric_identities(y in prop::collection::vec(0.5f64..100.0, 2..40)) {
+        prop_assert!(rmse(&y, &y) == 0.0);
+        prop_assert!(mape(&y, &y) == 0.0);
+        let shifted: Vec<f64> = y.iter().map(|v| v + 1.0).collect();
+        prop_assert!(rmse(&y, &shifted) > 0.0);
+        prop_assert!((rmse(&y, &shifted) - rmse(&shifted, &y)).abs() < 1e-12);
+    }
+
+    /// Ridge regression with huge alpha collapses to the target mean.
+    #[test]
+    fn poly_heavy_ridge_predicts_mean((rows, y) in arb_dataset()) {
+        let x = Matrix::from_rows(&rows);
+        let mut m = ModelConfig::Poly { degree: 1, alpha: 1e12 }.build();
+        m.fit(&x, &y);
+        let mean = y.iter().sum::<f64>() / y.len() as f64;
+        let spread = y.iter().map(|v| (v - mean).abs()).fold(0.0, f64::max);
+        let p = m.predict_row(&rows[0]);
+        prop_assert!((p - mean).abs() <= spread * 0.05 + 1e-6, "{p} vs mean {mean}");
+    }
+}

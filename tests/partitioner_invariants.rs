@@ -1,0 +1,125 @@
+//! Property-based invariants that every partitioner must satisfy,
+//! exercised across crates on generated graphs.
+
+use ease_repro::graph::Graph;
+use ease_repro::graphgen::rmat::{Rmat, RmatParams};
+use ease_repro::partition::{metrics::QualityMetrics, PartitionerId};
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (6u32..10, 200usize..1_500, 0u64..50, 0usize..9).prop_map(|(vexp, edges, seed, combo)| {
+        let params = ease_repro::graphgen::rmat::RMAT_COMBOS[combo];
+        Rmat::new(params, 1usize << vexp, edges, seed).generate()
+    })
+}
+
+fn arb_partitioner() -> impl Strategy<Value = PartitionerId> {
+    prop::sample::select(PartitionerId::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every edge is assigned exactly once to a valid partition.
+    #[test]
+    fn assignment_is_total_and_in_range(
+        g in arb_graph(),
+        p in arb_partitioner(),
+        k in 1usize..33,
+        seed in 0u64..10,
+    ) {
+        let part = p.build(seed).partition(&g, k);
+        prop_assert_eq!(part.num_edges(), g.num_edges());
+        prop_assert!(part.assignment().iter().all(|&x| (x as usize) < k));
+    }
+
+    /// Quality metrics live in their mathematical domains:
+    /// RF ∈ [1, k], balances ≥ 1 and ≤ k.
+    #[test]
+    fn metric_domains(
+        g in arb_graph(),
+        p in arb_partitioner(),
+        k in 2usize..17,
+        seed in 0u64..5,
+    ) {
+        let part = p.build(seed).partition(&g, k);
+        let m = QualityMetrics::compute(&g, &part);
+        prop_assert!(m.replication_factor >= 1.0 - 1e-9);
+        prop_assert!(m.replication_factor <= k as f64 + 1e-9);
+        for b in [m.edge_balance, m.vertex_balance, m.source_balance, m.dest_balance] {
+            prop_assert!(b >= 1.0 - 1e-9, "balance {b}");
+            prop_assert!(b <= k as f64 + 1e-9, "balance {b}");
+        }
+    }
+
+    /// k = 1 is always the perfect partitioning.
+    #[test]
+    fn single_partition_is_ideal(g in arb_graph(), p in arb_partitioner()) {
+        let part = p.build(1).partition(&g, 1);
+        let m = QualityMetrics::compute(&g, &part);
+        prop_assert!((m.replication_factor - 1.0).abs() < 1e-12);
+        prop_assert!((m.edge_balance - 1.0).abs() < 1e-12);
+    }
+
+    /// Determinism: same seed -> identical partitioning.
+    #[test]
+    fn determinism(g in arb_graph(), p in arb_partitioner(), k in 2usize..9) {
+        let a = p.build(77).partition(&g, k);
+        let b = p.build(77).partition(&g, k);
+        prop_assert_eq!(a.assignment(), b.assignment());
+    }
+
+    /// CRVC keeps reciprocal edge pairs together.
+    #[test]
+    fn crvc_reciprocal_colocation(edges in prop::collection::vec((0u32..64, 0u32..64), 10..100)) {
+        let mut pairs: Vec<(u32, u32)> = Vec::new();
+        for (a, b) in edges {
+            if a != b {
+                pairs.push((a, b));
+                pairs.push((b, a));
+            }
+        }
+        prop_assume!(!pairs.is_empty());
+        let g = Graph::from_pairs(pairs.clone());
+        let part = PartitionerId::Crvc.build(5).partition(&g, 8);
+        for i in (0..pairs.len()).step_by(2) {
+            prop_assert_eq!(part.partition_of(i), part.partition_of(i + 1));
+        }
+    }
+
+    /// 2D never exceeds the grid replication bound 2·⌈√k⌉ − 1.
+    #[test]
+    fn two_d_replication_bound(g in arb_graph(), k in 2usize..65) {
+        let part = PartitionerId::TwoD.build(3).partition(&g, k);
+        let bound = 2 * (k as f64).sqrt().ceil() as usize - 1;
+        let n = g.num_vertices();
+        let mut masks = vec![0u128; n];
+        for (i, e) in g.edges().iter().enumerate() {
+            let p = part.partition_of(i);
+            masks[e.src as usize] |= 1 << p;
+            masks[e.dst as usize] |= 1 << p;
+        }
+        for m in masks {
+            prop_assert!(m.count_ones() as usize <= bound);
+        }
+    }
+
+    /// Stream-quality sanity: stateful HDRF never does (meaningfully) worse
+    /// than the worst stateless hash on replication factor.
+    #[test]
+    fn hdrf_not_worse_than_crvc(g in arb_graph(), k in 4usize..17) {
+        prop_assume!(g.num_edges() >= 500);
+        let hdrf = QualityMetrics::compute(&g, &PartitionerId::Hdrf.build(1).partition(&g, k));
+        let crvc = QualityMetrics::compute(&g, &PartitionerId::Crvc.build(1).partition(&g, k));
+        prop_assert!(hdrf.replication_factor <= crvc.replication_factor * 1.05,
+            "hdrf {} vs crvc {}", hdrf.replication_factor, crvc.replication_factor);
+    }
+}
+
+/// R-MAT parameter validation is outside proptest (constructor contract).
+#[test]
+fn rmat_params_must_sum_to_one() {
+    let ok = RmatParams::new(0.25, 0.25, 0.25, 0.25);
+    assert_eq!(ok.a, 0.25);
+    assert!(std::panic::catch_unwind(|| RmatParams::new(0.9, 0.2, 0.2, 0.2)).is_err());
+}

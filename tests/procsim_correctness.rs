@@ -1,0 +1,88 @@
+//! Cross-crate correctness of the distributed engine: algorithm outputs
+//! must be independent of the partitioning (placement changes cost, never
+//! results).
+
+use ease_repro::graph::Graph;
+use ease_repro::graphgen::rmat::{Rmat, RMAT_COMBOS};
+use ease_repro::partition::PartitionerId;
+use ease_repro::procsim::algorithms::{ConnectedComponents, PageRank, Sssp};
+use ease_repro::procsim::engine::run;
+use ease_repro::procsim::{ClusterSpec, DistributedGraph};
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (0usize..9, 150usize..900, 0u64..30).prop_map(|(combo, edges, seed)| {
+        Rmat::new(RMAT_COMBOS[combo], 256, edges, seed).generate()
+    })
+}
+
+fn arb_partitioner() -> impl Strategy<Value = PartitionerId> {
+    prop::sample::select(PartitionerId::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// PageRank results are identical regardless of the partitioner.
+    #[test]
+    fn pagerank_is_placement_independent(
+        g in arb_graph(),
+        p1 in arb_partitioner(),
+        p2 in arb_partitioner(),
+        k in 2usize..9,
+    ) {
+        let prog = PageRank::new(5);
+        let dg1 = DistributedGraph::build(&g, &p1.build(1).partition(&g, k));
+        let dg2 = DistributedGraph::build(&g, &p2.build(2).partition(&g, k));
+        let (_, r1) = run(&prog, &dg1, &ClusterSpec::new(k));
+        let (_, r2) = run(&prog, &dg2, &ClusterSpec::new(k));
+        for v in 0..g.num_vertices() {
+            prop_assert!((r1[v] - r2[v]).abs() < 1e-9, "vertex {v}: {} vs {}", r1[v], r2[v]);
+        }
+    }
+
+    /// Connected-component labels form a valid partition: endpoints of
+    /// every edge share a label, and the label is the component minimum.
+    #[test]
+    fn cc_labels_consistent(g in arb_graph(), p in arb_partitioner(), k in 2usize..9) {
+        let dg = DistributedGraph::build(&g, &p.build(3).partition(&g, k));
+        let (_, labels) = run(&ConnectedComponents, &dg, &ClusterSpec::new(k));
+        for e in g.edges() {
+            prop_assert_eq!(labels[e.src as usize], labels[e.dst as usize]);
+        }
+        // a label must point at a vertex inside the component
+        for v in 0..g.num_vertices() {
+            if g.total_degrees()[v] > 0 {
+                prop_assert!(labels[v] as usize <= v);
+            }
+        }
+    }
+
+    /// SSSP distances satisfy the triangle inequality along edges:
+    /// dist(dst) ≤ dist(src) + 1 for every reached source.
+    #[test]
+    fn sssp_relaxation_holds(g in arb_graph(), p in arb_partitioner(), k in 2usize..9) {
+        let dg = DistributedGraph::build(&g, &p.build(4).partition(&g, k));
+        let prog = Sssp::with_random_source(&dg, 7);
+        let (_, dist) = run(&prog, &dg, &ClusterSpec::new(k));
+        prop_assert_eq!(dist[prog.source as usize], 0);
+        for e in g.edges() {
+            let ds = dist[e.src as usize];
+            let dd = dist[e.dst as usize];
+            if ds != u32::MAX {
+                prop_assert!(dd <= ds + 1, "edge {}->{}: {} vs {}", e.src, e.dst, ds, dd);
+            }
+        }
+    }
+
+    /// The simulated time is always positive and grows with more machines'
+    /// traffic under heavier replication.
+    #[test]
+    fn sim_time_positive(g in arb_graph(), p in arb_partitioner(), k in 2usize..9) {
+        let dg = DistributedGraph::build(&g, &p.build(5).partition(&g, k));
+        let report = ease_repro::procsim::Workload::PageRank { iterations: 3 }
+            .execute(&dg, &ClusterSpec::new(k));
+        prop_assert!(report.total_secs > 0.0);
+        prop_assert_eq!(report.supersteps, 3);
+    }
+}
