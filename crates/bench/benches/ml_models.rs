@@ -42,17 +42,13 @@ fn bench_fit(c: &mut Criterion) {
     let mut group = c.benchmark_group("model_fit_2000rows");
     group.sample_size(10);
     for cfg in &configs {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(cfg.kind().name()),
-            cfg,
-            |b, cfg| {
-                b.iter(|| {
-                    let mut m = cfg.build();
-                    m.fit(&x, &y);
-                    black_box(m.predict_row(x.row(0)))
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(cfg.kind().name()), cfg, |b, cfg| {
+            b.iter(|| {
+                let mut m = cfg.build();
+                m.fit(&x, &y);
+                black_box(m.predict_row(x.row(0)))
+            });
+        });
     }
     group.finish();
 }
@@ -68,13 +64,9 @@ fn bench_predict(c: &mut Criterion) {
     ] {
         let mut m = cfg.build();
         m.fit(&x, &y);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(cfg.kind().name()),
-            &m,
-            |b, m| {
-                b.iter(|| black_box(m.predict_row(x.row(7))));
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(cfg.kind().name()), &m, |b, m| {
+            b.iter(|| black_box(m.predict_row(x.row(7))));
+        });
     }
     group.finish();
 }

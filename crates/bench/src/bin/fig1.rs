@@ -31,10 +31,7 @@ fn main() {
         let props = GraphProperties::compute(&tg.graph, ease_graph::PropertyTier::Basic);
         println!(
             "graph {} — |V|={} |E|={} mean degree {:.1}",
-            tg.name,
-            props.num_vertices,
-            props.num_edges,
-            props.mean_degree
+            tg.name, props.num_vertices, props.num_edges, props.mean_degree
         );
         let mut rows = Vec::new();
         for &p in &partitioners {

@@ -17,12 +17,7 @@ fn main() {
     let seed = seed_from_env();
     let k = 4;
     let tg = ease_graphgen::realworld::socfb_analogue(scale, seed);
-    println!(
-        "graph {} — |V|={} |E|={}",
-        tg.name,
-        tg.graph.num_vertices(),
-        tg.graph.num_edges()
-    );
+    println!("graph {} — |V|={} |E|={}", tg.name, tg.graph.num_vertices(), tg.graph.num_edges());
     let workload = Workload::LabelPropagation { iterations: 10 };
     let cluster = ClusterSpec::new(k);
     let mut rows = Vec::new();

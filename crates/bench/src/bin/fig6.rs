@@ -108,10 +108,8 @@ fn main() {
     // so we report per-line correlations.
     let pearson = |pts: &[(f64, f64)]| -> f64 {
         let n = pts.len() as f64;
-        let (mx, my) = (
-            pts.iter().map(|p| p.0).sum::<f64>() / n,
-            pts.iter().map(|p| p.1).sum::<f64>() / n,
-        );
+        let (mx, my) =
+            (pts.iter().map(|p| p.0).sum::<f64>() / n, pts.iter().map(|p| p.1).sum::<f64>() / n);
         let cov: f64 = pts.iter().map(|p| (p.0 - mx) * (p.1 - my)).sum::<f64>() / n;
         let sx = (pts.iter().map(|p| (p.0 - mx).powi(2)).sum::<f64>() / n).sqrt();
         let sy = (pts.iter().map(|p| (p.1 - my).powi(2)).sum::<f64>() / n).sqrt();

@@ -14,11 +14,7 @@ use ease_graphgen::realworld::GraphType;
 use ease_ml::ModelConfig;
 use ease_partition::{PartitionerId, QualityTarget};
 
-fn print_heatmap(
-    title: &str,
-    heat: &[(GraphType, Vec<(PartitionerId, f64)>)],
-    csv_name: &str,
-) {
+fn print_heatmap(title: &str, heat: &[(GraphType, Vec<(PartitionerId, f64)>)], csv_name: &str) {
     let headers: Vec<String> = std::iter::once("type".to_string())
         .chain(PartitionerId::ALL.iter().map(|p| p.name().to_string()))
         .collect();

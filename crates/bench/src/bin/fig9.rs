@@ -27,10 +27,7 @@ fn main() {
         .find(|t| t.name.contains("enwiki"))
         .expect("enwiki analogue in Table IV set");
     println!("graph {} — |E|={}", enwiki.name, enwiki.graph.num_edges());
-    let workloads = [
-        Workload::Synthetic { s: 10, iterations: 5 },
-        Workload::ConnectedComponents,
-    ];
+    let workloads = [Workload::Synthetic { s: 10, iterations: 5 }, Workload::ConnectedComponents];
     let records = profile_processing(
         &[GraphInput::Materialized(enwiki)],
         &cfg.partitioners,
@@ -90,7 +87,14 @@ fn main() {
     println!("        CC -> S_PS picks DBH, S_SRF wastes time on HEP-100)");
     write_csv(
         &results_dir().join("fig9.csv"),
-        &["workload", "partitioner", "partitioning_secs", "processing_secs", "end_to_end_secs", "selected_by"],
+        &[
+            "workload",
+            "partitioner",
+            "partitioning_secs",
+            "processing_secs",
+            "end_to_end_secs",
+            "selected_by",
+        ],
         &csv,
     )
     .expect("write fig9.csv");

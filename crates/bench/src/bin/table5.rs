@@ -20,10 +20,8 @@ fn main() {
     let (ease, _artifacts) = train_ease(&cfg);
 
     println!("profiling Table IV test graphs...");
-    let test_inputs = GraphInput::from_tests(ease_graphgen::realworld::table4_test_set(
-        cfg.scale,
-        seed ^ 0x7AB4,
-    ));
+    let test_inputs =
+        GraphInput::from_tests(ease_graphgen::realworld::table4_test_set(cfg.scale, seed ^ 0x7AB4));
     let test_records = profile_processing(
         &test_inputs,
         &cfg.partitioners,
@@ -52,7 +50,11 @@ fn main() {
     }
     println!(
         "{}",
-        render_table("Table V — ProcessingTimePredictor test MAPE", &["algorithm", "model", "MAPE"], &rows)
+        render_table(
+            "Table V — ProcessingTimePredictor test MAPE",
+            &["algorithm", "model", "MAPE"],
+            &rows
+        )
     );
     println!("(paper MAPEs: CC 0.272, K-Cores 0.401, PR 0.295, SSSP 0.300, Syn-High 0.259, Syn-Low 0.271)\n");
 
@@ -63,7 +65,11 @@ fn main() {
         f3(ptime_mape),
         ease.partitioning_time.chosen.config.kind().name()
     );
-    csv.push(vec!["partitioning-time".into(), ease.partitioning_time.chosen.config.kind().name().into(), format!("{ptime_mape}")]);
+    csv.push(vec![
+        "partitioning-time".into(),
+        ease.partitioning_time.chosen.config.kind().name().into(),
+        format!("{ptime_mape}"),
+    ]);
     write_csv(&results_dir().join("table5.csv"), &["algorithm", "model", "mape"], &csv)
         .expect("write table5.csv");
     println!("wrote results/table5.csv");

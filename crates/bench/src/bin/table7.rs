@@ -23,15 +23,14 @@ fn main() {
     let qp = QualityPredictor::train_fixed(&train, PropertyTier::Basic, &rfr);
 
     // collect the union of group labels from the first target
-    let first = grouped_importances(&qp, QualityTarget::ReplicationFactor)
-        .expect("forest importances");
+    let first =
+        grouped_importances(&qp, QualityTarget::ReplicationFactor).expect("forest importances");
     let labels: Vec<&str> = first.iter().map(|(l, _)| *l).collect();
     let header: Vec<String> = std::iter::once("feature".to_string())
         .chain(QualityTarget::ALL.iter().map(|t| t.name().to_string()))
         .collect();
     let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
-    let mut rows: Vec<Vec<String>> =
-        labels.iter().map(|l| vec![l.to_string()]).collect();
+    let mut rows: Vec<Vec<String>> = labels.iter().map(|l| vec![l.to_string()]).collect();
     for target in QualityTarget::ALL {
         let groups = grouped_importances(&qp, target).expect("importances");
         for (i, label) in labels.iter().enumerate() {
@@ -45,7 +44,6 @@ fn main() {
     );
     println!("(paper: Partitioner 0.244–0.542, #Partitions 0.177–0.472,");
     println!("        Degree Distr. 0.165–0.372, Mean Degree 0.274 for RF, Density ≤ 0.034)");
-    write_csv(&results_dir().join("table7.csv"), &header_refs, &rows)
-        .expect("write table7.csv");
+    write_csv(&results_dir().join("table7.csv"), &header_refs, &rows).expect("write table7.csv");
     println!("wrote results/table7.csv");
 }

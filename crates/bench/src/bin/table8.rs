@@ -23,10 +23,8 @@ fn main() {
     let (ease, artifacts) = train_ease(&cfg);
 
     println!("profiling Table IV test graphs (ground truth for all partitioners)...");
-    let test_inputs = GraphInput::from_tests(ease_graphgen::realworld::table4_test_set(
-        cfg.scale,
-        seed ^ 0x7AB4,
-    ));
+    let test_inputs =
+        GraphInput::from_tests(ease_graphgen::realworld::table4_test_set(cfg.scale, seed ^ 0x7AB4));
     let test_records = profile_processing(
         &test_inputs,
         &cfg.partitioners,
@@ -114,8 +112,7 @@ fn main() {
             if subset.is_empty() {
                 continue;
             }
-            let (_, stats) =
-                evaluate_selection(&ease_enriched, &subset, cfg.processing_k, goal);
+            let (_, stats) = evaluate_selection(&ease_enriched, &subset, cfg.processing_k, goal);
             rows_b.push(vec![
                 goal.name().to_string(),
                 label.to_string(),
@@ -137,7 +134,16 @@ fn main() {
 
     write_csv(
         &results_dir().join("table8a.csv"),
-        &["goal", "algorithm", "vs_optimal", "vs_srf", "vs_random", "vs_worst", "srf_vs_optimal", "optimal_pick_rate"],
+        &[
+            "goal",
+            "algorithm",
+            "vs_optimal",
+            "vs_srf",
+            "vs_random",
+            "vs_worst",
+            "srf_vs_optimal",
+            "optimal_pick_rate",
+        ],
         &csv,
     )
     .expect("write table8a.csv");

@@ -133,8 +133,7 @@ pub fn aggregate_point(
         return None;
     }
     let mean = values.iter().sum::<f64>() / values.len() as f64;
-    let var =
-        values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / values.len() as f64;
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / values.len() as f64;
     Some((mean, var.sqrt()))
 }
 
@@ -148,16 +147,9 @@ mod tests {
 
     fn records_for(graph_type: GraphType, count: usize, seed: u64) -> Vec<QualityRecord> {
         let inputs: Vec<GraphInput> = (0..count)
-            .map(|i| {
-                GraphInput::Materialized(generate_typed(graph_type, i, Scale::Tiny, seed))
-            })
+            .map(|i| GraphInput::Materialized(generate_typed(graph_type, i, Scale::Tiny, seed)))
             .collect();
-        profile_quality(
-            &inputs,
-            &[PartitionerId::Dbh, PartitionerId::TwoPs],
-            &[4],
-            seed,
-        )
+        profile_quality(&inputs, &[PartitionerId::Dbh, PartitionerId::TwoPs], &[4], seed)
     }
 
     #[test]

@@ -50,9 +50,7 @@ pub fn mape_heatmap(
                 .filter_map(|&p| {
                     let mut y_true = Vec::new();
                     let mut y_pred = Vec::new();
-                    for r in test
-                        .iter()
-                        .filter(|r| r.graph_type == Some(gt) && r.partitioner == p)
+                    for r in test.iter().filter(|r| r.graph_type == Some(gt) && r.partitioner == p)
                     {
                         y_true.push(r.metrics.get(target));
                         y_pred.push(qp.predict_target(target, &r.props, r.partitioner, r.k));
@@ -348,8 +346,7 @@ mod tests {
         cfg.max_large_graphs = Some(5);
         cfg.ks = vec![2, 4];
         cfg.partitioners = vec![PartitionerId::OneDD, PartitionerId::Dbh, PartitionerId::Ne];
-        cfg.workloads =
-            vec![Workload::PageRank { iterations: 3 }, Workload::ConnectedComponents];
+        cfg.workloads = vec![Workload::PageRank { iterations: 3 }, Workload::ConnectedComponents];
         let (ease, _) = train_ease(&cfg);
         let test = GraphInput::from_tests(
             ease_graphgen::realworld::standard_test_set(Scale::Tiny, 77)

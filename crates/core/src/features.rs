@@ -69,9 +69,7 @@ pub fn processing_time_feature_names() -> Vec<String> {
         .into_iter()
         .map(String::from)
         .collect();
-    names.extend(
-        ease_partition::QualityTarget::ALL.iter().map(|t| t.name().to_string()),
-    );
+    names.extend(ease_partition::QualityTarget::ALL.iter().map(|t| t.name().to_string()));
     names.push("iterations".into());
     names
 }

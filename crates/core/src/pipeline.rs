@@ -3,7 +3,8 @@
 
 use crate::predictors::{PartitioningTimePredictor, ProcessingTimePredictor, QualityPredictor};
 use crate::profiling::{
-    profile_processing, profile_quality, GraphInput, ProcessingRecord, QualityRecord,
+    profile_processing_with, profile_quality_with, GraphInput, ProcessingRecord, QualityRecord,
+    TimingMode,
 };
 use crate::selector::Ease;
 use ease_graph::PropertyTier;
@@ -33,6 +34,9 @@ pub struct EaseConfig {
     /// Cap the R-MAT-LARGE corpus (None = all 180 graphs).
     pub max_large_graphs: Option<usize>,
     pub seed: u64,
+    /// Wall-clock measurement (paper-faithful, default) or a reproducible
+    /// analytical proxy for partitioning times — see [`TimingMode`].
+    pub timing: TimingMode,
 }
 
 impl EaseConfig {
@@ -41,13 +45,7 @@ impl EaseConfig {
     /// `Medium` approaches the paper's grid dimensions.
     pub fn at_scale(scale: Scale) -> Self {
         let (ks, folds, grid, max_small, max_large) = match scale {
-            Scale::Tiny => (
-                vec![2, 4, 8],
-                3,
-                zoo::quick_grid(),
-                Some(24),
-                Some(10),
-            ),
+            Scale::Tiny => (vec![2, 4, 8], 3, zoo::quick_grid(), Some(24), Some(10)),
             Scale::Small => (vec![4, 16, 64], 5, zoo::default_grid(), None, None),
             Scale::Medium => (vec![4, 8, 16, 32, 64, 128], 5, zoo::default_grid(), None, None),
         };
@@ -63,6 +61,7 @@ impl EaseConfig {
             max_small_graphs: max_small,
             max_large_graphs: max_large,
             seed: 0xEA5E,
+            timing: TimingMode::Measured,
         }
     }
 
@@ -116,13 +115,14 @@ pub struct TrainingArtifacts {
 /// predictors, assemble the system.
 pub fn train_ease(cfg: &EaseConfig) -> (Ease, TrainingArtifacts) {
     let quality_records =
-        profile_quality(&cfg.small_inputs(), &cfg.partitioners, &cfg.ks, cfg.seed);
-    let processing_records = profile_processing(
+        profile_quality_with(&cfg.small_inputs(), &cfg.partitioners, &cfg.ks, cfg.seed, cfg.timing);
+    let processing_records = profile_processing_with(
         &cfg.large_inputs(),
         &cfg.partitioners,
         cfg.processing_k,
         &cfg.workloads,
         cfg.seed ^ 0x9A,
+        cfg.timing,
     );
     let quality =
         QualityPredictor::train(&quality_records, cfg.tier, &cfg.grid, cfg.folds, cfg.seed);
@@ -173,10 +173,7 @@ mod tests {
         cfg.max_large_graphs = Some(4);
         cfg.ks = vec![2, 4];
         cfg.partitioners = vec![PartitionerId::OneDD, PartitionerId::Dbh, PartitionerId::Ne];
-        cfg.workloads = vec![
-            Workload::PageRank { iterations: 3 },
-            Workload::ConnectedComponents,
-        ];
+        cfg.workloads = vec![Workload::PageRank { iterations: 3 }, Workload::ConnectedComponents];
         let (ease, artifacts) = train_ease(&cfg);
         assert_eq!(artifacts.quality_records.len(), 8 * 3 * 2);
         assert_eq!(artifacts.processing_records.len(), 4 * 3 * 2);
@@ -206,14 +203,11 @@ mod tests {
     fn dedup_partition_runs_one_per_pair() {
         let cfg = EaseConfig {
             max_large_graphs: Some(2),
-            workloads: vec![
-                Workload::PageRank { iterations: 2 },
-                Workload::ConnectedComponents,
-            ],
+            workloads: vec![Workload::PageRank { iterations: 2 }, Workload::ConnectedComponents],
             partitioners: vec![PartitionerId::OneDD],
             ..EaseConfig::at_scale(Scale::Tiny)
         };
-        let records = profile_processing(
+        let records = crate::profiling::profile_processing(
             &cfg.large_inputs(),
             &cfg.partitioners,
             2,

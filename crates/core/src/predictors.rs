@@ -46,7 +46,11 @@ pub struct QualityPredictor {
 
 impl QualityPredictor {
     /// Assemble the training dataset for one quality target.
-    pub fn dataset(records: &[QualityRecord], tier: PropertyTier, target: QualityTarget) -> Dataset {
+    pub fn dataset(
+        records: &[QualityRecord],
+        tier: PropertyTier,
+        target: QualityTarget,
+    ) -> Dataset {
         let mut ds = Dataset::new(features::quality_feature_names(tier));
         for r in records {
             ds.push(
@@ -74,10 +78,7 @@ impl QualityPredictor {
             let result = grid_search(grid, &ds, folds, seed);
             let mut model = result.best.build();
             model.fit(&ds.x, &ds.y);
-            chosen.push((
-                target,
-                ChosenModel { config: result.best, cv_mape: result.best_score },
-            ));
+            chosen.push((target, ChosenModel { config: result.best, cv_mape: result.best_score }));
             models.push((target, model));
         }
         QualityPredictor { tier, models, chosen }
@@ -183,12 +184,7 @@ impl PartitioningTimePredictor {
         ds
     }
 
-    pub fn train(
-        records: &[QualityRecord],
-        grid: &[ModelConfig],
-        folds: usize,
-        seed: u64,
-    ) -> Self {
+    pub fn train(records: &[QualityRecord], grid: &[ModelConfig], folds: usize, seed: u64) -> Self {
         assert!(!records.is_empty(), "no partitioning-time records");
         let ds = Self::dataset(records);
         let result = grid_search(grid, &ds, folds, seed);
@@ -323,13 +319,7 @@ mod tests {
             &[2, 4, 8],
             7,
         );
-        let qp = QualityPredictor::train(
-            &records,
-            PropertyTier::Basic,
-            &zoo::quick_grid(),
-            3,
-            1,
-        );
+        let qp = QualityPredictor::train(&records, PropertyTier::Basic, &zoo::quick_grid(), 3, 1);
         // predictions are clamped to the metric domain
         let g = inputs(1, 900)[0].generate();
         let props = GraphProperties::compute_advanced(&g);
@@ -337,35 +327,23 @@ mod tests {
         assert!(m.replication_factor >= 1.0);
         assert!(m.edge_balance >= 1.0);
         // higher k should predict higher RF for a hash partitioner
-        let rf2 = qp.predict_target(QualityTarget::ReplicationFactor, &props, PartitionerId::OneDD, 2);
-        let rf8 = qp.predict_target(QualityTarget::ReplicationFactor, &props, PartitionerId::OneDD, 8);
+        let rf2 =
+            qp.predict_target(QualityTarget::ReplicationFactor, &props, PartitionerId::OneDD, 2);
+        let rf8 =
+            qp.predict_target(QualityTarget::ReplicationFactor, &props, PartitionerId::OneDD, 8);
         assert!(rf8 > rf2 * 0.9, "rf2={rf2} rf8={rf8}");
         assert_eq!(qp.chosen.len(), 5);
     }
 
     #[test]
     fn quality_predictor_learns_partitioner_differences() {
-        let records = profile_quality(
-            &inputs(8, 1_200),
-            &[PartitionerId::Crvc, PartitionerId::Ne],
-            &[8],
-            3,
-        );
-        let qp = QualityPredictor::train(
-            &records,
-            PropertyTier::Basic,
-            &zoo::quick_grid(),
-            3,
-            2,
-        );
+        let records =
+            profile_quality(&inputs(8, 1_200), &[PartitionerId::Crvc, PartitionerId::Ne], &[8], 3);
+        let qp = QualityPredictor::train(&records, PropertyTier::Basic, &zoo::quick_grid(), 3, 2);
         let g = inputs(1, 1_200)[0].generate();
         let props = GraphProperties::compute_advanced(&g);
-        let rf_hash = qp.predict_target(
-            QualityTarget::ReplicationFactor,
-            &props,
-            PartitionerId::Crvc,
-            8,
-        );
+        let rf_hash =
+            qp.predict_target(QualityTarget::ReplicationFactor, &props, PartitionerId::Crvc, 8);
         let rf_ne =
             qp.predict_target(QualityTarget::ReplicationFactor, &props, PartitionerId::Ne, 8);
         assert!(rf_ne < rf_hash, "ne {rf_ne} vs crvc {rf_hash}");
@@ -373,12 +351,8 @@ mod tests {
 
     #[test]
     fn partitioning_time_predictor_orders_families() {
-        let records = profile_quality(
-            &inputs(8, 4_000),
-            &[PartitionerId::OneDD, PartitionerId::Ne],
-            &[4],
-            5,
-        );
+        let records =
+            profile_quality(&inputs(8, 4_000), &[PartitionerId::OneDD, PartitionerId::Ne], &[4], 5);
         let tp = PartitioningTimePredictor::train(&records, &zoo::quick_grid(), 3, 1);
         let g = inputs(1, 4_000)[0].generate();
         let props = GraphProperties::compute_advanced(&g);

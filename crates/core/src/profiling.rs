@@ -3,7 +3,7 @@
 //! measure quality + run-time, then execute the processing workloads and
 //! measure their (simulated) run-time.
 //!
-//! Profiling fans out over graphs with crossbeam scoped threads; each
+//! Profiling fans out over graphs with std scoped threads; each
 //! worker generates its graph, measures, and drops it — the corpora are
 //! never materialized at once.
 
@@ -12,7 +12,51 @@ use ease_graphgen::grids::RmatSpec;
 use ease_graphgen::realworld::{GraphType, TestGraph};
 use ease_partition::{run_partitioner, PartitionerId, QualityMetrics};
 use ease_procsim::{ClusterSpec, DistributedGraph, Workload};
-use parking_lot::Mutex;
+use std::sync::Mutex;
+
+/// How partitioning run-times are obtained during profiling.
+///
+/// The paper measures real wall-clock times (step 2 of Fig. 5), which makes
+/// full-pipeline retraining inherently non-bit-identical. `Deterministic`
+/// replaces the measurement with a reproducible analytical proxy so that
+/// `train_ease` becomes a pure function of its config — the mode CI uses to
+/// guard future parallelism work against nondeterminism regressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TimingMode {
+    /// Wall-clock measurement of the real partitioner implementations.
+    #[default]
+    Measured,
+    /// Reproducible analytical cost proxy (same ordering: in-memory ≫
+    /// hybrid ≫ stateful ≫ stateless; grows with |E| and log k).
+    Deterministic,
+}
+
+impl TimingMode {
+    /// Partitioning seconds under this mode for an already-executed run.
+    fn partitioning_secs(self, p: PartitionerId, num_edges: usize, k: usize, measured: f64) -> f64 {
+        match self {
+            TimingMode::Measured => measured,
+            TimingMode::Deterministic => deterministic_partitioning_secs(p, num_edges, k),
+        }
+    }
+}
+
+/// Analytical stand-in for a partitioning run-time: per-edge cost scaled by
+/// the partitioner category's empirical expense, with a mild log-k factor.
+/// Only the *relative ordering* matters for training; the constants are
+/// calibrated to the same orders of magnitude the measured mode produces on
+/// the tiny corpora.
+pub fn deterministic_partitioning_secs(p: PartitionerId, num_edges: usize, k: usize) -> f64 {
+    use ease_partition::Category;
+    let per_edge = match p.category() {
+        Category::StatelessStreaming => 20e-9,
+        Category::StatefulStreaming => 90e-9,
+        Category::Hybrid => 250e-9,
+        Category::InMemory => 900e-9,
+    };
+    let m = num_edges.max(1) as f64;
+    per_edge * m * (1.0 + (k.max(2) as f64).log2() / 8.0)
+}
 
 /// A graph to profile: either a lazily generated R-MAT spec or an already
 /// materialized test graph.
@@ -95,28 +139,25 @@ fn parallel_profile<T: Send, F>(inputs: &[GraphInput], f: F) -> Vec<T>
 where
     F: Fn(&GraphInput) -> Vec<T> + Sync,
 {
-    let results: Mutex<Vec<T>> = Mutex::new(Vec::new());
-    let next: Mutex<usize> = Mutex::new(0);
+    let results: Mutex<Vec<(usize, Vec<T>)>> = Mutex::new(Vec::new());
+    let next = std::sync::atomic::AtomicUsize::new(0);
     let workers = worker_count(inputs.len());
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let idx = {
-                    let mut guard = next.lock();
-                    let idx = *guard;
-                    *guard += 1;
-                    idx
-                };
+            scope.spawn(|| loop {
+                let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if idx >= inputs.len() {
                     break;
                 }
                 let out = f(&inputs[idx]);
-                results.lock().extend(out);
+                results.lock().unwrap().push((idx, out));
             });
         }
-    })
-    .expect("profiling worker panicked");
-    results.into_inner()
+    });
+    // deterministic output order regardless of thread scheduling
+    let mut chunks = results.into_inner().unwrap();
+    chunks.sort_by_key(|(idx, _)| *idx);
+    chunks.into_iter().flat_map(|(_, out)| out).collect()
 }
 
 /// Step 2 of the pipeline: partition every input graph with every
@@ -127,6 +168,17 @@ pub fn profile_quality(
     partitioners: &[PartitionerId],
     ks: &[usize],
     seed: u64,
+) -> Vec<QualityRecord> {
+    profile_quality_with(inputs, partitioners, ks, seed, TimingMode::Measured)
+}
+
+/// [`profile_quality`] with an explicit [`TimingMode`].
+pub fn profile_quality_with(
+    inputs: &[GraphInput],
+    partitioners: &[PartitionerId],
+    ks: &[usize],
+    seed: u64,
+    timing: TimingMode,
 ) -> Vec<QualityRecord> {
     parallel_profile(inputs, |input| {
         let graph = input.generate();
@@ -142,7 +194,12 @@ pub fn profile_quality(
                     partitioner: p,
                     k,
                     metrics: run.metrics,
-                    partitioning_secs: run.partitioning_secs,
+                    partitioning_secs: timing.partitioning_secs(
+                        p,
+                        graph.num_edges(),
+                        k,
+                        run.partitioning_secs,
+                    ),
                 });
             }
         }
@@ -160,6 +217,18 @@ pub fn profile_processing(
     workloads: &[Workload],
     seed: u64,
 ) -> Vec<ProcessingRecord> {
+    profile_processing_with(inputs, partitioners, k, workloads, seed, TimingMode::Measured)
+}
+
+/// [`profile_processing`] with an explicit [`TimingMode`].
+pub fn profile_processing_with(
+    inputs: &[GraphInput],
+    partitioners: &[PartitionerId],
+    k: usize,
+    workloads: &[Workload],
+    seed: u64,
+    timing: TimingMode,
+) -> Vec<ProcessingRecord> {
     let cluster = ClusterSpec::new(k);
     parallel_profile(inputs, |input| {
         let graph = input.generate();
@@ -167,6 +236,8 @@ pub fn profile_processing(
         let mut out = Vec::with_capacity(partitioners.len() * workloads.len());
         for &p in partitioners {
             let run = run_partitioner(p, &graph, k, seed);
+            let partitioning_secs =
+                timing.partitioning_secs(p, graph.num_edges(), k, run.partitioning_secs);
             let dg = DistributedGraph::build(&graph, &run.partition);
             for &w in workloads {
                 let report = w.execute(&dg, &cluster);
@@ -177,7 +248,7 @@ pub fn profile_processing(
                     partitioner: p,
                     k,
                     metrics: run.metrics,
-                    partitioning_secs: run.partitioning_secs,
+                    partitioning_secs,
                     workload: w,
                     target_secs: w.prediction_target(&report),
                     total_secs: report.total_secs,
@@ -229,12 +300,9 @@ mod tests {
     fn processing_profiling_executes_workloads() {
         let inputs = tiny_inputs(2);
         let parts = [PartitionerId::Dbh];
-        let workloads = [
-            Workload::PageRank { iterations: 3 },
-            Workload::ConnectedComponents,
-        ];
+        let workloads = [Workload::PageRank { iterations: 3 }, Workload::ConnectedComponents];
         let records = profile_processing(&inputs, &parts, 4, &workloads, 2);
-        assert_eq!(records.len(), 2 * 1 * 2);
+        assert_eq!(records.len(), 2 * 2); // 2 graphs x 1 partitioner x 2 workloads
         for r in &records {
             assert!(r.target_secs > 0.0, "{}", r.workload.name());
             assert!(r.total_secs >= r.target_secs * 0.99);

@@ -80,10 +80,7 @@ mod tests {
         let s = render_table(
             "T",
             &["name", "value"],
-            &[
-                vec!["a".into(), "1.000".into()],
-                vec!["longer-name".into(), "2".into()],
-            ],
+            &[vec!["a".into(), "1.000".into()], vec!["longer-name".into(), "2".into()]],
         );
         assert!(s.contains("== T =="));
         assert!(s.contains("longer-name"));

@@ -57,12 +57,7 @@ impl Ease {
         partitioning_time: PartitioningTimePredictor,
         processing_time: ProcessingTimePredictor,
     ) -> Self {
-        Ease {
-            quality,
-            partitioning_time,
-            processing_time,
-            catalog: PartitionerId::ALL.to_vec(),
-        }
+        Ease { quality, partitioning_time, processing_time, catalog: PartitionerId::ALL.to_vec() }
     }
 
     /// Predict all costs for one candidate.
@@ -95,17 +90,12 @@ impl Ease {
         goal: OptGoal,
     ) -> Selection {
         assert!(!self.catalog.is_empty());
-        let candidates: Vec<PredictedCosts> = self
-            .catalog
-            .iter()
-            .map(|&p| self.predict_costs(props, workload, k, p))
-            .collect();
+        let candidates: Vec<PredictedCosts> =
+            self.catalog.iter().map(|&p| self.predict_costs(props, workload, k, p)).collect();
         let best = candidates
             .iter()
             .min_by(|a, b| {
-                goal_cost(a, goal)
-                    .partial_cmp(&goal_cost(b, goal))
-                    .expect("finite predictions")
+                goal_cost(a, goal).partial_cmp(&goal_cost(b, goal)).expect("finite predictions")
             })
             .expect("non-empty catalog")
             .partitioner;
@@ -185,9 +175,7 @@ pub fn strategy_cost(strategy: Strategy, truth: &[TrueCosts], goal: OptGoal) -> 
             let pick = truth
                 .iter()
                 .min_by(|a, b| {
-                    a.replication_factor
-                        .partial_cmp(&b.replication_factor)
-                        .expect("finite rf")
+                    a.replication_factor.partial_cmp(&b.replication_factor).expect("finite rf")
                 })
                 .expect("non-empty");
             pick.cost(goal)
@@ -285,10 +273,7 @@ mod tests {
     #[test]
     fn goal_changes_the_oracle() {
         let truth = sample_truth();
-        assert_eq!(
-            strategy_pick(Strategy::Optimal, &truth, OptGoal::EndToEnd),
-            PartitionerId::Dbh
-        );
+        assert_eq!(strategy_pick(Strategy::Optimal, &truth, OptGoal::EndToEnd), PartitionerId::Dbh);
         assert_eq!(
             strategy_pick(Strategy::Optimal, &truth, OptGoal::ProcessingOnly),
             PartitionerId::Ne

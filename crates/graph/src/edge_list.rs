@@ -30,11 +30,7 @@ impl Graph {
     /// `max endpoint + 1`.
     pub fn from_pairs(pairs: impl IntoIterator<Item = (VertexId, VertexId)>) -> Self {
         let edges: Vec<Edge> = pairs.into_iter().map(Edge::from).collect();
-        let num_vertices = edges
-            .iter()
-            .map(|e| e.src.max(e.dst) as usize + 1)
-            .max()
-            .unwrap_or(0);
+        let num_vertices = edges.iter().map(|e| e.src.max(e.dst) as usize + 1).max().unwrap_or(0);
         Graph { num_vertices, edges }
     }
 
@@ -90,12 +86,8 @@ impl Graph {
     /// Number of distinct undirected edges (canonical pairs), ignoring
     /// self-loops. Used by triangle/LCC computations.
     pub fn num_undirected_edges(&self) -> usize {
-        let mut pairs: Vec<(VertexId, VertexId)> = self
-            .edges
-            .iter()
-            .filter(|e| !e.is_loop())
-            .map(|e| e.canonical())
-            .collect();
+        let mut pairs: Vec<(VertexId, VertexId)> =
+            self.edges.iter().filter(|e| !e.is_loop()).map(|e| e.canonical()).collect();
         pairs.sort_unstable();
         pairs.dedup();
         pairs.len()

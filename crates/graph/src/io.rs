@@ -30,9 +30,7 @@ pub fn read_edge_list_from<R: BufRead>(reader: R) -> io::Result<Graph> {
         }
         let mut it = trimmed.split_whitespace();
         let parse = |tok: Option<&str>| -> io::Result<u32> {
-            tok.ok_or_else(|| bad_line(lineno))?
-                .parse::<u32>()
-                .map_err(|_| bad_line(lineno))
+            tok.ok_or_else(|| bad_line(lineno))?.parse::<u32>().map_err(|_| bad_line(lineno))
         };
         let src = parse(it.next())?;
         let dst = parse(it.next())?;
@@ -44,10 +42,7 @@ pub fn read_edge_list_from<R: BufRead>(reader: R) -> io::Result<Graph> {
 }
 
 fn bad_line(lineno: usize) -> io::Error {
-    io::Error::new(
-        io::ErrorKind::InvalidData,
-        format!("malformed edge-list line {}", lineno + 1),
-    )
+    io::Error::new(io::ErrorKind::InvalidData, format!("malformed edge-list line {}", lineno + 1))
 }
 
 /// Write a graph as a whitespace-separated edge list.

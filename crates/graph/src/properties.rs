@@ -154,10 +154,7 @@ mod tests {
     fn feature_vector_lengths_match_names() {
         let p = GraphProperties::compute_advanced(&triangle_graph());
         for tier in PropertyTier::ALL {
-            assert_eq!(
-                p.feature_vector(tier).len(),
-                GraphProperties::feature_names(tier).len()
-            );
+            assert_eq!(p.feature_vector(tier).len(), GraphProperties::feature_names(tier).len());
         }
         assert_eq!(p.feature_vector(PropertyTier::Simple).len(), 2);
         assert_eq!(p.feature_vector(PropertyTier::Basic).len(), 6);

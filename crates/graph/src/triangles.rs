@@ -37,11 +37,7 @@ pub fn triangle_counts_from_simple(adj: &Csr) -> Vec<u64> {
     let mut fwd_offsets = vec![0usize; n + 1];
     for v in 0..n {
         let vr = rank[v];
-        let cnt = adj
-            .neighbors(v as VertexId)
-            .iter()
-            .filter(|&&u| rank[u as usize] > vr)
-            .count();
+        let cnt = adj.neighbors(v as VertexId).iter().filter(|&&u| rank[u as usize] > vr).count();
         fwd_offsets[v + 1] = fwd_offsets[v] + cnt;
     }
     let mut fwd = vec![0 as VertexId; fwd_offsets[n]];
@@ -55,12 +51,16 @@ pub fn triangle_counts_from_simple(adj: &Csr) -> Vec<u64> {
                     cursor[v] += 1;
                 }
             }
-            fwd[fwd_offsets[v]..fwd_offsets[v + 1]]
-                .sort_unstable_by_key(|&u| rank[u as usize]);
+            fwd[fwd_offsets[v]..fwd_offsets[v + 1]].sort_unstable_by_key(|&u| rank[u as usize]);
         }
     }
     // For each edge (v, u) with rank[v] < rank[u], intersect fwd(v) ∩ fwd(u).
-    let by_rank = |s: &[VertexId], rank: &[u32], target: &[VertexId], counts: &mut [u64], v: usize, u: usize| {
+    let by_rank = |s: &[VertexId],
+                   rank: &[u32],
+                   target: &[VertexId],
+                   counts: &mut [u64],
+                   v: usize,
+                   u: usize| {
         // merge-intersect two rank-sorted lists
         let (mut i, mut j) = (0usize, 0usize);
         while i < s.len() && j < target.len() {

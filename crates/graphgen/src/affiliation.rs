@@ -25,13 +25,7 @@ impl Affiliation {
     pub fn new(num_actors: usize, num_groups: usize, mean_memberships: f64, seed: u64) -> Self {
         assert!(num_actors >= 1 && num_groups >= 1);
         assert!(mean_memberships >= 1.0);
-        Affiliation {
-            num_actors,
-            num_groups,
-            mean_memberships,
-            popularity_exponent: 2.0,
-            seed,
-        }
+        Affiliation { num_actors, num_groups, mean_memberships, popularity_exponent: 2.0, seed }
     }
 
     pub fn generate(&self) -> Graph {
@@ -46,7 +40,8 @@ impl Affiliation {
         }
         let total = acc;
         let n = self.num_actors + self.num_groups;
-        let mut edges = Vec::with_capacity((self.num_actors as f64 * self.mean_memberships) as usize);
+        let mut edges =
+            Vec::with_capacity((self.num_actors as f64 * self.mean_memberships) as usize);
         for actor in 0..self.num_actors {
             // geometric-ish membership count with the requested mean ≥ 1
             let mut memberships = 1usize;
@@ -75,10 +70,7 @@ mod tests {
     fn edges_are_strictly_bipartite() {
         let a = Affiliation::new(500, 50, 3.0, 1);
         let g = a.generate();
-        assert!(g
-            .edges()
-            .iter()
-            .all(|e| (e.src as usize) < 500 && (e.dst as usize) >= 500));
+        assert!(g.edges().iter().all(|e| (e.src as usize) < 500 && (e.dst as usize) >= 500));
     }
 
     #[test]

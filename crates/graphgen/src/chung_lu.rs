@@ -30,9 +30,7 @@ impl ChungLu {
     /// Chung–Lu parametrization producing P(deg = d) ~ d^(-exponent).
     fn weights(&self) -> Vec<f64> {
         let gamma = 1.0 / (self.exponent - 1.0);
-        (0..self.num_vertices)
-            .map(|i| ((i + 1) as f64).powf(-gamma))
-            .collect()
+        (0..self.num_vertices).map(|i| ((i + 1) as f64).powf(-gamma)).collect()
     }
 
     pub fn generate(&self) -> Graph {

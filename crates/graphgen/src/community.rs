@@ -48,10 +48,8 @@ impl CommunityGraph {
 
     /// Draw community sizes until the vertex budget is exhausted.
     fn community_sizes(&self, rng: &mut StdRng) -> Vec<usize> {
-        let max_community = self
-            .max_community
-            .unwrap_or(self.num_vertices / 4)
-            .max(self.min_community + 1);
+        let max_community =
+            self.max_community.unwrap_or(self.num_vertices / 4).max(self.min_community + 1);
         let mut sizes = Vec::new();
         let mut used = 0usize;
         while used < self.num_vertices {

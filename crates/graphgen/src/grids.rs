@@ -213,10 +213,7 @@ mod tests {
             .expect("160M/2^22 row present");
         let paper_ratio = 2.0 * 160e6 / (1u64 << 22) as f64;
         let ours = 2.0 * spec.num_edges as f64 / spec.num_vertices as f64;
-        assert!(
-            (ours / paper_ratio - 1.0).abs() < 0.05,
-            "ratio ours={ours} paper={paper_ratio}"
-        );
+        assert!((ours / paper_ratio - 1.0).abs() < 0.05, "ratio ours={ours} paper={paper_ratio}");
     }
 
     #[test]

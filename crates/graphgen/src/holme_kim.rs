@@ -34,10 +34,10 @@ impl HolmeKim {
         let mut pool: Vec<u32> = Vec::with_capacity(2 * n * m);
         let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
         let link = |edges: &mut Vec<Edge>,
-                        pool: &mut Vec<u32>,
-                        adj: &mut Vec<Vec<u32>>,
-                        u: u32,
-                        v: u32| {
+                    pool: &mut Vec<u32>,
+                    adj: &mut Vec<Vec<u32>>,
+                    u: u32,
+                    v: u32| {
             edges.push(Edge::new(u, v));
             pool.push(u);
             pool.push(v);
@@ -90,10 +90,7 @@ mod tests {
         let high = HolmeKim::new(1_500, 3, 0.95, 7).generate();
         let c_low = triangles::avg_local_clustering(&low);
         let c_high = triangles::avg_local_clustering(&high);
-        assert!(
-            c_high > 2.0 * c_low,
-            "clustering low={c_low:.4} high={c_high:.4}"
-        );
+        assert!(c_high > 2.0 * c_low, "clustering low={c_low:.4} high={c_high:.4}");
     }
 
     #[test]

@@ -135,12 +135,10 @@ pub fn generate_typed(graph_type: GraphType, idx: usize, scale: Scale, seed: u64
         GraphType::Citation => {
             let d = 5 + rng.next_below(15);
             let n = (m_edges / d).max(d + 2);
-            CopyingModel::new(n, d, 0.3 + rng.next_f64() * 0.4, gseed)
-                .acyclic()
-                .generate()
+            CopyingModel::new(n, d, 0.3 + rng.next_f64() * 0.4, gseed).acyclic().generate()
         }
         GraphType::Collaboration => {
-            if idx % 2 == 0 {
+            if idx.is_multiple_of(2) {
                 let mixing = 0.03 + rng.next_f64() * 0.12;
                 let n = (m_edges / (6 + rng.next_below(10))).max(64);
                 CommunityGraph::new(n, m_edges, mixing, gseed).generate()
@@ -169,7 +167,7 @@ pub fn generate_typed(graph_type: GraphType, idx: usize, scale: Scale, seed: u64
             HolmeKim::new(n, m, 0.3 + rng.next_f64() * 0.4, gseed).generate()
         }
         GraphType::Web => {
-            if idx % 2 == 0 {
+            if idx.is_multiple_of(2) {
                 let n = (m_edges / (8 + rng.next_below(12))).max(32);
                 Kronecker::web_like(n, m_edges, gseed).generate()
             } else {
@@ -184,11 +182,7 @@ pub fn generate_typed(graph_type: GraphType, idx: usize, scale: Scale, seed: u64
             CopyingModel::new(n, d, 0.5 + rng.next_f64() * 0.3, gseed).generate()
         }
     };
-    TestGraph {
-        name: format!("{}-{:03}", graph_type.name(), idx),
-        graph_type,
-        graph,
-    }
+    TestGraph { name: format!("{}-{:03}", graph_type.name(), idx), graph_type, graph }
 }
 
 /// The full 176-graph library with the paper's per-type counts.
@@ -261,8 +255,13 @@ pub fn table4_test_set(scale: Scale, seed: u64) -> Vec<TestGraph> {
         TestGraph {
             name: "orkut-groupmemberships-analogue".into(),
             graph_type: GraphType::Affiliation,
-            graph: Affiliation::new(v(8.7), v(8.7) / 12, (e(327.0) as f64 / v(8.7) as f64).max(1.5), s())
-                .generate(),
+            graph: Affiliation::new(
+                v(8.7),
+                v(8.7) / 12,
+                (e(327.0) as f64 / v(8.7) as f64).max(1.5),
+                s(),
+            )
+            .generate(),
         },
         TestGraph {
             name: "eu-2015-host-analogue".into(),
@@ -286,8 +285,7 @@ pub fn friendster_analogue(scale: Scale, seed: u64) -> TestGraph {
     TestGraph {
         name: "friendster-analogue".into(),
         graph_type: GraphType::Social,
-        graph: Rmat::new(RmatParams::new(0.57, 0.19, 0.19, 0.05), vertices, edges, seed)
-            .generate(),
+        graph: Rmat::new(RmatParams::new(0.57, 0.19, 0.19, 0.05), vertices, edges, seed).generate(),
     }
 }
 
@@ -350,10 +348,7 @@ mod tests {
     fn standard_test_set_keeps_5_wikis() {
         let test = standard_test_set(Scale::Tiny, 1);
         assert_eq!(test.len(), 80);
-        assert_eq!(
-            test.iter().filter(|g| g.graph_type == GraphType::Wiki).count(),
-            5
-        );
+        assert_eq!(test.iter().filter(|g| g.graph_type == GraphType::Wiki).count(), 5);
     }
 
     #[test]

@@ -24,10 +24,7 @@ pub struct RmatParams {
 impl RmatParams {
     pub fn new(a: f64, b: f64, c: f64, d: f64) -> Self {
         let sum = a + b + c + d;
-        assert!(
-            (sum - 1.0).abs() < 1e-9,
-            "R-MAT probabilities must sum to 1 (got {sum})"
-        );
+        assert!((sum - 1.0).abs() < 1e-9, "R-MAT probabilities must sum to 1 (got {sum})");
         assert!(a >= 0.0 && b >= 0.0 && c >= 0.0 && d >= 0.0);
         RmatParams { a, b, c, d }
     }
@@ -151,22 +148,14 @@ mod tests {
         let skew = Rmat::new(RMAT_COMBOS[8], 1 << 11, 20_000, 1).generate();
         let d_flat = DegreeTable::compute(&flat).out_moments;
         let d_skew = DegreeTable::compute(&skew).out_moments;
-        assert!(
-            d_skew.max > d_flat.max,
-            "skewed max {} vs flat max {}",
-            d_skew.max,
-            d_flat.max
-        );
+        assert!(d_skew.max > d_flat.max, "skewed max {} vs flat max {}", d_skew.max, d_flat.max);
     }
 
     #[test]
     fn non_power_of_two_vertex_counts_fold_in_range() {
         let g = Rmat::new(RMAT_COMBOS[5], 1_000, 3_000, 5).generate();
         assert_eq!(g.num_vertices(), 1_000);
-        assert!(g
-            .edges()
-            .iter()
-            .all(|e| (e.src as usize) < 1_000 && (e.dst as usize) < 1_000));
+        assert!(g.edges().iter().all(|e| (e.src as usize) < 1_000 && (e.dst as usize) < 1_000));
     }
 
     #[test]

@@ -21,7 +21,7 @@ pub struct WattsStrogatz {
 
 impl WattsStrogatz {
     pub fn new(num_vertices: usize, k: usize, p_rewire: f64, seed: u64) -> Self {
-        assert!(k % 2 == 0 && k >= 2, "k must be even and >= 2");
+        assert!(k.is_multiple_of(2) && k >= 2, "k must be even and >= 2");
         assert!(num_vertices > k, "need n > k");
         assert!((0.0..=1.0).contains(&p_rewire));
         WattsStrogatz { num_vertices, k, p_rewire, seed }
@@ -75,8 +75,7 @@ mod tests {
         let lat = WattsStrogatz::new(800, 6, 0.0, 2).generate();
         let rnd = WattsStrogatz::new(800, 6, 1.0, 2).generate();
         assert!(
-            triangles::avg_local_clustering(&rnd)
-                < 0.2 * triangles::avg_local_clustering(&lat)
+            triangles::avg_local_clustering(&rnd) < 0.2 * triangles::avg_local_clustering(&lat)
         );
     }
 

@@ -79,10 +79,8 @@ pub fn grid_search(
     seed: u64,
 ) -> GridSearchResult {
     assert!(!candidates.is_empty());
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(candidates.len());
+    let workers =
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).min(candidates.len());
     let next = std::sync::atomic::AtomicUsize::new(0);
     let mut slots: Vec<Option<f64>> = vec![None; candidates.len()];
     {
@@ -101,11 +99,8 @@ pub fn grid_search(
             }
         });
     }
-    let all_scores: Vec<(ModelConfig, f64)> = candidates
-        .iter()
-        .cloned()
-        .zip(slots.into_iter().map(|s| s.expect("scored")))
-        .collect();
+    let all_scores: Vec<(ModelConfig, f64)> =
+        candidates.iter().cloned().zip(slots.into_iter().map(|s| s.expect("scored"))).collect();
     let (best, best_score) = all_scores
         .iter()
         .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite scores"))

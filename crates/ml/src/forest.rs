@@ -120,9 +120,8 @@ mod tests {
         let mut rows = Vec::with_capacity(n);
         let mut y = Vec::with_capacity(n);
         for _ in 0..n {
-            let f: Vec<f64> = (0..4)
-                .map(|_| (rng_next(&mut state) >> 11) as f64 / (1u64 << 53) as f64)
-                .collect();
+            let f: Vec<f64> =
+                (0..4).map(|_| (rng_next(&mut state) >> 11) as f64 / (1u64 << 53) as f64).collect();
             y.push(10.0 * (f[0] * f[1]).sin() + 5.0 * f[2] + 2.0 * f[3] * f[3]);
             rows.push(f);
         }

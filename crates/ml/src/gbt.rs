@@ -107,8 +107,7 @@ impl Regressor for GradientBoosting {
 
     fn predict_row(&self, row: &[f64]) -> f64 {
         self.base
-            + self.params.learning_rate
-                * self.trees.iter().map(|t| t.predict_row(row)).sum::<f64>()
+            + self.params.learning_rate * self.trees.iter().map(|t| t.predict_row(row)).sum::<f64>()
     }
 
     fn feature_importances(&self) -> Option<Vec<f64>> {
@@ -163,8 +162,7 @@ mod tests {
     #[test]
     fn zero_rounds_predicts_the_mean() {
         let (x, y) = wave(50, 3);
-        let mut gbt =
-            GradientBoosting::new(GbtParams { n_estimators: 0, ..Default::default() });
+        let mut gbt = GradientBoosting::new(GbtParams { n_estimators: 0, ..Default::default() });
         gbt.fit(&x, &y);
         let mean = y.iter().sum::<f64>() / y.len() as f64;
         assert!((gbt.predict_row(x.row(0)) - mean).abs() < 1e-12);

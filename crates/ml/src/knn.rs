@@ -64,13 +64,7 @@ impl Regressor for KnnRegressor {
         let k = self.k.min(self.y.len());
         let mut heap: BinaryHeap<Candidate> = BinaryHeap::with_capacity(k + 1);
         for i in 0..self.x.rows {
-            let dist2: f64 = self
-                .x
-                .row(i)
-                .iter()
-                .zip(row)
-                .map(|(a, b)| (a - b) * (a - b))
-                .sum();
+            let dist2: f64 = self.x.row(i).iter().zip(row).map(|(a, b)| (a - b) * (a - b)).sum();
             if heap.len() < k {
                 heap.push(Candidate { dist2, index: i });
             } else if heap.peek().is_some_and(|w| dist2 < w.dist2) {

@@ -118,8 +118,7 @@ impl Regressor for Ridge {
             assert!(boost < 1e12, "Gram matrix hopelessly singular");
         };
         self.weights = cholesky_solve(&l, &rhs, d);
-        self.intercept =
-            y_mean - self.weights.iter().zip(&x_mean).map(|(w, m)| w * m).sum::<f64>();
+        self.intercept = y_mean - self.weights.iter().zip(&x_mean).map(|(w, m)| w * m).sum::<f64>();
     }
 
     fn predict_row(&self, row: &[f64]) -> f64 {

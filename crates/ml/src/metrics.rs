@@ -6,11 +6,7 @@ pub fn rmse(y_true: &[f64], y_pred: &[f64]) -> f64 {
     if y_true.is_empty() {
         return 0.0;
     }
-    let mse = y_true
-        .iter()
-        .zip(y_pred)
-        .map(|(t, p)| (t - p) * (t - p))
-        .sum::<f64>()
+    let mse = y_true.iter().zip(y_pred).map(|(t, p)| (t - p) * (t - p)).sum::<f64>()
         / y_true.len() as f64;
     mse.sqrt()
 }
@@ -23,11 +19,7 @@ pub fn mape(y_true: &[f64], y_pred: &[f64]) -> f64 {
         return 0.0;
     }
     const EPS: f64 = 1e-10;
-    y_true
-        .iter()
-        .zip(y_pred)
-        .map(|(t, p)| (t - p).abs() / t.abs().max(EPS))
-        .sum::<f64>()
+    y_true.iter().zip(y_pred).map(|(t, p)| (t - p).abs() / t.abs().max(EPS)).sum::<f64>()
         / y_true.len() as f64
 }
 

@@ -142,8 +142,7 @@ impl Regressor for MlpRegressor {
         let mut order: Vec<usize> = (0..x.rows).collect();
         let mut activations: Vec<Vec<f64>> = Vec::new();
         // gradient buffers per layer
-        let mut gw: Vec<Vec<f64>> =
-            self.layers.iter().map(|l| vec![0.0; l.w.len()]).collect();
+        let mut gw: Vec<Vec<f64>> = self.layers.iter().map(|l| vec![0.0; l.w.len()]).collect();
         let mut gb: Vec<Vec<f64>> = self.layers.iter().map(|l| vec![0.0; l.b.len()]).collect();
         for _epoch in 0..self.params.epochs {
             // Fisher–Yates shuffle
@@ -235,9 +234,8 @@ mod tests {
 
     #[test]
     fn learns_a_linear_map() {
-        let rows: Vec<Vec<f64>> = (0..100)
-            .map(|i| vec![f64::from(i % 10) / 10.0, f64::from(i / 10) / 10.0])
-            .collect();
+        let rows: Vec<Vec<f64>> =
+            (0..100).map(|i| vec![f64::from(i % 10) / 10.0, f64::from(i / 10) / 10.0]).collect();
         let y: Vec<f64> = rows.iter().map(|r| 3.0 * r[0] - 2.0 * r[1] + 1.0).collect();
         let x = Matrix::from_rows(&rows);
         let mut m = MlpRegressor::new(MlpParams { epochs: 200, ..Default::default() });

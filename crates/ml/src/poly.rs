@@ -97,9 +97,8 @@ mod tests {
     #[test]
     fn interaction_terms_present_for_degree_two() {
         // y = x0 * x1 is only learnable with interactions
-        let rows: Vec<Vec<f64>> = (0..16)
-            .map(|i| vec![f64::from(i % 4), f64::from(i / 4)])
-            .collect();
+        let rows: Vec<Vec<f64>> =
+            (0..16).map(|i| vec![f64::from(i % 4), f64::from(i / 4)]).collect();
         let y: Vec<f64> = rows.iter().map(|r| r[0] * r[1]).collect();
         let x = Matrix::from_rows(&rows);
         let mut m = PolynomialRegression::new(2, 1e-8);

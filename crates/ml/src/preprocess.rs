@@ -44,9 +44,7 @@ impl StandardScaler {
     pub fn transform_row(&self, row: &[f64], out: &mut Vec<f64>) {
         out.clear();
         out.extend(
-            row.iter()
-                .zip(self.means.iter().zip(&self.stds))
-                .map(|(v, (m, s))| (v - m) / s),
+            row.iter().zip(self.means.iter().zip(&self.stds)).map(|(v, (m, s))| (v - m) / s),
         );
     }
 

@@ -31,7 +31,14 @@ pub struct SvrParams {
 
 impl Default for SvrParams {
     fn default() -> Self {
-        SvrParams { c: 10.0, epsilon: 0.01, gamma: 0.5, max_passes: 60, tol: 1e-5, max_train: 1_500 }
+        SvrParams {
+            c: 10.0,
+            epsilon: 0.01,
+            gamma: 0.5,
+            max_passes: 60,
+            tol: 1e-5,
+            max_train: 1_500,
+        }
     }
 }
 
@@ -138,7 +145,7 @@ mod tests {
 
     fn sine_data(n: usize) -> (Matrix, Vec<f64>) {
         let rows: Vec<Vec<f64>> =
-            (0..n).map(|i| vec![i as f64 / n as f64 * 6.28]).collect();
+            (0..n).map(|i| vec![i as f64 / n as f64 * std::f64::consts::TAU]).collect();
         let y: Vec<f64> = rows.iter().map(|r| r[0].sin()).collect();
         (Matrix::from_rows(&rows), y)
     }
@@ -171,8 +178,7 @@ mod tests {
     #[test]
     fn subsampling_cap_applies() {
         let (x, y) = sine_data(300);
-        let mut m =
-            SvrRegressor::new(SvrParams { max_train: 50, ..Default::default() });
+        let mut m = SvrRegressor::new(SvrParams { max_train: 50, ..Default::default() });
         m.fit(&x, &y);
         assert!(m.support.rows <= 50);
         // still a decent fit

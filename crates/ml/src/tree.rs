@@ -164,13 +164,7 @@ impl RegressionTree {
 
     /// Fit against pre-binned data (ensemble path; `indices` may contain
     /// duplicates for bootstrap sampling).
-    pub fn fit_binned(
-        &mut self,
-        binned: &[u8],
-        binner: &Binner,
-        y: &[f64],
-        indices: &mut [u32],
-    ) {
+    pub fn fit_binned(&mut self, binned: &[u8], binner: &Binner, y: &[f64], indices: &mut [u32]) {
         let cols = binner.num_features();
         self.nodes.clear();
         self.importances = vec![0.0; cols];
@@ -357,9 +351,8 @@ mod tests {
     #[test]
     fn importance_lands_on_informative_feature() {
         // feature 1 is pure noise, feature 0 carries the signal
-        let rows: Vec<Vec<f64>> = (0..40)
-            .map(|i| vec![f64::from(i % 10), f64::from((i * 7919) % 13)])
-            .collect();
+        let rows: Vec<Vec<f64>> =
+            (0..40).map(|i| vec![f64::from(i % 10), f64::from((i * 7919) % 13)]).collect();
         let y: Vec<f64> = rows.iter().map(|r| if r[0] < 5.0 { 0.0 } else { 10.0 }).collect();
         let x = Matrix::from_rows(&rows);
         let mut t = RegressionTree::new(TreeParams::default());
@@ -373,8 +366,7 @@ mod tests {
     fn leaf_l2_shrinks_leaves_toward_zero() {
         let (x, y) = step_data();
         let mut plain = RegressionTree::new(TreeParams::default());
-        let mut shrunk =
-            RegressionTree::new(TreeParams { leaf_l2: 20.0, ..Default::default() });
+        let mut shrunk = RegressionTree::new(TreeParams { leaf_l2: 20.0, ..Default::default() });
         plain.fit(&x, &y);
         shrunk.fit(&x, &y);
         assert!(shrunk.predict_row(&[10.0]).abs() < plain.predict_row(&[10.0]).abs());

@@ -73,9 +73,9 @@ impl ModelConfig {
     /// paper's preprocessing.
     pub fn build(&self) -> Box<dyn Regressor> {
         match self {
-            ModelConfig::Poly { degree, alpha } => Box::new(ScaledModel::new(Box::new(
-                PolynomialRegression::new(*degree, *alpha),
-            ))),
+            ModelConfig::Poly { degree, alpha } => {
+                Box::new(ScaledModel::new(Box::new(PolynomialRegression::new(*degree, *alpha))))
+            }
             ModelConfig::Svr { c, epsilon, gamma } => {
                 Box::new(ScaledModel::new(Box::new(SvrRegressor::new(SvrParams {
                     c: *c,
@@ -102,11 +102,8 @@ impl ModelConfig {
                 }))
             }
             ModelConfig::Knn { k, distance_weighted } => {
-                let weights = if *distance_weighted {
-                    KnnWeights::Distance
-                } else {
-                    KnnWeights::Uniform
-                };
+                let weights =
+                    if *distance_weighted { KnnWeights::Distance } else { KnnWeights::Uniform };
                 Box::new(ScaledModel::new(Box::new(KnnRegressor::new(*k, weights))))
             }
             ModelConfig::Mlp { hidden, epochs, learning_rate } => {
@@ -183,12 +180,10 @@ mod tests {
         for cfg in default_grid() {
             let mut m = match cfg {
                 // shrink the expensive ones for the test
-                ModelConfig::Mlp { ref hidden, .. } => ModelConfig::Mlp {
-                    hidden: hidden.clone(),
-                    epochs: 10,
-                    learning_rate: 1e-3,
+                ModelConfig::Mlp { ref hidden, .. } => {
+                    ModelConfig::Mlp { hidden: hidden.clone(), epochs: 10, learning_rate: 1e-3 }
+                        .build()
                 }
-                .build(),
                 _ => cfg.build(),
             };
             m.fit(&x, &y);
@@ -199,8 +194,7 @@ mod tests {
 
     #[test]
     fn grid_covers_all_six_families() {
-        let kinds: std::collections::HashSet<_> =
-            default_grid().iter().map(|c| c.kind()).collect();
+        let kinds: std::collections::HashSet<_> = default_grid().iter().map(|c| c.kind()).collect();
         assert_eq!(kinds.len(), 6);
     }
 

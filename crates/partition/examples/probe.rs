@@ -2,13 +2,9 @@
 use ease_partition::{run_partitioner, PartitionerId};
 
 fn main() {
-    let rmat = ease_graphgen::rmat::Rmat::new(
-        ease_graphgen::rmat::RMAT_COMBOS[6],
-        1 << 11,
-        16_000,
-        5,
-    )
-    .generate();
+    let rmat =
+        ease_graphgen::rmat::Rmat::new(ease_graphgen::rmat::RMAT_COMBOS[6], 1 << 11, 16_000, 5)
+            .generate();
     let comm = ease_graphgen::community::CommunityGraph::new(2_000, 16_000, 0.04, 3).generate();
     for (name, g) in [("rmat-c7", &rmat), ("community", &comm)] {
         for k in [8, 16] {

@@ -14,7 +14,7 @@ pub struct EdgePartition {
 impl EdgePartition {
     /// Wrap a raw assignment. Panics (debug) if an id is out of range.
     pub fn new(k: usize, assignment: Vec<u16>) -> Self {
-        debug_assert!(k >= 1 && k <= crate::MAX_PARTITIONS);
+        debug_assert!((1..=crate::MAX_PARTITIONS).contains(&k));
         debug_assert!(assignment.iter().all(|&p| (p as usize) < k));
         EdgePartition { k, assignment }
     }

@@ -43,7 +43,7 @@ impl Partitioner for Hdrf {
     }
 
     fn partition(&self, graph: &Graph, k: usize) -> EdgePartition {
-        assert!(k >= 1 && k <= MAX_PARTITIONS);
+        assert!((1..=MAX_PARTITIONS).contains(&k));
         let mut state = HdrfState::new(graph.num_vertices(), k, self.lambda, self.seed);
         let mut assignment = Vec::with_capacity(graph.num_edges());
         for e in graph.edges() {

@@ -46,7 +46,7 @@ impl Partitioner for Hep {
     }
 
     fn partition(&self, graph: &Graph, k: usize) -> EdgePartition {
-        assert!(k >= 1 && k <= MAX_PARTITIONS);
+        assert!((1..=MAX_PARTITIONS).contains(&k));
         let m = graph.num_edges();
         if m == 0 {
             return EdgePartition::new(k, Vec::new());
@@ -128,10 +128,7 @@ mod tests {
             QualityMetrics::compute(&g, &Hep::new(tau, 1).partition(&g, 16)).replication_factor
         };
         let (rf1, rf100) = (rf(1.0), rf(100.0));
-        assert!(
-            rf100 <= rf1 * 1.05,
-            "hep-100 rf {rf100} should not trail hep-1 rf {rf1}"
-        );
+        assert!(rf100 <= rf1 * 1.05, "hep-100 rf {rf100} should not trail hep-1 rf {rf1}");
     }
 
     #[test]

@@ -83,10 +83,7 @@ impl QualityMetrics {
             touched[d / 64] |= 1 << (d % 64);
         }
         let popcount = |bits: &[u64], p: usize| -> usize {
-            bits[p * words..(p + 1) * words]
-                .iter()
-                .map(|w| w.count_ones() as usize)
-                .sum()
+            bits[p * words..(p + 1) * words].iter().map(|w| w.count_ones() as usize).sum()
         };
         let used_vertices: usize = touched.iter().map(|w| w.count_ones() as usize).sum();
         let mut v_counts = vec![0usize; k];
@@ -98,11 +95,8 @@ impl QualityMetrics {
             d_counts[p] = popcount(&cover_dst, p);
         }
         let total_cover: usize = v_counts.iter().sum();
-        let replication_factor = if used_vertices > 0 {
-            total_cover as f64 / used_vertices as f64
-        } else {
-            1.0
-        };
+        let replication_factor =
+            if used_vertices > 0 { total_cover as f64 / used_vertices as f64 } else { 1.0 };
         QualityMetrics {
             replication_factor,
             edge_balance: balance(&edge_counts),

@@ -38,7 +38,7 @@ impl Partitioner for Ne {
     }
 
     fn partition(&self, graph: &Graph, k: usize) -> EdgePartition {
-        assert!(k >= 1 && k <= MAX_PARTITIONS);
+        assert!((1..=MAX_PARTITIONS).contains(&k));
         let capacity = graph.num_edges().div_ceil(k).max(1);
         let r = neighborhood_expansion(graph, k, capacity, None, true, self.seed);
         EdgePartition::new(k, r.assignment)
@@ -101,10 +101,7 @@ impl Incidence {
     #[inline]
     fn incident(&self, v: u32) -> impl Iterator<Item = (u32, u32)> + '_ {
         let (lo, hi) = (self.offsets[v as usize], self.offsets[v as usize + 1]);
-        self.neighbor[lo..hi]
-            .iter()
-            .copied()
-            .zip(self.edge_idx[lo..hi].iter().copied())
+        self.neighbor[lo..hi].iter().copied().zip(self.edge_idx[lo..hi].iter().copied())
     }
 }
 
@@ -138,7 +135,7 @@ pub(crate) fn neighborhood_expansion(
     let mut in_s = vec![0u32; n];
     let mut in_c = vec![0u32; n];
     let mut seed_cursor = 0usize;
-    let is_eligible = |i: usize| eligible.map_or(true, |mask| mask[i]);
+    let is_eligible = |i: usize| eligible.is_none_or(|mask| mask[i]);
 
     let expandable = if fill_last { k.saturating_sub(1).max(1) } else { k };
     for p in 0..expandable {
@@ -205,9 +202,7 @@ pub(crate) fn neighborhood_expansion(
             in_c[x as usize] = epoch;
             for (nbr, ei) in inc.incident(x) {
                 let ei = ei as usize;
-                if !assigned[ei]
-                    && (in_s[nbr as usize] == epoch || in_c[nbr as usize] == epoch)
-                {
+                if !assigned[ei] && (in_s[nbr as usize] == epoch || in_c[nbr as usize] == epoch) {
                     assigned[ei] = true;
                     assignment[ei] = p as u16;
                     sizes[p] += 1;
@@ -317,18 +312,14 @@ mod tests {
         // the same graph yield heavily varying vertex balance.
         let g = Rmat::new(RMAT_COMBOS[6], 1 << 11, 12_000, 9).generate();
         let balances: Vec<f64> = (0..6)
-            .map(|s| {
-                QualityMetrics::compute(&g, &Ne::new(s).partition(&g, 8)).vertex_balance
-            })
+            .map(|s| QualityMetrics::compute(&g, &Ne::new(s).partition(&g, 8)).vertex_balance)
             .collect();
         let min = balances.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = balances.iter().cloned().fold(0.0, f64::max);
         assert!(max / min > 1.02, "balances {balances:?}");
         // replication factor stays comparatively stable
         let rfs: Vec<f64> = (0..6)
-            .map(|s| {
-                QualityMetrics::compute(&g, &Ne::new(s).partition(&g, 8)).replication_factor
-            })
+            .map(|s| QualityMetrics::compute(&g, &Ne::new(s).partition(&g, 8)).replication_factor)
             .collect();
         let rf_min = rfs.iter().cloned().fold(f64::INFINITY, f64::min);
         let rf_max = rfs.iter().cloned().fold(0.0, f64::max);

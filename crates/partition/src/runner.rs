@@ -73,12 +73,10 @@ mod tests {
         // partition than stateless hashing. Use a graph large enough for the
         // signal to dominate timer noise.
         let g = Rmat::new(RMAT_COMBOS[6], 1 << 12, 60_000, 3).generate();
-        let fast: f64 = (0..3)
-            .map(|s| run_partitioner(PartitionerId::OneDD, &g, 8, s).partitioning_secs)
-            .sum();
-        let slow: f64 = (0..3)
-            .map(|s| run_partitioner(PartitionerId::Ne, &g, 8, s).partitioning_secs)
-            .sum();
+        let fast: f64 =
+            (0..3).map(|s| run_partitioner(PartitionerId::OneDD, &g, 8, s).partitioning_secs).sum();
+        let slow: f64 =
+            (0..3).map(|s| run_partitioner(PartitionerId::Ne, &g, 8, s).partitioning_secs).sum();
         assert!(slow > fast, "ne {slow} vs 1dd {fast}");
     }
 }

@@ -75,8 +75,7 @@ impl Clustering {
                 let c = self.fresh_cluster();
                 self.cluster[su] = c;
                 self.cluster[sv] = c;
-                self.volume[c as usize] =
-                    u64::from(self.degree[su]) + u64::from(self.degree[sv]);
+                self.volume[c as usize] = u64::from(self.degree[su]) + u64::from(self.degree[sv]);
             }
             (false, true) => self.try_join(sv, cu, cap),
             (true, false) => self.try_join(su, cv, cap),
@@ -96,8 +95,7 @@ impl Clustering {
                     let d = u64::from(self.degree[mover]);
                     if self.volume[target as usize] + d <= cap {
                         let old = self.cluster[mover];
-                        self.volume[old as usize] =
-                            self.volume[old as usize].saturating_sub(d);
+                        self.volume[old as usize] = self.volume[old as usize].saturating_sub(d);
                         self.cluster[mover] = target;
                         self.volume[target as usize] += d;
                     }
@@ -125,7 +123,7 @@ impl Partitioner for TwoPs {
     }
 
     fn partition(&self, graph: &Graph, k: usize) -> EdgePartition {
-        assert!(k >= 1 && k <= MAX_PARTITIONS);
+        assert!((1..=MAX_PARTITIONS).contains(&k));
         let n = graph.num_vertices();
         let m = graph.num_edges();
         if m == 0 {
@@ -138,9 +136,8 @@ impl Partitioner for TwoPs {
             clustering.observe(e.src, e.dst, volume_cap);
         }
         // ---- cluster -> partition mapping, largest volume first ----
-        let mut clusters: Vec<u32> = (0..clustering.next_cluster)
-            .filter(|&c| clustering.volume[c as usize] > 0)
-            .collect();
+        let mut clusters: Vec<u32> =
+            (0..clustering.next_cluster).filter(|&c| clustering.volume[c as usize] > 0).collect();
         clusters.sort_unstable_by_key(|&c| std::cmp::Reverse(clustering.volume[c as usize]));
         let mut part_volume = vec![0u64; k];
         let mut cluster_part = vec![0u16; clustering.next_cluster as usize];
@@ -165,13 +162,7 @@ impl Partitioner for TwoPs {
         for e in graph.edges() {
             let pu = part_of(e.src);
             let pv = part_of(e.dst);
-            let preferred = if pu == pv {
-                pu
-            } else if sizes[pu] <= sizes[pv] {
-                pu
-            } else {
-                pv
-            };
+            let preferred = if pu == pv || sizes[pu] <= sizes[pv] { pu } else { pv };
             let p = if sizes[preferred] < edge_cap {
                 preferred
             } else {

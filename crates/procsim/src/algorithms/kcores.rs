@@ -154,13 +154,8 @@ mod tests {
 
     #[test]
     fn cascade_matches_reference() {
-        let g = ease_graphgen::rmat::Rmat::new(
-            ease_graphgen::rmat::RMAT_COMBOS[3],
-            256,
-            1_500,
-            3,
-        )
-        .generate();
+        let g = ease_graphgen::rmat::Rmat::new(ease_graphgen::rmat::RMAT_COMBOS[3], 256, 1_500, 3)
+            .generate();
         let part = PartitionerId::Dbh.build(1).partition(&g, 4);
         let dg = DistributedGraph::build(&g, &part);
         let prog = KCores::with_mean_degree(&dg);

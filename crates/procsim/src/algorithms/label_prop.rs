@@ -35,10 +35,7 @@ impl Histogram {
 
     /// Most frequent label; ties break to the smallest label.
     fn argmax(&self) -> Option<u32> {
-        self.0
-            .iter()
-            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
-            .map(|&(l, _)| l)
+        self.0.iter().max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0))).map(|&(l, _)| l)
     }
 }
 
@@ -179,13 +176,8 @@ mod tests {
     fn lp_is_computation_bound() {
         // The paper picks LP as the computation-bound workload: per-replica
         // histogram work dominates its tiny 4-byte messages.
-        let g = ease_graphgen::rmat::Rmat::new(
-            ease_graphgen::rmat::RMAT_COMBOS[2],
-            512,
-            4_000,
-            3,
-        )
-        .generate();
+        let g = ease_graphgen::rmat::Rmat::new(ease_graphgen::rmat::RMAT_COMBOS[2], 512, 4_000, 3)
+            .generate();
         let part = ease_partition::PartitionerId::Hdrf.build(1).partition(&g, 4);
         let dg = DistributedGraph::build(&g, &part);
         let (r, _) = run(&LabelPropagation::new(5), &dg, &ClusterSpec::new(4));

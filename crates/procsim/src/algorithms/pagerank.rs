@@ -100,13 +100,8 @@ mod tests {
 
     #[test]
     fn matches_single_machine_reference() {
-        let g = ease_graphgen::rmat::Rmat::new(
-            ease_graphgen::rmat::RMAT_COMBOS[0],
-            256,
-            2_000,
-            1,
-        )
-        .generate();
+        let g = ease_graphgen::rmat::Rmat::new(ease_graphgen::rmat::RMAT_COMBOS[0], 256, 2_000, 1)
+            .generate();
         let part = PartitionerId::Hdrf.build(3).partition(&g, 4);
         let dg = DistributedGraph::build(&g, &part);
         let (_, ranks) = run(&PageRank::new(10), &dg, &ClusterSpec::new(4));
@@ -117,12 +112,7 @@ mod tests {
             if degrees[v] == 0 {
                 continue;
             }
-            assert!(
-                (ranks[v] - expect[v]).abs() < 1e-9,
-                "v={v}: {} vs {}",
-                ranks[v],
-                expect[v]
-            );
+            assert!((ranks[v] - expect[v]).abs() < 1e-9, "v={v}: {} vs {}", ranks[v], expect[v]);
         }
     }
 

@@ -113,13 +113,8 @@ mod tests {
 
     #[test]
     fn distances_match_bfs() {
-        let g = ease_graphgen::rmat::Rmat::new(
-            ease_graphgen::rmat::RMAT_COMBOS[5],
-            512,
-            4_000,
-            7,
-        )
-        .generate();
+        let g = ease_graphgen::rmat::Rmat::new(ease_graphgen::rmat::RMAT_COMBOS[5], 512, 4_000, 7)
+            .generate();
         let part = PartitionerId::Hdrf.build(1).partition(&g, 4);
         let dg = DistributedGraph::build(&g, &part);
         let prog = Sssp::with_random_source(&dg, 9);
@@ -142,10 +137,7 @@ mod tests {
 
     #[test]
     fn random_source_has_edges() {
-        let g = Graph::new(
-            100,
-            vec![ease_graph::Edge::new(41, 42), ease_graph::Edge::new(42, 43)],
-        );
+        let g = Graph::new(100, vec![ease_graph::Edge::new(41, 42), ease_graph::Edge::new(42, 43)]);
         let part = EdgePartition::new(1, vec![0, 0]);
         let dg = DistributedGraph::build(&g, &part);
         for seed in 0..5 {

@@ -30,9 +30,7 @@ impl VertexProgram for Synthetic {
     type Acc = Vec<f64>;
 
     fn init_state(&self, v: u32, _dg: &DistributedGraph) -> Vec<f64> {
-        (0..self.s)
-            .map(|i| f64::from((v.wrapping_add(i as u32)) % 101) / 101.0)
-            .collect()
+        (0..self.s).map(|i| f64::from((v.wrapping_add(i as u32)) % 101) / 101.0).collect()
     }
 
     fn initially_active(&self, _v: u32, _dg: &DistributedGraph) -> bool {
@@ -109,13 +107,8 @@ mod tests {
     use ease_partition::PartitionerId;
 
     fn dist(k: usize) -> DistributedGraph {
-        let g = ease_graphgen::rmat::Rmat::new(
-            ease_graphgen::rmat::RMAT_COMBOS[2],
-            256,
-            2_000,
-            4,
-        )
-        .generate();
+        let g = ease_graphgen::rmat::Rmat::new(ease_graphgen::rmat::RMAT_COMBOS[2], 256, 2_000, 4)
+            .generate();
         let part = PartitionerId::Hdrf.build(1).partition(&g, k);
         DistributedGraph::build(&g, &part)
     }

@@ -113,23 +113,17 @@ pub fn run<P: VertexProgram>(
     dg: &DistributedGraph,
     cluster: &ClusterSpec,
 ) -> (SimReport, Vec<P::State>) {
-    assert_eq!(
-        cluster.machines,
-        dg.num_partitions(),
-        "one machine per partition"
-    );
+    assert_eq!(cluster.machines, dg.num_partitions(), "one machine per partition");
     let n = dg.num_vertices();
     let k = dg.num_partitions();
     let mut states: Vec<P::State> = (0..n as u32).map(|v| prog.init_state(v, dg)).collect();
     let covered: Vec<bool> = (0..n as u32).map(|v| dg.master_of(v) != NO_MASTER).collect();
-    let mut active: Vec<bool> = (0..n as u32)
-        .map(|v| covered[v as usize] && prog.initially_active(v, dg))
-        .collect();
+    let mut active: Vec<bool> =
+        (0..n as u32).map(|v| covered[v as usize] && prog.initially_active(v, dg)).collect();
 
     // per-partition local accumulator storage, epoch-stamped
-    let mut local_acc: Vec<Vec<P::Acc>> = (0..k)
-        .map(|p| vec![prog.acc_identity(); dg.partition(p).vertices.len()])
-        .collect();
+    let mut local_acc: Vec<Vec<P::Acc>> =
+        (0..k).map(|p| vec![prog.acc_identity(); dg.partition(p).vertices.len()]).collect();
     let mut local_epoch: Vec<Vec<u32>> =
         (0..k).map(|p| vec![0u32; dg.partition(p).vertices.len()]).collect();
     let mut touched_lists: Vec<Vec<u32>> = vec![Vec::new(); k];
@@ -265,8 +259,7 @@ pub fn run<P: VertexProgram>(
             network_secs: cluster.network_secs(max_bytes),
             active_senders: num_active,
         };
-        report.total_secs +=
-            cost.compute_secs + cost.network_secs + cluster.superstep_latency_secs;
+        report.total_secs += cost.compute_secs + cost.network_secs + cluster.superstep_latency_secs;
         report.total_comm_bytes += bytes.iter().sum::<f64>();
         report.total_compute_units += compute.iter().sum::<f64>();
         report.per_superstep.push(cost);

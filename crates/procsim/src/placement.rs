@@ -57,7 +57,8 @@ impl DistributedGraph {
         for (v, &mask) in replicas.iter().enumerate() {
             if mask != 0 {
                 let r = mask.count_ones();
-                let pick = (ease_graph::hash::hash_vertex(v as u32, 0x5A57E12) % u64::from(r)) as u32;
+                let pick =
+                    (ease_graph::hash::hash_vertex(v as u32, 0x5A57E12) % u64::from(r)) as u32;
                 let mut m = mask;
                 for _ in 0..pick {
                     m &= m - 1;
@@ -68,15 +69,11 @@ impl DistributedGraph {
         let parts = part_edges
             .into_iter()
             .map(|edges| {
-                let mut vertices: Vec<u32> = edges
-                    .iter()
-                    .flat_map(|e| [e.src, e.dst])
-                    .collect();
+                let mut vertices: Vec<u32> = edges.iter().flat_map(|e| [e.src, e.dst]).collect();
                 vertices.sort_unstable();
                 vertices.dedup();
-                let local = |v: u32| -> u32 {
-                    vertices.binary_search(&v).expect("covered vertex") as u32
-                };
+                let local =
+                    |v: u32| -> u32 { vertices.binary_search(&v).expect("covered vertex") as u32 };
                 let edge_src_local = edges.iter().map(|e| local(e.src)).collect();
                 let edge_dst_local = edges.iter().map(|e| local(e.dst)).collect();
                 PartitionData { edges, vertices, edge_src_local, edge_dst_local }

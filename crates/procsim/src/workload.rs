@@ -1,9 +1,7 @@
 //! Workload catalog — the graph processing algorithms used to train and
 //! evaluate EASE's ProcessingTimePredictor.
 
-use crate::algorithms::{
-    ConnectedComponents, KCores, LabelPropagation, PageRank, Sssp, Synthetic,
-};
+use crate::algorithms::{ConnectedComponents, KCores, LabelPropagation, PageRank, Sssp, Synthetic};
 use crate::cluster::ClusterSpec;
 use crate::engine::{run, SimReport};
 use crate::placement::DistributedGraph;
@@ -12,16 +10,25 @@ use crate::placement::DistributedGraph;
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Workload {
     /// PageRank, fixed iterations (training runs use 10).
-    PageRank { iterations: usize },
+    PageRank {
+        iterations: usize,
+    },
     ConnectedComponents,
     /// SSSP from a pseudo-random seed vertex.
-    Sssp { source_seed: u64 },
+    Sssp {
+        source_seed: u64,
+    },
     /// K-Cores with k = ⌈mean degree⌉.
     KCores,
     /// Label Propagation, fixed iterations (showcase algorithm of Fig. 2).
-    LabelPropagation { iterations: usize },
+    LabelPropagation {
+        iterations: usize,
+    },
     /// Synthetic workload with feature width `s` (1 = low, 10 = high).
-    Synthetic { s: usize, iterations: usize },
+    Synthetic {
+        s: usize,
+        iterations: usize,
+    },
 }
 
 impl Workload {
@@ -135,13 +142,8 @@ mod tests {
 
     #[test]
     fn every_training_workload_executes() {
-        let g = ease_graphgen::rmat::Rmat::new(
-            ease_graphgen::rmat::RMAT_COMBOS[1],
-            256,
-            2_000,
-            2,
-        )
-        .generate();
+        let g = ease_graphgen::rmat::Rmat::new(ease_graphgen::rmat::RMAT_COMBOS[1], 256, 2_000, 2)
+            .generate();
         let part = PartitionerId::Dbh.build(1).partition(&g, 4);
         let dg = DistributedGraph::build(&g, &part);
         let cluster = ClusterSpec::new(4);

@@ -27,12 +27,7 @@ fn main() {
     // an unseen graph: the Socfb-A-anon analogue of the paper's Fig. 2
     let tg = ease_repro::graphgen::realworld::socfb_analogue(Scale::Tiny, 777);
     let props = GraphProperties::compute_advanced(&tg.graph);
-    println!(
-        "\nunseen graph {}: |V|={} |E|={}",
-        tg.name,
-        props.num_vertices,
-        props.num_edges
-    );
+    println!("\nunseen graph {}: |V|={} |E|={}", tg.name, props.num_vertices, props.num_edges);
 
     let k = cfg.processing_k;
     let workload = Workload::PageRank { iterations: 10 };
@@ -70,11 +65,11 @@ fn main() {
     for (name, secs) in &truth {
         println!("  {name:<8} {secs:>9.3}s");
     }
-    let pick = ease
-        .select(&props, workload, k, OptGoal::EndToEnd)
-        .best
-        .name()
-        .to_string();
+    let pick = ease.select(&props, workload, k, OptGoal::EndToEnd).best.name().to_string();
     let rank = truth.iter().position(|(n, _)| *n == pick).unwrap_or(99);
-    println!("\nEASE's pick `{pick}` ranks #{} of {} by true end-to-end time.", rank + 1, truth.len());
+    println!(
+        "\nEASE's pick `{pick}` ranks #{} of {} by true end-to-end time.",
+        rank + 1,
+        truth.len()
+    );
 }

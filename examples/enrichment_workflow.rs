@@ -6,7 +6,7 @@
 //! cargo run --release --example enrichment_workflow
 //! ```
 
-use ease_repro::core::enrich::{enrichment_sweep, aggregate_point};
+use ease_repro::core::enrich::{aggregate_point, enrichment_sweep};
 use ease_repro::core::profiling::{profile_quality, GraphInput};
 use ease_repro::graphgen::grids::rmat_small_corpus;
 use ease_repro::graphgen::realworld::{generate_typed, GraphType};
@@ -16,20 +16,13 @@ use ease_repro::partition::{PartitionerId, QualityTarget};
 
 fn main() {
     let scale = Scale::Tiny;
-    let partitioners = [
-        PartitionerId::Dbh,
-        PartitionerId::TwoPs,
-        PartitionerId::Hdrf,
-        PartitionerId::Ne,
-    ];
+    let partitioners =
+        [PartitionerId::Dbh, PartitionerId::TwoPs, PartitionerId::Hdrf, PartitionerId::Ne];
     let ks = [4usize, 8];
 
     println!("profiling a slice of the R-MAT training corpus...");
-    let train_inputs: Vec<GraphInput> = rmat_small_corpus(scale)
-        .into_iter()
-        .step_by(12)
-        .map(GraphInput::Rmat)
-        .collect();
+    let train_inputs: Vec<GraphInput> =
+        rmat_small_corpus(scale).into_iter().step_by(12).map(GraphInput::Rmat).collect();
     let base = profile_quality(&train_inputs, &partitioners, &ks, 1);
     println!("  {} training records", base.len());
 

@@ -45,14 +45,7 @@ fn main() {
             .collect();
         rows.sort_by(|a, b| (a.2 + a.3).partial_cmp(&(b.2 + b.3)).unwrap());
         for (p, rf, ps, pr) in &rows {
-            println!(
-                "{:<8} {:>6.2} {:>12.3} {:>12.3} {:>12.3}",
-                p.name(),
-                rf,
-                ps,
-                pr,
-                ps + pr
-            );
+            println!("{:<8} {:>6.2} {:>12.3} {:>12.3} {:>12.3}", p.name(), rf, ps, pr, ps + pr);
         }
         let best = rows.first().unwrap();
         println!("--> best end-to-end here: {}", best.0.name());

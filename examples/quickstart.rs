@@ -24,7 +24,10 @@ fn main() {
 
     // 2. partition into 8 parts with three very different algorithms
     let k = 8;
-    println!("\n{:<8} {:>6} {:>8} {:>8} {:>12}", "algo", "rf", "edge-bal", "vtx-bal", "partition-ms");
+    println!(
+        "\n{:<8} {:>6} {:>8} {:>8} {:>12}",
+        "algo", "rf", "edge-bal", "vtx-bal", "partition-ms"
+    );
     for id in [PartitionerId::OneDD, PartitionerId::Hdrf, PartitionerId::Ne] {
         let run = run_partitioner(id, &graph, k, 1);
         println!(

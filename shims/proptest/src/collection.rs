@@ -1,0 +1,48 @@
+//! `prop::collection` — vector strategies.
+
+use crate::strategy::Strategy;
+use rand::{Rng, StdRng};
+
+/// Anything convertible to a size range for `vec`.
+pub trait IntoSizeRange {
+    fn bounds(&self) -> (usize, usize); // inclusive
+}
+
+impl IntoSizeRange for usize {
+    fn bounds(&self) -> (usize, usize) {
+        (*self, *self)
+    }
+}
+
+impl IntoSizeRange for core::ops::Range<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        assert!(self.start < self.end, "empty size range");
+        (self.start, self.end - 1)
+    }
+}
+
+impl IntoSizeRange for core::ops::RangeInclusive<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        (*self.start(), *self.end())
+    }
+}
+
+pub struct VecStrategy<S> {
+    element: S,
+    min: usize,
+    max: usize,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let len = if self.min == self.max { self.min } else { rng.gen_range(self.min..=self.max) };
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// `prop::collection::vec(element, size)`.
+pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+    let (min, max) = size.bounds();
+    VecStrategy { element, min, max }
+}

@@ -1,0 +1,211 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset the workspace's property tests use: the
+//! [`proptest!`] macro (with `#![proptest_config(...)]`), range and tuple
+//! strategies, `prop_map` / `prop_flat_map`, `prop::collection::vec`,
+//! `prop::sample::select`, and the `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **No shrinking.** A failing case panics with the generated inputs'
+//!   case number; re-running is deterministic, so the failure reproduces.
+//! * **Deterministic seeding.** Cases are generated from a fixed seed, so
+//!   test runs are reproducible across machines and CI.
+
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Mirror of `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Run one named property: generate inputs from `strategies`, call the body.
+///
+/// This is the runtime behind the [`proptest!`] macro; not part of the real
+/// proptest API surface.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($p:pat in $s:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __runner = $crate::test_runner::TestRunner::new($cfg);
+                __runner.run(stringify!($name), |__rng| {
+                    $(let $p = $crate::strategy::Strategy::generate(&($s), __rng);)+
+                    #[allow(clippy::redundant_closure_call)]
+                    (|| -> ::std::result::Result<(), $crate::test_runner::Reject> {
+                        $body
+                        Ok(())
+                    })()
+                });
+            }
+        )*
+    };
+}
+
+/// `prop_assert!(cond, args...)` — fails the current case when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            panic!($($fmt)*);
+        }
+    };
+}
+
+/// `prop_assert_eq!(a, b)` — equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (left, right) = (&$a, &$b);
+        if !(*left == *right) {
+            panic!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($a),
+                stringify!($b),
+                left,
+                right
+            );
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$a, &$b);
+        if !(*left == *right) {
+            panic!($($fmt)*);
+        }
+    }};
+}
+
+/// `prop_assert_ne!(a, b)` — inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (left, right) = (&$a, &$b);
+        if *left == *right {
+            panic!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($a),
+                stringify!($b),
+                left
+            );
+        }
+    }};
+}
+
+/// `prop_assume!(cond)` — reject (skip) the current case when false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod self_tests {
+    use crate::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    static EXECUTED: AtomicUsize = AtomicUsize::new(0);
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(37))]
+
+        /// The runner executes exactly `cases` bodies (not zero, not one).
+        /// Deliberately NOT `#[test]`: invoked only by
+        /// `zz_case_count_was_honoured` so the count cannot race with a
+        /// parallel standalone run.
+        fn runner_executes_configured_cases(x in 0u32..100) {
+            EXECUTED.fetch_add(1, Ordering::SeqCst);
+            prop_assert!(x < 100);
+        }
+
+        /// Generated values respect range bounds, assume skips cases.
+        #[test]
+        fn ranges_and_assume(v in 10usize..20, f in -1.0f64..1.0) {
+            prop_assume!(v != 10); // must never observe the rejected value
+            prop_assert!(v > 10 && v < 20);
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        /// Composite strategies: tuples, maps, collections, select.
+        #[test]
+        fn composite_strategies(
+            v in prop::collection::vec((0u32..5, 0u32..5), 3..7),
+            pick in prop::sample::select(vec!["a", "b", "c"]),
+            mapped in (1usize..4).prop_map(|n| n * 2),
+        ) {
+            prop_assert!(v.len() >= 3 && v.len() < 7);
+            prop_assert!(v.iter().all(|&(a, b)| a < 5 && b < 5));
+            prop_assert!(["a", "b", "c"].contains(&pick));
+            prop_assert!([2, 4, 6].contains(&mapped));
+        }
+
+        /// flat_map threads dependent sizes through correctly.
+        #[test]
+        fn flat_map_dependent_sizes(
+            (rows, cols) in (1usize..6, 1usize..4).prop_flat_map(|(r, c)| {
+                (prop::collection::vec(prop::collection::vec(0.0f64..1.0, c..=c), r..=r), Just(c))
+            }).prop_map(|(m, c)| (m, c)),
+        ) {
+            prop_assert!(rows.iter().all(|row| row.len() == cols));
+        }
+    }
+
+    #[test]
+    fn zz_case_count_was_honoured() {
+        EXECUTED.store(0, Ordering::SeqCst);
+        runner_executes_configured_cases();
+        assert_eq!(EXECUTED.load(Ordering::SeqCst), 37);
+    }
+
+    #[test]
+    fn failing_property_panics() {
+        let result = std::panic::catch_unwind(|| {
+            let mut runner = crate::test_runner::TestRunner::new(ProptestConfig::with_cases(5));
+            runner.run("always_fails", |_rng| -> Result<(), crate::test_runner::Reject> {
+                panic!("intentional");
+            });
+        });
+        assert!(result.is_err(), "a failing property must fail the test");
+    }
+
+    #[test]
+    fn determinism_same_name_same_values() {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for out in [&mut a, &mut b] {
+            let mut runner = crate::test_runner::TestRunner::new(ProptestConfig::with_cases(20));
+            runner.run("det_probe", |rng| {
+                out.push(Strategy::generate(&(0u64..1_000_000), rng));
+                Ok(())
+            });
+        }
+        assert_eq!(a, b);
+    }
+}

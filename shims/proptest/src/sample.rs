@@ -1,0 +1,21 @@
+//! `prop::sample` — choosing among explicit values.
+
+use crate::strategy::Strategy;
+use rand::{Rng, StdRng};
+
+pub struct Select<T> {
+    options: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        self.options[rng.gen_range(0..self.options.len())].clone()
+    }
+}
+
+/// `prop::sample::select(vec)` — uniform choice from a non-empty vector.
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select: empty options");
+    Select { options }
+}

@@ -1,0 +1,85 @@
+//! Case runner: executes a property `cases` times with deterministic RNG.
+
+use rand::{RngCore, SeedableRng, StdRng};
+
+/// Mirror of `proptest::test_runner::Config` (prelude name: `ProptestConfig`).
+#[derive(Debug, Clone)]
+pub struct Config {
+    pub cases: u32,
+    /// Abort after this many consecutive `prop_assume!` rejections.
+    pub max_global_rejects: u32,
+}
+
+impl Config {
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases, ..Config::default() }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 256, max_global_rejects: 65_536 }
+    }
+}
+
+/// Marker returned by `prop_assume!` to skip a case.
+#[derive(Debug)]
+pub struct Reject;
+
+pub struct TestRunner {
+    config: Config,
+}
+
+impl TestRunner {
+    pub fn new(config: Config) -> Self {
+        TestRunner { config }
+    }
+
+    /// Run `case` up to `config.cases` times. Failures panic (no shrinking);
+    /// the panic message carries the case index and the fixed per-test seed,
+    /// so a failure is reproducible by re-running the test.
+    pub fn run<F>(&mut self, name: &str, mut case: F)
+    where
+        F: FnMut(&mut StdRng) -> Result<(), Reject>,
+    {
+        // Per-test deterministic seed derived from the property name.
+        let seed = name
+            .bytes()
+            .fold(0xcbf2_9ce4_8422_2325u64, |h, b| (h ^ b as u64).wrapping_mul(0x1000_0000_01b3));
+        let mut rejects = 0u32;
+        let mut executed = 0u32;
+        let mut attempt = 0u64;
+        while executed < self.config.cases {
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_add(attempt));
+            // burn-in so consecutive attempt seeds decorrelate
+            for _ in 0..4 {
+                rng.next_u64();
+            }
+            attempt += 1;
+            let case_no = executed;
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| case(&mut rng)));
+            match result {
+                Ok(Ok(())) => {
+                    executed += 1;
+                    rejects = 0;
+                }
+                Ok(Err(Reject)) => {
+                    rejects += 1;
+                    if rejects > self.config.max_global_rejects {
+                        panic!(
+                            "property `{name}`: too many prop_assume! rejections \
+                             ({rejects} in a row after {executed} cases)"
+                        );
+                    }
+                }
+                Err(payload) => {
+                    eprintln!(
+                        "property `{name}` failed at case {case_no} \
+                         (attempt {attempt}, seed base {seed:#x})"
+                    );
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    }
+}

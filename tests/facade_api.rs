@@ -1,0 +1,92 @@
+//! Guards the `ease_repro::` re-export surface: every namespace the facade
+//! promises must stay reachable, and the doctest contract in `src/lib.rs`
+//! (`Graph::from_pairs`, `PartitionerId::ALL.len() == 11`) must hold. A
+//! rename or dropped re-export in any member crate fails here first.
+
+use ease_repro::graph::csr::Direction;
+use ease_repro::graph::{Csr, DegreeTable, Graph, GraphProperties, PropertyTier};
+use ease_repro::partition::{Partitioner, PartitionerId, QualityMetrics};
+
+#[test]
+fn doctest_contract_from_pairs_and_eleven_partitioners() {
+    let g = Graph::from_pairs([(0, 1), (1, 2), (2, 0)]);
+    assert_eq!(g.num_edges(), 3);
+    assert_eq!(g.num_vertices(), 3);
+    assert_eq!(PartitionerId::ALL.len(), 11);
+}
+
+#[test]
+fn graph_namespace_is_reachable() {
+    let g = Graph::from_pairs([(0, 1), (1, 2), (2, 0), (0, 2)]);
+    let csr = Csr::build(&g, Direction::Out);
+    assert_eq!(csr.neighbors(0).len(), 2);
+    let degrees = DegreeTable::compute(&g);
+    assert!(degrees.total.iter().copied().max().unwrap_or(0) >= 2);
+    let props = GraphProperties::compute(&g, PropertyTier::Simple);
+    assert_eq!(props.num_edges, 4);
+    // advanced tier exists through the facade too
+    let adv = GraphProperties::compute_advanced(&g);
+    assert!(adv.avg_lcc.is_some());
+}
+
+#[test]
+fn partition_namespace_is_reachable() {
+    let g = Graph::from_pairs([(0, 1), (1, 2), (2, 3), (3, 0), (1, 3)]);
+    for id in PartitionerId::ALL {
+        let partitioner: Box<dyn Partitioner> = id.build(7);
+        let part = partitioner.partition(&g, 2);
+        assert_eq!(part.num_edges(), g.num_edges(), "{id:?}");
+        let metrics = QualityMetrics::compute(&g, &part);
+        assert!(metrics.replication_factor >= 1.0, "{id:?}");
+    }
+}
+
+#[test]
+fn graphgen_namespace_is_reachable() {
+    use ease_repro::graphgen::rmat::{Rmat, RMAT_COMBOS};
+    use ease_repro::graphgen::Scale;
+    assert_eq!(RMAT_COMBOS.len(), 9);
+    let g = Rmat::new(RMAT_COMBOS[0], 64, 300, 1).generate();
+    assert_eq!(g.num_edges(), 300);
+    assert!(Scale::parse("tiny").is_some());
+    let tg = ease_repro::graphgen::realworld::socfb_analogue(Scale::Tiny, 3);
+    assert!(tg.graph.num_edges() > 0);
+}
+
+#[test]
+fn ml_namespace_is_reachable() {
+    use ease_repro::ml::{rmse, Matrix, ModelConfig, StandardScaler};
+    let rows = vec![vec![0.0, 1.0], vec![1.0, 0.0], vec![2.0, 2.0], vec![3.0, 1.0]];
+    let y = vec![1.0, 2.0, 3.0, 4.0];
+    let x = Matrix::from_rows(&rows);
+    let mut model = ModelConfig::Knn { k: 2, distance_weighted: false }.build();
+    model.fit(&x, &y);
+    let preds = model.predict(&x);
+    assert_eq!(preds.len(), 4);
+    assert!(rmse(&y, &preds) >= 0.0);
+    let scaler = StandardScaler::fit(&x);
+    assert_eq!(scaler.transform(&x).rows, 4);
+}
+
+#[test]
+fn procsim_namespace_is_reachable() {
+    use ease_repro::procsim::{ClusterSpec, DistributedGraph, Workload};
+    let g = Graph::from_pairs([(0, 1), (1, 2), (2, 0), (2, 3)]);
+    let part = PartitionerId::Dbh.build(1).partition(&g, 2);
+    let dg = DistributedGraph::build(&g, &part);
+    let report = Workload::PageRank { iterations: 2 }.execute(&dg, &ClusterSpec::new(2));
+    assert!(report.total_secs > 0.0);
+    assert_eq!(report.supersteps, 2);
+}
+
+#[test]
+fn core_namespace_is_reachable() {
+    use ease_repro::core::pipeline::EaseConfig;
+    use ease_repro::core::profiling::TimingMode;
+    use ease_repro::core::selector::OptGoal;
+    use ease_repro::graphgen::Scale;
+    let cfg = EaseConfig::at_scale(Scale::Tiny);
+    assert_eq!(cfg.timing, TimingMode::Measured);
+    assert!(!cfg.ks.is_empty());
+    assert!(matches!(OptGoal::EndToEnd, OptGoal::EndToEnd));
+}

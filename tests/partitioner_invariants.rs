@@ -116,6 +116,66 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Exhaustive sweep the sampled properties above can miss: for EVERY
+    /// partitioner and EVERY k ∈ {2, 4, 8}, all edges are assigned, every
+    /// partition id is < k, and the replication factor is ≥ 1.
+    #[test]
+    fn every_partitioner_every_small_k_total_in_range_rf(
+        g in arb_graph(),
+        seed in 0u64..8,
+    ) {
+        for p in PartitionerId::ALL {
+            for k in [2usize, 4, 8] {
+                let part = p.build(seed).partition(&g, k);
+                prop_assert_eq!(
+                    part.num_edges(), g.num_edges(),
+                    "{:?} k={} dropped edges", p, k
+                );
+                prop_assert_eq!(
+                    part.assignment().len(), g.num_edges(),
+                    "{:?} k={} assignment length", p, k
+                );
+                prop_assert!(
+                    part.assignment().iter().all(|&x| (x as usize) < k),
+                    "{:?} k={} produced an out-of-range partition id", p, k
+                );
+                let m = QualityMetrics::compute(&g, &part);
+                prop_assert!(
+                    m.replication_factor >= 1.0 - 1e-12,
+                    "{:?} k={} rf={}", p, k, m.replication_factor
+                );
+            }
+        }
+    }
+}
+
+/// The same sweep on fixed corner-case graphs (self-loops, duplicate edges,
+/// isolated vertices, stars) that random R-MAT sampling rarely hits.
+#[test]
+fn every_partitioner_handles_corner_graphs() {
+    let corner_graphs: Vec<(&str, Graph)> = vec![
+        ("single_edge", Graph::from_pairs([(0, 1)])),
+        ("self_loop", Graph::from_pairs([(0, 0), (0, 1), (1, 1)])),
+        ("duplicates", Graph::from_pairs([(0, 1), (0, 1), (0, 1), (1, 0)])),
+        ("star", Graph::from_pairs((1u32..40).map(|v| (0, v)).collect::<Vec<_>>())),
+        ("two_components", Graph::from_pairs([(0, 1), (1, 2), (2, 0), (10, 11), (11, 12)])),
+    ];
+    for (name, g) in &corner_graphs {
+        for p in PartitionerId::ALL {
+            for k in [2usize, 4, 8] {
+                let part = p.build(3).partition(g, k);
+                assert_eq!(part.num_edges(), g.num_edges(), "{name} {p:?} k={k}");
+                assert!(part.assignment().iter().all(|&x| (x as usize) < k), "{name} {p:?} k={k}");
+                let m = QualityMetrics::compute(g, &part);
+                assert!(m.replication_factor >= 1.0 - 1e-12, "{name} {p:?} k={k}");
+            }
+        }
+    }
+}
+
 /// R-MAT parameter validation is outside proptest (constructor contract).
 #[test]
 fn rmat_params_must_sum_to_one() {

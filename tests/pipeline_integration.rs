@@ -4,7 +4,7 @@
 
 use ease_repro::core::evaluation::{evaluate_selection, group_truth};
 use ease_repro::core::pipeline::{train_ease, EaseConfig};
-use ease_repro::core::profiling::{profile_processing, GraphInput};
+use ease_repro::core::profiling::{profile_processing_with, GraphInput, TimingMode};
 use ease_repro::core::selector::OptGoal;
 use ease_repro::graph::GraphProperties;
 use ease_repro::graphgen::Scale;
@@ -34,7 +34,13 @@ fn tiny_config() -> EaseConfig {
 
 #[test]
 fn selector_beats_worst_and_tracks_random() {
-    let cfg = tiny_config();
+    // A *statistical* assertion needs reproducible inputs: at tiny scale
+    // partitioning times are microsecond measurements, so under the default
+    // `Measured` mode scheduler noise leaks into the training data and this
+    // test would be flaky. The deterministic proxy keeps the property
+    // strict AND reproducible; `Measured` stays the default everywhere else.
+    let mut cfg = tiny_config();
+    cfg.timing = TimingMode::Deterministic;
     let (ease, artifacts) = train_ease(&cfg);
     assert!(!artifacts.quality_records.is_empty());
     assert!(!artifacts.processing_records.is_empty());
@@ -47,12 +53,13 @@ fn selector_beats_worst_and_tracks_random() {
             .take(8)
             .collect(),
     );
-    let records = profile_processing(
+    let records = profile_processing_with(
         &test_inputs,
         &cfg.partitioners,
         cfg.processing_k,
         &cfg.workloads,
         99,
+        cfg.timing,
     );
     let groups = group_truth(&records);
     assert_eq!(groups.len(), 8 * cfg.workloads.len());
@@ -88,17 +95,69 @@ fn predictions_are_physically_consistent() {
         assert!(costs.partitioning_secs >= 0.0);
         assert!(costs.processing_secs > 0.0);
         assert!(
-            (costs.end_to_end_secs - costs.partitioning_secs - costs.processing_secs).abs()
-                < 1e-9
+            (costs.end_to_end_secs - costs.partitioning_secs - costs.processing_secs).abs() < 1e-9
         );
     }
 }
 
-/// Full-pipeline retraining is NOT bit-identical because partitioning
-/// run-times are *measured wall-clock values* (by design — the paper's
-/// step 2 measures real partitioners). Determinism is promised one level
-/// down: identical training records yield identical models, and a trained
-/// system is a pure function of its inputs.
+/// With `TimingMode::Deterministic`, the FULL pipeline is a pure function
+/// of its config: two `train_ease` runs with the same `EaseConfig` and RNG
+/// seed must produce bit-identical predicted costs and identical
+/// selections. This is the regression guard for future parallelism PRs —
+/// any scheduling-order dependence in profiling or training breaks it.
+#[test]
+fn same_config_same_seed_same_selection() {
+    let mut cfg = tiny_config();
+    cfg.max_small_graphs = Some(8);
+    cfg.max_large_graphs = Some(6);
+    cfg.timing = TimingMode::Deterministic;
+    cfg.seed = 0xD5EED;
+
+    let (sys_a, art_a) = train_ease(&cfg);
+    let (sys_b, art_b) = train_ease(&cfg);
+
+    // the profiled training records themselves are bit-identical
+    assert_eq!(art_a.quality_records.len(), art_b.quality_records.len());
+    for (ra, rb) in art_a.quality_records.iter().zip(&art_b.quality_records) {
+        assert_eq!(ra.graph_name, rb.graph_name);
+        assert_eq!(ra.partitioner, rb.partitioner);
+        assert_eq!(ra.k, rb.k);
+        assert_eq!(ra.metrics.replication_factor, rb.metrics.replication_factor);
+        assert_eq!(ra.partitioning_secs, rb.partitioning_secs);
+    }
+    assert_eq!(art_a.processing_records.len(), art_b.processing_records.len());
+    for (ra, rb) in art_a.processing_records.iter().zip(&art_b.processing_records) {
+        assert_eq!(ra.graph_name, rb.graph_name);
+        assert_eq!(ra.partitioning_secs, rb.partitioning_secs);
+        assert_eq!(ra.target_secs, rb.target_secs);
+    }
+
+    // ... and so are the trained systems' predictions and selections
+    for graph_seed in [5u64, 9, 21] {
+        let tg = ease_repro::graphgen::realworld::socfb_analogue(Scale::Tiny, graph_seed);
+        let props = GraphProperties::compute_advanced(&tg.graph);
+        for &w in &cfg.workloads {
+            for goal in [OptGoal::EndToEnd, OptGoal::ProcessingOnly] {
+                let sa = sys_a.select(&props, w, cfg.processing_k, goal);
+                let sb = sys_b.select(&props, w, cfg.processing_k, goal);
+                assert_eq!(sa.best, sb.best, "{w:?} {goal:?} graph_seed={graph_seed}");
+                assert_eq!(sa.candidates.len(), sb.candidates.len());
+                for (ca, cb) in sa.candidates.iter().zip(&sb.candidates) {
+                    assert_eq!(ca.end_to_end_secs, cb.end_to_end_secs);
+                    assert_eq!(ca.partitioning_secs, cb.partitioning_secs);
+                    assert_eq!(ca.processing_secs, cb.processing_secs);
+                    assert_eq!(ca.quality.replication_factor, cb.quality.replication_factor);
+                }
+            }
+        }
+    }
+}
+
+/// Full-pipeline retraining under the default `TimingMode::Measured` is NOT
+/// bit-identical because partitioning run-times are *measured wall-clock
+/// values* (by design — the paper's step 2 measures real partitioners).
+/// Determinism is promised one level down: identical training records yield
+/// identical models, and a trained system is a pure function of its inputs.
 #[test]
 fn trained_system_is_deterministic_given_records() {
     let cfg = {

@@ -11,9 +11,8 @@ use ease_repro::procsim::{ClusterSpec, DistributedGraph};
 use proptest::prelude::*;
 
 fn arb_graph() -> impl Strategy<Value = Graph> {
-    (0usize..9, 150usize..900, 0u64..30).prop_map(|(combo, edges, seed)| {
-        Rmat::new(RMAT_COMBOS[combo], 256, edges, seed).generate()
-    })
+    (0usize..9, 150usize..900, 0u64..30)
+        .prop_map(|(combo, edges, seed)| Rmat::new(RMAT_COMBOS[combo], 256, edges, seed).generate())
 }
 
 fn arb_partitioner() -> impl Strategy<Value = PartitionerId> {
