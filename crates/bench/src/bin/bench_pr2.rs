@@ -1,0 +1,111 @@
+//! PR 2 benchmark — `EaseService::recommend_batch` (std::thread fan-out)
+//! vs. a sequential query loop over the same trained service.
+//!
+//! Trains one quick tiny service, generates ≥ 64 synthetic query graphs,
+//! answers every `(graph, workload, goal)` query both ways, verifies the
+//! answers agree, and writes the throughput comparison to `BENCH_pr2.json`.
+//!
+//! ```sh
+//! cargo run --release -p ease-bench --bin bench_pr2
+//! ```
+
+use ease::profiling::TimingMode;
+use ease::selector::OptGoal;
+use ease::{EaseServiceBuilder, RecommendQuery};
+use ease_graph::GraphProperties;
+use ease_graphgen::realworld::{generate_typed, GraphType};
+use ease_graphgen::Scale;
+use ease_procsim::Workload;
+use std::time::Instant;
+
+const N_GRAPHS: usize = 96;
+const REPS: usize = 5;
+
+fn main() {
+    println!("### BENCH_pr2 — recommend_batch vs sequential recommend");
+    println!("training a quick tiny service (deterministic timing)...");
+    let t0 = Instant::now();
+    let service = EaseServiceBuilder::at_scale(Scale::Tiny)
+        .quick_grid()
+        .timing(TimingMode::Deterministic)
+        .seed(42)
+        .train()
+        .expect("valid config");
+    let train_secs = t0.elapsed().as_secs_f64();
+    println!("trained in {train_secs:.1}s");
+
+    println!("generating {N_GRAPHS} query graphs + properties...");
+    let workloads = [
+        Workload::PageRank { iterations: 10 },
+        Workload::ConnectedComponents,
+        Workload::Sssp { source_seed: 0x55AA },
+        Workload::KCores,
+    ];
+    let queries: Vec<RecommendQuery> = (0..N_GRAPHS)
+        .map(|i| {
+            let kind = GraphType::ALL[i % GraphType::ALL.len()];
+            let tg = generate_typed(kind, i % 3, Scale::Tiny, 1000 + i as u64);
+            RecommendQuery {
+                props: GraphProperties::compute_advanced(&tg.graph),
+                workload: workloads[i % workloads.len()],
+                k: [2, 4, 8][i % 3],
+                goal: if i % 2 == 0 { OptGoal::EndToEnd } else { OptGoal::ProcessingOnly },
+            }
+        })
+        .collect();
+
+    // warm-up + correctness: threaded answers must equal sequential ones
+    let warm_seq: Vec<_> = queries
+        .iter()
+        .map(|q| service.recommend_with_k(&q.props, q.workload, q.k, q.goal).expect("trained"))
+        .collect();
+    let warm_batch = service.recommend_batch(&queries);
+    for (s, b) in warm_seq.iter().zip(&warm_batch) {
+        assert_eq!(s.best, b.as_ref().expect("trained").best, "batch must agree with sequential");
+    }
+
+    let mut sequential_secs = f64::INFINITY;
+    let mut batch_secs = f64::INFINITY;
+    for rep in 0..REPS {
+        let t = Instant::now();
+        let out: Vec<_> = queries
+            .iter()
+            .map(|q| service.recommend_with_k(&q.props, q.workload, q.k, q.goal).expect("trained"))
+            .collect();
+        let seq = t.elapsed().as_secs_f64();
+        std::hint::black_box(&out);
+        let t = Instant::now();
+        let out = service.recommend_batch(&queries);
+        let bat = t.elapsed().as_secs_f64();
+        std::hint::black_box(&out);
+        sequential_secs = sequential_secs.min(seq);
+        batch_secs = batch_secs.min(bat);
+        println!("rep {rep}: sequential {seq:.4}s | batch {bat:.4}s");
+    }
+    let speedup = sequential_secs / batch_secs;
+    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    println!(
+        "\n{N_GRAPHS} queries: sequential {sequential_secs:.4}s ({:.0} q/s) vs batch \
+         {batch_secs:.4}s ({:.0} q/s) -> {speedup:.2}x on {threads} threads",
+        N_GRAPHS as f64 / sequential_secs,
+        N_GRAPHS as f64 / batch_secs,
+    );
+
+    let note = if threads == 1 {
+        "single available core: recommend_batch degrades gracefully to the sequential path; \
+         the fan-out speedup requires >1 threads"
+    } else {
+        "min-of-reps wall-clock over identical query sets"
+    };
+    let json = format!(
+        "{{\n  \"benchmark\": \"recommend_batch_vs_sequential\",\n  \"pr\": 2,\n  \
+         \"n_queries\": {N_GRAPHS},\n  \"reps\": {REPS},\n  \"threads\": {threads},\n  \
+         \"train_secs\": {train_secs:.4},\n  \"sequential_secs\": {sequential_secs:.6},\n  \
+         \"batch_secs\": {batch_secs:.6},\n  \"sequential_qps\": {:.2},\n  \
+         \"batch_qps\": {:.2},\n  \"speedup\": {speedup:.3},\n  \"note\": \"{note}\"\n}}\n",
+        N_GRAPHS as f64 / sequential_secs,
+        N_GRAPHS as f64 / batch_secs,
+    );
+    std::fs::write("BENCH_pr2.json", &json).expect("write BENCH_pr2.json");
+    println!("wrote BENCH_pr2.json");
+}

@@ -8,10 +8,10 @@
 //! replication factor backfires.
 
 use ease::evaluation::group_truth;
-use ease::pipeline::train_ease;
 use ease::profiling::{profile_processing, GraphInput};
 use ease::report::{f3, render_table, write_csv};
 use ease::selector::{strategy_pick, OptGoal, Strategy};
+use ease::EaseServiceBuilder;
 use ease_bench::{banner, config_from_env, results_dir, seed_from_env};
 use ease_procsim::Workload;
 
@@ -20,7 +20,7 @@ fn main() {
     let cfg = config_from_env();
     let seed = seed_from_env();
     println!("training EASE...");
-    let (ease, _) = train_ease(&cfg);
+    let service = EaseServiceBuilder::from_config(cfg.clone()).train().expect("valid config");
 
     let enwiki = ease_graphgen::realworld::table4_test_set(cfg.scale, seed ^ 0x7AB4)
         .into_iter()
@@ -39,7 +39,10 @@ fn main() {
     let mut csv = Vec::new();
     for g in &groups {
         let goal = OptGoal::EndToEnd;
-        let sps = ease.select(&g.props, g.workload, cfg.processing_k, goal).best;
+        let sps = service
+            .recommend_with_k(&g.props, g.workload, cfg.processing_k, goal)
+            .expect("trained workload")
+            .best;
         let srf = strategy_pick(Strategy::SmallestRf, &g.truth, goal);
         let optimal = strategy_pick(Strategy::Optimal, &g.truth, goal);
         let mut ranked = g.truth.clone();

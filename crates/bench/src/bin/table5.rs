@@ -3,9 +3,10 @@
 //! Also reports the PartitioningTimePredictor test MAPE (paper: 0.335).
 
 use ease::evaluation::{partitioning_time_score, processing_test_scores};
-use ease::pipeline::{dedup_partition_runs, train_ease};
+use ease::pipeline::dedup_partition_runs;
 use ease::profiling::{profile_processing, GraphInput};
 use ease::report::{f3, render_table, write_csv};
+use ease::EaseServiceBuilder;
 use ease_bench::{banner, config_from_env, results_dir, seed_from_env};
 
 fn main() {
@@ -17,7 +18,8 @@ fn main() {
         cfg.large_inputs().len(),
         cfg.processing_k
     );
-    let (ease, _artifacts) = train_ease(&cfg);
+    let service = EaseServiceBuilder::from_config(cfg.clone()).train().expect("valid config");
+    let ease = service.ease();
 
     println!("profiling Table IV test graphs...");
     let test_inputs =

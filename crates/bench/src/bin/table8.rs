@@ -6,10 +6,10 @@
 
 use ease::enrich::train_enriched;
 use ease::evaluation::{evaluate_selection, group_truth};
-use ease::pipeline::train_ease;
 use ease::profiling::{profile_processing, profile_quality, GraphInput};
 use ease::report::{pct, render_table, write_csv};
 use ease::selector::OptGoal;
+use ease::EaseServiceBuilder;
 use ease_bench::{banner, config_from_env, results_dir, seed_from_env};
 use ease_graph::PropertyTier;
 use ease_ml::ModelConfig;
@@ -20,7 +20,9 @@ fn main() {
     let seed = seed_from_env();
 
     println!("training EASE (full pipeline)...");
-    let (ease, artifacts) = train_ease(&cfg);
+    let (service, artifacts) =
+        EaseServiceBuilder::from_config(cfg.clone()).train_with_artifacts().expect("valid config");
+    let ease = service.into_ease();
 
     println!("profiling Table IV test graphs (ground truth for all partitioners)...");
     let test_inputs =

@@ -1,0 +1,118 @@
+//! Typed errors for EASE's user-facing surface.
+//!
+//! The training/selection internals keep their invariant `assert!`s (those
+//! guard programmer errors), but everything a *user* can trigger — bad
+//! configuration, unreadable graph files, corrupt or version-skewed model
+//! artifacts, queries for workloads the service was never trained on — is
+//! reported as an [`EaseError`] instead of a panic.
+
+use ease_graph::GraphIoError;
+use ease_ml::PersistError;
+use std::fmt;
+use std::io;
+
+/// Everything that can go wrong on EASE's public API surface.
+#[derive(Debug)]
+pub enum EaseError {
+    /// The underlying filesystem operation failed.
+    Io(io::Error),
+    /// An edge-list line could not be parsed (`line` is 1-based).
+    Parse { line: usize, message: String },
+    /// A model artifact could not be decoded (bad magic, version skew,
+    /// truncation, corruption).
+    Persist(PersistError),
+    /// A builder/pipeline configuration that cannot train.
+    InvalidConfig(String),
+    /// A recommendation was requested for a workload the service has no
+    /// trained model for.
+    UnsupportedWorkload { requested: String, supported: Vec<String> },
+    /// The service's partitioner catalog is empty — nothing to rank.
+    EmptyCatalog,
+}
+
+impl fmt::Display for EaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EaseError::Io(e) => write!(f, "I/O error: {e}"),
+            EaseError::Parse { line, message } => {
+                write!(f, "malformed edge-list line {line}: {message}")
+            }
+            EaseError::Persist(e) => write!(f, "model persistence error: {e}"),
+            EaseError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            EaseError::UnsupportedWorkload { requested, supported } => write!(
+                f,
+                "no model trained for workload `{requested}` (supported: {})",
+                supported.join(", ")
+            ),
+            EaseError::EmptyCatalog => write!(f, "partitioner catalog is empty"),
+        }
+    }
+}
+
+impl std::error::Error for EaseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EaseError::Io(e) => Some(e),
+            EaseError::Persist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for EaseError {
+    fn from(e: io::Error) -> Self {
+        EaseError::Io(e)
+    }
+}
+
+impl From<PersistError> for EaseError {
+    fn from(e: PersistError) -> Self {
+        EaseError::Persist(e)
+    }
+}
+
+impl From<GraphIoError> for EaseError {
+    fn from(e: GraphIoError) -> Self {
+        match e {
+            GraphIoError::Io(e) => EaseError::Io(e),
+            GraphIoError::Parse { line, message } => EaseError::Parse { line, message },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn graph_parse_errors_keep_their_line_numbers() {
+        let g = GraphIoError::Parse { line: 17, message: "bad token".into() };
+        match EaseError::from(g) {
+            EaseError::Parse { line, message } => {
+                assert_eq!(line, 17);
+                assert_eq!(message, "bad token");
+            }
+            other => panic!("expected Parse, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = EaseError::UnsupportedWorkload {
+            requested: "lp".into(),
+            supported: vec!["pr".into(), "cc".into()],
+        };
+        let s = e.to_string();
+        assert!(s.contains("`lp`") && s.contains("pr, cc"), "{s}");
+        assert!(EaseError::EmptyCatalog.to_string().contains("empty"));
+    }
+
+    #[test]
+    fn io_and_persist_sources_are_preserved() {
+        use std::error::Error;
+        let e = EaseError::from(io::Error::new(io::ErrorKind::NotFound, "nope"));
+        assert!(e.source().is_some());
+        let p = EaseError::from(ease_ml::PersistError::BadMagic);
+        assert!(p.source().is_some());
+    }
+}

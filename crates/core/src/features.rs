@@ -11,9 +11,15 @@ use ease_graph::{GraphProperties, PropertyTier};
 use ease_ml::OneHotEncoder;
 use ease_partition::{PartitionerId, QualityMetrics};
 
-/// One-hot encoder over the 11 partitioner names (stable order).
-pub fn partitioner_encoder() -> OneHotEncoder {
-    OneHotEncoder::new(PartitionerId::ALL.iter().map(|p| p.name().to_string()).collect())
+/// One-hot encoder over the 11 partitioner names (stable order). Built
+/// once — this sits on the per-prediction hot path of every predictor, and
+/// rebuilding 11 heap strings per feature row measurably slows batched
+/// query serving.
+pub fn partitioner_encoder() -> &'static OneHotEncoder {
+    static ENCODER: std::sync::OnceLock<OneHotEncoder> = std::sync::OnceLock::new();
+    ENCODER.get_or_init(|| {
+        OneHotEncoder::new(PartitionerId::ALL.iter().map(|p| p.name().to_string()).collect())
+    })
 }
 
 /// Feature names for the PartitioningQualityPredictor at a property tier.

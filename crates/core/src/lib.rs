@@ -18,20 +18,27 @@
 //! synthetic training set with real-world graphs, and [`evaluation`]
 //! regenerates the paper's accuracy matrices and strategy comparisons.
 //!
+//! The primary entry point is the [`service`] module — *train once, query
+//! cheaply*: [`EaseServiceBuilder`] trains a persistable [`EaseService`]
+//! whose `recommend`/`recommend_batch` answer selection queries with typed
+//! [`EaseError`]s, and whose `save`/`load` round-trip the trained models
+//! bit-exactly through a versioned binary codec.
+//!
 //! ```no_run
-//! use ease::pipeline::{train_ease, EaseConfig};
-//! use ease::selector::OptGoal;
+//! use ease::{EaseServiceBuilder, OptGoal};
 //! use ease_graphgen::Scale;
 //! use ease_procsim::Workload;
 //!
-//! let (system, _artifacts) = train_ease(&EaseConfig::at_scale(Scale::Tiny));
+//! let service = EaseServiceBuilder::at_scale(Scale::Tiny).train()?;
 //! let graph = ease_graphgen::realworld::socfb_analogue(Scale::Tiny, 42).graph;
 //! let props = ease_graph::GraphProperties::compute_advanced(&graph);
-//! let pick = system.select(&props, Workload::PageRank { iterations: 10 }, 4, OptGoal::EndToEnd);
+//! let pick = service.recommend(&props, Workload::PageRank { iterations: 10 }, OptGoal::EndToEnd)?;
 //! println!("EASE picks {}", pick.best.name());
+//! # Ok::<(), ease::EaseError>(())
 //! ```
 
 pub mod enrich;
+pub mod error;
 pub mod evaluation;
 pub mod features;
 pub mod pipeline;
@@ -39,6 +46,9 @@ pub mod predictors;
 pub mod profiling;
 pub mod report;
 pub mod selector;
+pub mod service;
 
+pub use error::EaseError;
 pub use predictors::{PartitioningTimePredictor, ProcessingTimePredictor, QualityPredictor};
 pub use selector::{Ease, OptGoal, Selection};
+pub use service::{EaseService, EaseServiceBuilder, RecommendQuery, ServiceInfo, ServiceMeta};

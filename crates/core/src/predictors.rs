@@ -7,7 +7,8 @@ use crate::features;
 use crate::profiling::{ProcessingRecord, QualityRecord};
 use ease_graph::{GraphProperties, PropertyTier};
 use ease_ml::cv::grid_search;
-use ease_ml::{Dataset, ModelConfig, Regressor};
+use ease_ml::persist::{build_regressor, PersistError};
+use ease_ml::{Dataset, ModelConfig, ModelParams, Regressor};
 use ease_partition::{PartitionerId, QualityMetrics, QualityTarget};
 use ease_procsim::Workload;
 
@@ -30,6 +31,32 @@ fn from_log(value: f64) -> f64 {
 pub struct ChosenModel {
     pub config: ModelConfig,
     pub cv_mape: f64,
+}
+
+/// Intern a persisted workload name back to the `'static` catalog — backed
+/// by [`Workload::from_name`] so a workload added to `ease-procsim` is
+/// automatically loadable without touching this crate.
+fn intern_workload_name(name: &str) -> Option<&'static str> {
+    Workload::from_name(name).map(Workload::name)
+}
+
+/// Serialized state of a [`QualityPredictor`]: per quality target, the
+/// grid-search provenance and the fitted model.
+pub struct QualityPredictorParams {
+    pub tier: PropertyTier,
+    pub targets: Vec<(QualityTarget, ChosenModel, ModelParams)>,
+}
+
+/// Serialized state of a [`PartitioningTimePredictor`].
+pub struct PartitioningTimePredictorParams {
+    pub chosen: ChosenModel,
+    pub model: ModelParams,
+}
+
+/// Serialized state of a [`ProcessingTimePredictor`]: one fitted model per
+/// workload name.
+pub struct ProcessingTimePredictorParams {
+    pub workloads: Vec<(String, ChosenModel, ModelParams)>,
 }
 
 // ---------------------------------------------------------------------
@@ -160,6 +187,45 @@ impl QualityPredictor {
     pub fn importances(&self, target: QualityTarget) -> Option<Vec<f64>> {
         self.model(target).feature_importances()
     }
+
+    /// Snapshot the trained state for persistence.
+    pub fn to_params(&self) -> QualityPredictorParams {
+        QualityPredictorParams {
+            tier: self.tier,
+            targets: self
+                .models
+                .iter()
+                .zip(&self.chosen)
+                .map(|((t, m), (_, c))| (*t, c.clone(), m.to_params()))
+                .collect(),
+        }
+    }
+
+    /// Rebuild a trained predictor from persisted state.
+    pub fn from_params(params: QualityPredictorParams) -> Result<Self, PersistError> {
+        if params.targets.len() != QualityTarget::ALL.len() {
+            return Err(PersistError::Corrupt(format!(
+                "quality predictor carries {} targets, expected {}",
+                params.targets.len(),
+                QualityTarget::ALL.len()
+            )));
+        }
+        let mut models = Vec::new();
+        let mut chosen = Vec::new();
+        for (target, c, model_params) in params.targets {
+            models.push((target, build_regressor(model_params)?));
+            chosen.push((target, c));
+        }
+        for target in QualityTarget::ALL {
+            if !models.iter().any(|(t, _)| *t == target) {
+                return Err(PersistError::Corrupt(format!(
+                    "quality predictor is missing target {}",
+                    target.name()
+                )));
+            }
+        }
+        Ok(QualityPredictor { tier: params.tier, models, chosen })
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -199,6 +265,22 @@ impl PartitioningTimePredictor {
     pub fn predict(&self, props: &GraphProperties, partitioner: PartitionerId) -> f64 {
         let row = features::partitioning_time_row(props, partitioner);
         from_log(self.model.predict_row(&row))
+    }
+
+    /// Snapshot the trained state for persistence.
+    pub fn to_params(&self) -> PartitioningTimePredictorParams {
+        PartitioningTimePredictorParams {
+            chosen: self.chosen.clone(),
+            model: self.model.to_params(),
+        }
+    }
+
+    /// Rebuild a trained predictor from persisted state.
+    pub fn from_params(params: PartitioningTimePredictorParams) -> Result<Self, PersistError> {
+        Ok(PartitioningTimePredictor {
+            model: build_regressor(params.model)?,
+            chosen: params.chosen,
+        })
     }
 }
 
@@ -255,6 +337,23 @@ impl ProcessingTimePredictor {
     }
 
     /// Predict the target metric (avg-iteration or total seconds) for a
+    /// workload given predicted/measured quality metrics, or `None` when no
+    /// model was trained for the workload (the typed-error path the
+    /// `EaseService` surfaces as `EaseError::UnsupportedWorkload`).
+    pub fn try_predict_target(
+        &self,
+        workload: Workload,
+        props: &GraphProperties,
+        metrics: &QualityMetrics,
+    ) -> Option<f64> {
+        let model =
+            self.models.iter().find(|(n, _)| *n == workload.name()).map(|(_, m)| m.as_ref())?;
+        let iters = workload.fixed_iterations().unwrap_or(0);
+        let row = features::processing_time_row(props, metrics, iters);
+        Some(from_log(model.predict_row(&row)))
+    }
+
+    /// Predict the target metric (avg-iteration or total seconds) for a
     /// workload given predicted/measured quality metrics.
     pub fn predict_target(
         &self,
@@ -262,15 +361,8 @@ impl ProcessingTimePredictor {
         props: &GraphProperties,
         metrics: &QualityMetrics,
     ) -> f64 {
-        let model = self
-            .models
-            .iter()
-            .find(|(n, _)| *n == workload.name())
-            .map(|(_, m)| m.as_ref())
-            .unwrap_or_else(|| panic!("no model trained for workload {}", workload.name()));
-        let iters = workload.fixed_iterations().unwrap_or(0);
-        let row = features::processing_time_row(props, metrics, iters);
-        from_log(model.predict_row(&row))
+        self.try_predict_target(workload, props, metrics)
+            .unwrap_or_else(|| panic!("no model trained for workload {}", workload.name()))
     }
 
     /// Predict the *total* processing time for a workload.
@@ -285,6 +377,42 @@ impl ProcessingTimePredictor {
 
     pub fn supported_workloads(&self) -> Vec<&'static str> {
         self.models.iter().map(|(n, _)| *n).collect()
+    }
+
+    /// Allocation-free membership check (per-query hot path).
+    pub fn supports(&self, workload: Workload) -> bool {
+        self.models.iter().any(|(n, _)| *n == workload.name())
+    }
+
+    /// Snapshot the trained state for persistence.
+    pub fn to_params(&self) -> ProcessingTimePredictorParams {
+        ProcessingTimePredictorParams {
+            workloads: self
+                .models
+                .iter()
+                .zip(&self.chosen)
+                .map(|((n, m), (_, c))| (n.to_string(), c.clone(), m.to_params()))
+                .collect(),
+        }
+    }
+
+    /// Rebuild a trained predictor from persisted state. Workload names are
+    /// interned back to the known `'static` catalog; an unknown name means
+    /// the artifact was written by an incompatible build.
+    pub fn from_params(params: ProcessingTimePredictorParams) -> Result<Self, PersistError> {
+        if params.workloads.is_empty() {
+            return Err(PersistError::Corrupt("processing predictor has no workloads".into()));
+        }
+        let mut models = Vec::new();
+        let mut chosen = Vec::new();
+        for (name, c, model_params) in params.workloads {
+            let interned = intern_workload_name(&name).ok_or_else(|| {
+                PersistError::Corrupt(format!("unknown persisted workload `{name}`"))
+            })?;
+            models.push((interned, build_regressor(model_params)?));
+            chosen.push((interned, c));
+        }
+        Ok(ProcessingTimePredictor { models, chosen })
     }
 }
 

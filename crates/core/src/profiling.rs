@@ -10,53 +10,14 @@
 use ease_graph::{Graph, GraphProperties, PropertyTier};
 use ease_graphgen::grids::RmatSpec;
 use ease_graphgen::realworld::{GraphType, TestGraph};
-use ease_partition::{run_partitioner, PartitionerId, QualityMetrics};
+use ease_partition::{run_partitioner_with, PartitionerId, QualityMetrics};
 use ease_procsim::{ClusterSpec, DistributedGraph, Workload};
 use std::sync::Mutex;
 
-/// How partitioning run-times are obtained during profiling.
-///
-/// The paper measures real wall-clock times (step 2 of Fig. 5), which makes
-/// full-pipeline retraining inherently non-bit-identical. `Deterministic`
-/// replaces the measurement with a reproducible analytical proxy so that
-/// `train_ease` becomes a pure function of its config — the mode CI uses to
-/// guard future parallelism work against nondeterminism regressions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum TimingMode {
-    /// Wall-clock measurement of the real partitioner implementations.
-    #[default]
-    Measured,
-    /// Reproducible analytical cost proxy (same ordering: in-memory ≫
-    /// hybrid ≫ stateful ≫ stateless; grows with |E| and log k).
-    Deterministic,
-}
-
-impl TimingMode {
-    /// Partitioning seconds under this mode for an already-executed run.
-    fn partitioning_secs(self, p: PartitionerId, num_edges: usize, k: usize, measured: f64) -> f64 {
-        match self {
-            TimingMode::Measured => measured,
-            TimingMode::Deterministic => deterministic_partitioning_secs(p, num_edges, k),
-        }
-    }
-}
-
-/// Analytical stand-in for a partitioning run-time: per-edge cost scaled by
-/// the partitioner category's empirical expense, with a mild log-k factor.
-/// Only the *relative ordering* matters for training; the constants are
-/// calibrated to the same orders of magnitude the measured mode produces on
-/// the tiny corpora.
-pub fn deterministic_partitioning_secs(p: PartitionerId, num_edges: usize, k: usize) -> f64 {
-    use ease_partition::Category;
-    let per_edge = match p.category() {
-        Category::StatelessStreaming => 20e-9,
-        Category::StatefulStreaming => 90e-9,
-        Category::Hybrid => 250e-9,
-        Category::InMemory => 900e-9,
-    };
-    let m = num_edges.max(1) as f64;
-    per_edge * m * (1.0 + (k.max(2) as f64).log2() / 8.0)
-}
+// The timing mode lives next to the partition runner so the runner itself
+// can skip the wall clock under `Deterministic`; re-exported here because
+// it is part of the pipeline configuration surface.
+pub use ease_partition::runner::{deterministic_partitioning_secs, TimingMode};
 
 /// A graph to profile: either a lazily generated R-MAT spec or an already
 /// materialized test graph.
@@ -186,7 +147,7 @@ pub fn profile_quality_with(
         let mut out = Vec::with_capacity(partitioners.len() * ks.len());
         for &p in partitioners {
             for &k in ks {
-                let run = run_partitioner(p, &graph, k, seed ^ k as u64);
+                let run = run_partitioner_with(p, &graph, k, seed ^ k as u64, timing);
                 out.push(QualityRecord {
                     graph_name: input.name().to_string(),
                     graph_type: input.graph_type(),
@@ -194,12 +155,7 @@ pub fn profile_quality_with(
                     partitioner: p,
                     k,
                     metrics: run.metrics,
-                    partitioning_secs: timing.partitioning_secs(
-                        p,
-                        graph.num_edges(),
-                        k,
-                        run.partitioning_secs,
-                    ),
+                    partitioning_secs: run.partitioning_secs,
                 });
             }
         }
@@ -235,9 +191,8 @@ pub fn profile_processing_with(
         let props = GraphProperties::compute(&graph, PropertyTier::Advanced);
         let mut out = Vec::with_capacity(partitioners.len() * workloads.len());
         for &p in partitioners {
-            let run = run_partitioner(p, &graph, k, seed);
-            let partitioning_secs =
-                timing.partitioning_secs(p, graph.num_edges(), k, run.partitioning_secs);
+            let run = run_partitioner_with(p, &graph, k, seed, timing);
+            let partitioning_secs = run.partitioning_secs;
             let dg = DistributedGraph::build(&graph, &run.partition);
             for &w in workloads {
                 let report = w.execute(&dg, &cluster);

@@ -2,6 +2,7 @@
 //! choice (paper Fig. 4), plus the baseline selection strategies the
 //! evaluation compares against (Sec. V-F).
 
+use crate::error::EaseError;
 use crate::predictors::{PartitioningTimePredictor, ProcessingTimePredictor, QualityPredictor};
 use ease_graph::GraphProperties;
 use ease_partition::{PartitionerId, QualityMetrics};
@@ -89,7 +90,33 @@ impl Ease {
         k: usize,
         goal: OptGoal,
     ) -> Selection {
-        assert!(!self.catalog.is_empty());
+        self.try_select(props, workload, k, goal).expect("selectable query")
+    }
+
+    /// [`Ease::select`] with typed errors instead of panics: an empty
+    /// catalog and untrained workloads are reported as [`EaseError`]s. The
+    /// error path the [`crate::service::EaseService`] exposes to users.
+    pub fn try_select(
+        &self,
+        props: &GraphProperties,
+        workload: Workload,
+        k: usize,
+        goal: OptGoal,
+    ) -> Result<Selection, EaseError> {
+        if self.catalog.is_empty() {
+            return Err(EaseError::EmptyCatalog);
+        }
+        if !self.processing_time.supports(workload) {
+            return Err(EaseError::UnsupportedWorkload {
+                requested: workload.name().to_string(),
+                supported: self
+                    .processing_time
+                    .supported_workloads()
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect(),
+            });
+        }
         let candidates: Vec<PredictedCosts> =
             self.catalog.iter().map(|&p| self.predict_costs(props, workload, k, p)).collect();
         let best = candidates
@@ -99,7 +126,7 @@ impl Ease {
             })
             .expect("non-empty catalog")
             .partitioner;
-        Selection { best, goal, candidates }
+        Ok(Selection { best, goal, candidates })
     }
 }
 

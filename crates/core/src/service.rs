@@ -1,0 +1,754 @@
+//! `EaseService` — the *train once, query cheaply* entry point.
+//!
+//! The paper's economic argument (Sec. I) is that EASE's profiling cost
+//! amortizes over many future queries: a trained selector is an asset that
+//! answers `(graph, algorithm, goal)` questions for the rest of its life.
+//! This module makes that the first-class API shape:
+//!
+//! * [`EaseServiceBuilder`] — validated, fluent configuration of the
+//!   training pipeline (scale, model grid, CV folds, seed, timing mode,
+//!   optimization goal), producing a trained [`EaseService`].
+//! * [`EaseService::recommend`] / [`EaseService::recommend_batch`] —
+//!   query-oriented selection with typed [`EaseError`]s; the batch variant
+//!   fans queries out over `std::thread` for concurrent serving.
+//! * [`EaseService::save`] / [`EaseService::load`] — versioned binary
+//!   persistence of the whole trained system (all fitted models plus
+//!   provenance), so a selector trained in one process answers queries in
+//!   another, bit-identically.
+//!
+//! ```no_run
+//! use ease::service::EaseServiceBuilder;
+//! use ease::selector::OptGoal;
+//! use ease_graphgen::Scale;
+//! use ease_procsim::Workload;
+//!
+//! let service = EaseServiceBuilder::at_scale(Scale::Tiny).train()?;
+//! service.save(std::path::Path::new("ease.model"))?;
+//!
+//! let graph = ease_graphgen::realworld::socfb_analogue(Scale::Tiny, 42).graph;
+//! let props = ease_graph::GraphProperties::compute_advanced(&graph);
+//! let pick = service.recommend(&props, Workload::PageRank { iterations: 10 }, OptGoal::EndToEnd)?;
+//! println!("EASE picks {}", pick.best.name());
+//! # Ok::<(), ease::EaseError>(())
+//! ```
+
+use crate::error::EaseError;
+use crate::pipeline::{train_ease, EaseConfig, TrainingArtifacts};
+use crate::predictors::{
+    ChosenModel, PartitioningTimePredictor, PartitioningTimePredictorParams,
+    ProcessingTimePredictor, ProcessingTimePredictorParams, QualityPredictor,
+    QualityPredictorParams,
+};
+use crate::profiling::TimingMode;
+use crate::selector::{Ease, OptGoal, Selection};
+use ease_graph::{GraphProperties, PropertyTier};
+use ease_graphgen::Scale;
+use ease_ml::persist::{
+    decode_config, decode_model, encode_config, encode_model, read_header, write_header,
+    PersistError, Reader, Writer,
+};
+use ease_ml::ModelConfig;
+use ease_partition::{PartitionerId, QualityTarget};
+use ease_procsim::Workload;
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Builder for a trained [`EaseService`].
+///
+/// Starts from the calibrated defaults of [`EaseConfig::at_scale`]; every
+/// knob can be overridden fluently. [`EaseServiceBuilder::train`] validates
+/// the configuration (typed [`EaseError::InvalidConfig`] instead of a panic
+/// deep inside the pipeline) and runs the full profile → select → fit
+/// pipeline.
+#[derive(Debug, Clone)]
+pub struct EaseServiceBuilder {
+    cfg: EaseConfig,
+    default_k: usize,
+    default_goal: OptGoal,
+}
+
+impl EaseServiceBuilder {
+    /// Calibrated defaults for a scale (see [`EaseConfig::at_scale`]).
+    pub fn at_scale(scale: Scale) -> Self {
+        let cfg = EaseConfig::at_scale(scale);
+        EaseServiceBuilder { default_k: cfg.processing_k, cfg, default_goal: OptGoal::EndToEnd }
+    }
+
+    /// Wrap an explicit pipeline configuration (escape hatch for the
+    /// experiment binaries).
+    pub fn from_config(cfg: EaseConfig) -> Self {
+        EaseServiceBuilder { default_k: cfg.processing_k, cfg, default_goal: OptGoal::EndToEnd }
+    }
+
+    /// The hyper-parameter grid searched per predictor component.
+    pub fn model_grid(mut self, grid: Vec<ModelConfig>) -> Self {
+        self.cfg.grid = grid;
+        self
+    }
+
+    /// Use the reduced quick grid (fast training, slightly weaker models).
+    pub fn quick_grid(self) -> Self {
+        self.model_grid(ease_ml::zoo::quick_grid())
+    }
+
+    /// Cross-validation folds for model selection (paper: 5).
+    pub fn folds(mut self, folds: usize) -> Self {
+        self.cfg.folds = folds;
+        self
+    }
+
+    /// Master seed for corpora generation, CV shuffling and model fitting.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Wall-clock measurement vs. reproducible analytical timing proxy.
+    pub fn timing(mut self, timing: TimingMode) -> Self {
+        self.cfg.timing = timing;
+        self
+    }
+
+    /// Graph-property tier used by the quality predictor.
+    pub fn tier(mut self, tier: PropertyTier) -> Self {
+        self.cfg.tier = tier;
+        self
+    }
+
+    /// Default optimization goal for [`EaseService::recommend`] callers
+    /// that take it from the service.
+    pub fn goal(mut self, goal: OptGoal) -> Self {
+        self.default_goal = goal;
+        self
+    }
+
+    /// Partition counts profiled for the quality predictor.
+    pub fn partition_counts(mut self, ks: Vec<usize>) -> Self {
+        self.cfg.ks = ks;
+        self
+    }
+
+    /// Partition count for the processing profiling runs and the default
+    /// `k` of [`EaseService::recommend`].
+    pub fn processing_k(mut self, k: usize) -> Self {
+        self.cfg.processing_k = k;
+        self.default_k = k;
+        self
+    }
+
+    /// Candidate partitioners (training + the recommendation catalog).
+    pub fn partitioners(mut self, partitioners: Vec<PartitionerId>) -> Self {
+        self.cfg.partitioners = partitioners;
+        self
+    }
+
+    /// Training workloads — the algorithms the service can answer for.
+    pub fn workloads(mut self, workloads: Vec<Workload>) -> Self {
+        self.cfg.workloads = workloads;
+        self
+    }
+
+    /// Cap the R-MAT-SMALL corpus (quality-predictor training set).
+    pub fn max_small_graphs(mut self, cap: Option<usize>) -> Self {
+        self.cfg.max_small_graphs = cap;
+        self
+    }
+
+    /// Cap the R-MAT-LARGE corpus (time-predictor training set).
+    pub fn max_large_graphs(mut self, cap: Option<usize>) -> Self {
+        self.cfg.max_large_graphs = cap;
+        self
+    }
+
+    /// The underlying pipeline configuration (read access for reporting).
+    pub fn config(&self) -> &EaseConfig {
+        &self.cfg
+    }
+
+    fn validate(&self) -> Result<(), EaseError> {
+        let bad = |msg: String| Err(EaseError::InvalidConfig(msg));
+        if self.cfg.folds < 2 {
+            return bad(format!("cross-validation needs >= 2 folds, got {}", self.cfg.folds));
+        }
+        if self.cfg.grid.is_empty() {
+            return bad("model grid is empty".into());
+        }
+        if self.cfg.ks.is_empty() {
+            return bad("no partition counts (ks) to profile".into());
+        }
+        if self.cfg.ks.iter().any(|&k| k < 2) {
+            return bad("partition counts must be >= 2".into());
+        }
+        if self.cfg.processing_k < 2 {
+            return bad(format!("processing_k must be >= 2, got {}", self.cfg.processing_k));
+        }
+        if self.cfg.partitioners.is_empty() {
+            return bad("no candidate partitioners".into());
+        }
+        if self.cfg.workloads.is_empty() {
+            return bad("no training workloads".into());
+        }
+        if self.cfg.max_small_graphs == Some(0) || self.cfg.max_large_graphs == Some(0) {
+            return bad("graph-corpus caps must be >= 1".into());
+        }
+        if self.default_k < 2 {
+            return bad(format!("default k must be >= 2, got {}", self.default_k));
+        }
+        Ok(())
+    }
+
+    /// Validate, then run the full training pipeline.
+    pub fn train(self) -> Result<EaseService, EaseError> {
+        Ok(self.train_with_artifacts()?.0)
+    }
+
+    /// [`EaseServiceBuilder::train`], also returning the profiling records
+    /// (for evaluation/enrichment studies).
+    pub fn train_with_artifacts(self) -> Result<(EaseService, TrainingArtifacts), EaseError> {
+        self.validate()?;
+        let meta = ServiceMeta {
+            scale: self.cfg.scale,
+            seed: self.cfg.seed,
+            folds: self.cfg.folds,
+            timing: self.cfg.timing,
+            default_k: self.default_k,
+            default_goal: self.default_goal,
+        };
+        let (ease, artifacts) = train_ease(&self.cfg);
+        Ok((EaseService { ease, meta }, artifacts))
+    }
+}
+
+/// Provenance carried alongside the trained models (persisted with them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceMeta {
+    pub scale: Scale,
+    pub seed: u64,
+    pub folds: usize,
+    pub timing: TimingMode,
+    pub default_k: usize,
+    pub default_goal: OptGoal,
+}
+
+/// One query of a [`EaseService::recommend_batch`] call.
+#[derive(Debug, Clone)]
+pub struct RecommendQuery {
+    pub props: GraphProperties,
+    pub workload: Workload,
+    pub k: usize,
+    pub goal: OptGoal,
+}
+
+/// Human-readable summary of a trained service (the `ease inspect` view).
+#[derive(Debug, Clone)]
+pub struct ServiceInfo {
+    pub meta: ServiceMeta,
+    pub tier: PropertyTier,
+    pub catalog: Vec<PartitionerId>,
+    pub workloads: Vec<&'static str>,
+    /// `(component, winning config description, CV MAPE)` per model.
+    pub chosen: Vec<(String, String, f64)>,
+}
+
+/// A trained, persistable, query-oriented partitioner-selection service.
+pub struct EaseService {
+    ease: Ease,
+    meta: ServiceMeta,
+}
+
+impl std::fmt::Debug for EaseService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EaseService")
+            .field("meta", &self.meta)
+            .field("catalog", &self.ease.catalog)
+            .field("workloads", &self.supported_workloads())
+            .finish_non_exhaustive()
+    }
+}
+
+impl EaseService {
+    /// Wrap an already-trained [`Ease`] system.
+    pub fn from_parts(ease: Ease, meta: ServiceMeta) -> Self {
+        EaseService { ease, meta }
+    }
+
+    /// The underlying predictor stack (evaluation studies, reports).
+    pub fn ease(&self) -> &Ease {
+        &self.ease
+    }
+
+    /// Take ownership of the underlying predictor stack (enrichment
+    /// studies that swap components).
+    pub fn into_ease(self) -> Ease {
+        self.ease
+    }
+
+    pub fn meta(&self) -> &ServiceMeta {
+        &self.meta
+    }
+
+    pub fn catalog(&self) -> &[PartitionerId] {
+        &self.ease.catalog
+    }
+
+    /// Workload names this service can answer for.
+    pub fn supported_workloads(&self) -> Vec<&'static str> {
+        self.ease.processing_time.supported_workloads()
+    }
+
+    /// Recommend a partitioner at the service's default partition count.
+    ///
+    /// Returns the full predicted ranking; [`EaseError::UnsupportedWorkload`]
+    /// if the service was never trained on `workload`.
+    pub fn recommend(
+        &self,
+        props: &GraphProperties,
+        workload: Workload,
+        goal: OptGoal,
+    ) -> Result<Selection, EaseError> {
+        self.recommend_with_k(props, workload, self.meta.default_k, goal)
+    }
+
+    /// [`EaseService::recommend`] with an explicit partition count.
+    pub fn recommend_with_k(
+        &self,
+        props: &GraphProperties,
+        workload: Workload,
+        k: usize,
+        goal: OptGoal,
+    ) -> Result<Selection, EaseError> {
+        self.ease.try_select(props, workload, k, goal)
+    }
+
+    /// Answer many queries concurrently: the queries fan out over
+    /// `std::thread` workers sharing the trained models behind `&self`.
+    /// Results come back in query order; each query fails independently.
+    pub fn recommend_batch(&self, queries: &[RecommendQuery]) -> Vec<Result<Selection, EaseError>> {
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        let workers =
+            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).min(queries.len());
+        if workers <= 1 {
+            return queries
+                .iter()
+                .map(|q| self.recommend_with_k(&q.props, q.workload, q.k, q.goal))
+                .collect();
+        }
+        let next = AtomicUsize::new(0);
+        let results: Mutex<Vec<(usize, Result<Selection, EaseError>)>> =
+            Mutex::new(Vec::with_capacity(queries.len()));
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    if idx >= queries.len() {
+                        break;
+                    }
+                    let q = &queries[idx];
+                    let sel = self.recommend_with_k(&q.props, q.workload, q.k, q.goal);
+                    results.lock().expect("results lock").push((idx, sel));
+                });
+            }
+        });
+        let mut out = results.into_inner().expect("results lock");
+        out.sort_by_key(|(idx, _)| *idx);
+        out.into_iter().map(|(_, sel)| sel).collect()
+    }
+
+    /// Summarize the trained service for reporting (`ease inspect`).
+    pub fn info(&self) -> ServiceInfo {
+        let mut chosen = Vec::new();
+        for (target, c) in &self.ease.quality.chosen {
+            chosen.push((format!("quality/{}", target.name()), c.config.describe(), c.cv_mape));
+        }
+        let pt = &self.ease.partitioning_time.chosen;
+        chosen.push(("partitioning-time".to_string(), pt.config.describe(), pt.cv_mape));
+        for (name, c) in &self.ease.processing_time.chosen {
+            chosen.push((format!("processing/{name}"), c.config.describe(), c.cv_mape));
+        }
+        ServiceInfo {
+            meta: self.meta,
+            tier: self.ease.quality.tier,
+            catalog: self.ease.catalog.clone(),
+            workloads: self.supported_workloads(),
+            chosen,
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Persistence
+    // -----------------------------------------------------------------
+
+    /// Serialize the whole trained service (models + provenance) into the
+    /// versioned binary format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        write_header(&mut w);
+        // provenance
+        w.put_str(self.meta.scale.name());
+        w.put_u64(self.meta.seed);
+        w.put_usize(self.meta.folds);
+        w.put_u8(match self.meta.timing {
+            TimingMode::Measured => 0,
+            TimingMode::Deterministic => 1,
+        });
+        w.put_usize(self.meta.default_k);
+        w.put_u8(match self.meta.default_goal {
+            OptGoal::EndToEnd => 0,
+            OptGoal::ProcessingOnly => 1,
+        });
+        // catalog
+        w.put_usize(self.ease.catalog.len());
+        for p in &self.ease.catalog {
+            w.put_u8(p.index() as u8);
+        }
+        // quality predictor
+        let qp = self.ease.quality.to_params();
+        w.put_u8(tier_tag(qp.tier));
+        w.put_usize(qp.targets.len());
+        for (target, c, model) in &qp.targets {
+            w.put_u8(target_tag(*target));
+            put_chosen(&mut w, c);
+            encode_model(&mut w, model);
+        }
+        // partitioning-time predictor
+        let tp = self.ease.partitioning_time.to_params();
+        put_chosen(&mut w, &tp.chosen);
+        encode_model(&mut w, &tp.model);
+        // processing-time predictor
+        let pp = self.ease.processing_time.to_params();
+        w.put_usize(pp.workloads.len());
+        for (name, c, model) in &pp.workloads {
+            w.put_str(name);
+            put_chosen(&mut w, c);
+            encode_model(&mut w, model);
+        }
+        w.into_bytes()
+    }
+
+    /// Deserialize a service persisted by [`EaseService::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, EaseError> {
+        let mut r = Reader::new(bytes);
+        read_header(&mut r)?;
+        // provenance
+        let scale_name = r.take_str()?;
+        let scale = Scale::parse(&scale_name).ok_or_else(|| {
+            PersistError::Corrupt(format!("unknown persisted scale `{scale_name}`"))
+        })?;
+        let seed = r.take_u64()?;
+        let folds = r.take_usize()?;
+        let timing = match r.take_u8()? {
+            0 => TimingMode::Measured,
+            1 => TimingMode::Deterministic,
+            other => {
+                return Err(PersistError::Corrupt(format!("unknown timing tag {other}")).into())
+            }
+        };
+        let default_k = r.take_usize()?;
+        let default_goal = match r.take_u8()? {
+            0 => OptGoal::EndToEnd,
+            1 => OptGoal::ProcessingOnly,
+            other => return Err(PersistError::Corrupt(format!("unknown goal tag {other}")).into()),
+        };
+        // catalog
+        let n_catalog = r.take_usize()?;
+        if n_catalog > PartitionerId::ALL.len() {
+            return Err(PersistError::Corrupt(format!(
+                "catalog of {n_catalog} exceeds the {} known partitioners",
+                PartitionerId::ALL.len()
+            ))
+            .into());
+        }
+        let mut catalog = Vec::with_capacity(n_catalog);
+        for _ in 0..n_catalog {
+            catalog.push(partitioner_from_tag(r.take_u8()?)?);
+        }
+        // quality predictor
+        let tier = tier_from_tag(r.take_u8()?)?;
+        let n_targets = r.take_usize()?;
+        if n_targets > QualityTarget::ALL.len() {
+            return Err(
+                PersistError::Corrupt(format!("{n_targets} quality targets declared")).into()
+            );
+        }
+        let mut targets = Vec::with_capacity(n_targets);
+        for _ in 0..n_targets {
+            let target = target_from_tag(r.take_u8()?)?;
+            let chosen = take_chosen(&mut r)?;
+            let model = decode_model(&mut r)?;
+            targets.push((target, chosen, model));
+        }
+        let quality = QualityPredictor::from_params(QualityPredictorParams { tier, targets })?;
+        // partitioning-time predictor
+        let chosen = take_chosen(&mut r)?;
+        let model = decode_model(&mut r)?;
+        let partitioning_time =
+            PartitioningTimePredictor::from_params(PartitioningTimePredictorParams {
+                chosen,
+                model,
+            })?;
+        // processing-time predictor
+        let n_workloads = r.take_usize()?;
+        if n_workloads > 64 {
+            return Err(PersistError::Corrupt(format!("{n_workloads} workloads declared")).into());
+        }
+        let mut workloads = Vec::with_capacity(n_workloads);
+        for _ in 0..n_workloads {
+            let name = r.take_str()?;
+            let chosen = take_chosen(&mut r)?;
+            let model = decode_model(&mut r)?;
+            workloads.push((name, chosen, model));
+        }
+        let processing_time =
+            ProcessingTimePredictor::from_params(ProcessingTimePredictorParams { workloads })?;
+        if r.remaining() != 0 {
+            return Err(PersistError::Corrupt(format!(
+                "{} trailing bytes after the service payload",
+                r.remaining()
+            ))
+            .into());
+        }
+        let mut ease = Ease::new(quality, partitioning_time, processing_time);
+        ease.catalog = catalog;
+        let meta = ServiceMeta { scale, seed, folds, timing, default_k, default_goal };
+        Ok(EaseService { ease, meta })
+    }
+
+    /// Persist the trained service to disk (atomic: write to a sibling
+    /// temp file, then rename). The temp name appends to the full file
+    /// name — never replaces the extension — and carries the pid, so
+    /// concurrent saves of sibling artifacts cannot clobber each other.
+    pub fn save(&self, path: &Path) -> Result<(), EaseError> {
+        let bytes = self.to_bytes();
+        let mut tmp_name = path.as_os_str().to_os_string();
+        tmp_name.push(format!(".{}.tmp", std::process::id()));
+        let tmp = std::path::PathBuf::from(tmp_name);
+        std::fs::write(&tmp, &bytes)?;
+        if let Err(e) = std::fs::rename(&tmp, path) {
+            std::fs::remove_file(&tmp).ok();
+            return Err(e.into());
+        }
+        Ok(())
+    }
+
+    /// Load a service persisted by [`EaseService::save`].
+    pub fn load(path: &Path) -> Result<Self, EaseError> {
+        let bytes = std::fs::read(path)?;
+        Self::from_bytes(&bytes)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Small enum codecs
+// ---------------------------------------------------------------------
+
+fn tier_tag(tier: PropertyTier) -> u8 {
+    match tier {
+        PropertyTier::Simple => 0,
+        PropertyTier::Basic => 1,
+        PropertyTier::Advanced => 2,
+    }
+}
+
+fn tier_from_tag(tag: u8) -> Result<PropertyTier, PersistError> {
+    match tag {
+        0 => Ok(PropertyTier::Simple),
+        1 => Ok(PropertyTier::Basic),
+        2 => Ok(PropertyTier::Advanced),
+        other => Err(PersistError::Corrupt(format!("unknown property tier tag {other}"))),
+    }
+}
+
+fn target_tag(target: QualityTarget) -> u8 {
+    QualityTarget::ALL.iter().position(|&t| t == target).expect("target in ALL") as u8
+}
+
+fn target_from_tag(tag: u8) -> Result<QualityTarget, PersistError> {
+    QualityTarget::ALL
+        .get(tag as usize)
+        .copied()
+        .ok_or_else(|| PersistError::Corrupt(format!("unknown quality target tag {tag}")))
+}
+
+fn partitioner_from_tag(tag: u8) -> Result<PartitionerId, PersistError> {
+    PartitionerId::ALL
+        .get(tag as usize)
+        .copied()
+        .ok_or_else(|| PersistError::Corrupt(format!("unknown partitioner tag {tag}")))
+}
+
+fn put_chosen(w: &mut Writer, c: &ChosenModel) {
+    encode_config(w, &c.config);
+    w.put_f64(c.cv_mape);
+}
+
+fn take_chosen(r: &mut Reader) -> Result<ChosenModel, PersistError> {
+    Ok(ChosenModel { config: decode_config(r)?, cv_mape: r.take_f64()? })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ease_graphgen::realworld::socfb_analogue;
+
+    fn tiny_builder() -> EaseServiceBuilder {
+        EaseServiceBuilder::at_scale(Scale::Tiny)
+            .quick_grid()
+            .max_small_graphs(Some(6))
+            .max_large_graphs(Some(4))
+            .partition_counts(vec![2, 4])
+            .partitioners(vec![PartitionerId::OneDD, PartitionerId::Dbh, PartitionerId::Ne])
+            .workloads(vec![Workload::PageRank { iterations: 3 }, Workload::ConnectedComponents])
+            .folds(2)
+            .timing(TimingMode::Deterministic)
+    }
+
+    #[test]
+    fn builder_validation_catches_bad_configs() {
+        let invalid = |b: EaseServiceBuilder| {
+            assert!(matches!(b.train().unwrap_err(), EaseError::InvalidConfig(_)));
+        };
+        invalid(tiny_builder().folds(1));
+        invalid(tiny_builder().model_grid(vec![]));
+        invalid(tiny_builder().partition_counts(vec![]));
+        invalid(tiny_builder().partition_counts(vec![1]));
+        invalid(tiny_builder().partitioners(vec![]));
+        invalid(tiny_builder().workloads(vec![]));
+        invalid(tiny_builder().max_small_graphs(Some(0)));
+        invalid(tiny_builder().processing_k(1));
+    }
+
+    #[test]
+    fn trained_service_answers_and_rejects_unknown_workloads() {
+        let service = tiny_builder().train().unwrap();
+        let props = GraphProperties::compute_advanced(&socfb_analogue(Scale::Tiny, 3).graph);
+        let sel = service
+            .recommend(&props, Workload::PageRank { iterations: 3 }, OptGoal::EndToEnd)
+            .unwrap();
+        assert_eq!(sel.candidates.len(), 3);
+        assert!(service.catalog().contains(&sel.best));
+        // never trained on k-cores -> typed error, not a panic
+        let err = service.recommend(&props, Workload::KCores, OptGoal::EndToEnd).unwrap_err();
+        match err {
+            EaseError::UnsupportedWorkload { requested, supported } => {
+                assert_eq!(requested, "kcores");
+                assert!(supported.contains(&"pr".to_string()));
+            }
+            other => panic!("expected UnsupportedWorkload, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_matches_sequential_and_preserves_order() {
+        let service = tiny_builder().train().unwrap();
+        let queries: Vec<RecommendQuery> = (0..24)
+            .map(|i| RecommendQuery {
+                props: GraphProperties::compute_advanced(
+                    &socfb_analogue(Scale::Tiny, 100 + i).graph,
+                ),
+                workload: if i % 2 == 0 {
+                    Workload::PageRank { iterations: 3 }
+                } else {
+                    Workload::ConnectedComponents
+                },
+                k: if i % 3 == 0 { 2 } else { 4 },
+                goal: if i % 2 == 0 { OptGoal::EndToEnd } else { OptGoal::ProcessingOnly },
+            })
+            .collect();
+        let batch = service.recommend_batch(&queries);
+        assert_eq!(batch.len(), queries.len());
+        for (q, b) in queries.iter().zip(&batch) {
+            let s = service.recommend_with_k(&q.props, q.workload, q.k, q.goal).unwrap();
+            let b = b.as_ref().unwrap();
+            assert_eq!(s.best, b.best);
+            for (cs, cb) in s.candidates.iter().zip(&b.candidates) {
+                assert_eq!(cs.end_to_end_secs.to_bits(), cb.end_to_end_secs.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn batch_failures_are_per_query() {
+        let service = tiny_builder().train().unwrap();
+        let props = GraphProperties::compute_advanced(&socfb_analogue(Scale::Tiny, 9).graph);
+        let queries = vec![
+            RecommendQuery {
+                props: props.clone(),
+                workload: Workload::PageRank { iterations: 3 },
+                k: 4,
+                goal: OptGoal::EndToEnd,
+            },
+            RecommendQuery {
+                props,
+                workload: Workload::KCores, // untrained
+                k: 4,
+                goal: OptGoal::EndToEnd,
+            },
+        ];
+        let out = service.recommend_batch(&queries);
+        assert!(out[0].is_ok());
+        assert!(matches!(out[1], Err(EaseError::UnsupportedWorkload { .. })));
+    }
+
+    #[test]
+    fn service_round_trips_through_bytes_bit_exactly() {
+        let service = tiny_builder().train().unwrap();
+        let bytes = service.to_bytes();
+        let restored = EaseService::from_bytes(&bytes).unwrap();
+        assert_eq!(restored.meta(), service.meta());
+        assert_eq!(restored.catalog(), service.catalog());
+        assert_eq!(restored.supported_workloads(), service.supported_workloads());
+        for seed in [5, 6, 7] {
+            let props = GraphProperties::compute_advanced(&socfb_analogue(Scale::Tiny, seed).graph);
+            for goal in [OptGoal::EndToEnd, OptGoal::ProcessingOnly] {
+                let a =
+                    service.recommend(&props, Workload::PageRank { iterations: 3 }, goal).unwrap();
+                let b =
+                    restored.recommend(&props, Workload::PageRank { iterations: 3 }, goal).unwrap();
+                assert_eq!(a.best, b.best);
+                for (ca, cb) in a.candidates.iter().zip(&b.candidates) {
+                    assert_eq!(ca.partitioning_secs.to_bits(), cb.partitioning_secs.to_bits());
+                    assert_eq!(ca.processing_secs.to_bits(), cb.processing_secs.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_and_truncated_payloads_are_typed_errors() {
+        let service = tiny_builder().train().unwrap();
+        let bytes = service.to_bytes();
+        // flipped magic
+        let mut bad = bytes.clone();
+        bad[2] ^= 0xFF;
+        assert!(matches!(
+            EaseService::from_bytes(&bad).unwrap_err(),
+            EaseError::Persist(PersistError::BadMagic)
+        ));
+        // truncation
+        assert!(matches!(
+            EaseService::from_bytes(&bytes[..bytes.len() / 2]).unwrap_err(),
+            EaseError::Persist(_)
+        ));
+        // trailing garbage
+        let mut long = bytes.clone();
+        long.extend_from_slice(&[0u8; 4]);
+        assert!(matches!(
+            EaseService::from_bytes(&long).unwrap_err(),
+            EaseError::Persist(PersistError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn info_reports_every_trained_component() {
+        let service = tiny_builder().train().unwrap();
+        let info = service.info();
+        // 5 quality targets + 1 partitioning time + 2 workloads
+        assert_eq!(info.chosen.len(), 8);
+        assert_eq!(info.catalog.len(), 3);
+        assert_eq!(info.meta.timing, TimingMode::Deterministic);
+        assert!(info.workloads.contains(&"pr") && info.workloads.contains(&"cc"));
+    }
+}

@@ -4,7 +4,13 @@
 //! the same whitespace-separated format used by SNAP/KONECT dumps, so users
 //! can feed their own graphs to the examples. Reads and writes are buffered
 //! (perf-book: Rust file I/O is unbuffered by default).
+//!
+//! Parsing failures are typed: [`GraphIoError::Parse`] carries the 1-based
+//! line number and a description of the offending token, so callers (the
+//! `ease` CLI, `EaseError::Parse`) can point users at the broken line
+//! instead of panicking.
 
+use std::fmt;
 use std::fs::File;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
@@ -12,14 +18,49 @@ use std::path::Path;
 use crate::edge_list::Graph;
 use crate::types::Edge;
 
+/// Typed edge-list I/O failure.
+#[derive(Debug)]
+pub enum GraphIoError {
+    /// The underlying reader failed.
+    Io(io::Error),
+    /// A line could not be parsed; `line` is 1-based.
+    Parse { line: usize, message: String },
+}
+
+impl fmt::Display for GraphIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphIoError::Io(e) => write!(f, "edge-list I/O error: {e}"),
+            GraphIoError::Parse { line, message } => {
+                write!(f, "malformed edge-list line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphIoError::Io(e) => Some(e),
+            GraphIoError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for GraphIoError {
+    fn from(e: io::Error) -> Self {
+        GraphIoError::Io(e)
+    }
+}
+
 /// Read a graph from a whitespace-separated edge-list file.
-pub fn read_edge_list(path: &Path) -> io::Result<Graph> {
+pub fn read_edge_list(path: &Path) -> Result<Graph, GraphIoError> {
     let file = File::open(path)?;
     read_edge_list_from(BufReader::new(file))
 }
 
 /// Read a graph from any buffered reader (useful for tests / stdin).
-pub fn read_edge_list_from<R: BufRead>(reader: R) -> io::Result<Graph> {
+pub fn read_edge_list_from<R: BufRead>(reader: R) -> Result<Graph, GraphIoError> {
     let mut edges: Vec<Edge> = Vec::new();
     let mut max_v: u32 = 0;
     for (lineno, line) in reader.lines().enumerate() {
@@ -29,20 +70,23 @@ pub fn read_edge_list_from<R: BufRead>(reader: R) -> io::Result<Graph> {
             continue;
         }
         let mut it = trimmed.split_whitespace();
-        let parse = |tok: Option<&str>| -> io::Result<u32> {
-            tok.ok_or_else(|| bad_line(lineno))?.parse::<u32>().map_err(|_| bad_line(lineno))
+        let mut parse = |what: &str| -> Result<u32, GraphIoError> {
+            let tok = it.next().ok_or_else(|| GraphIoError::Parse {
+                line: lineno + 1,
+                message: format!("missing {what} vertex id"),
+            })?;
+            tok.parse::<u32>().map_err(|_| GraphIoError::Parse {
+                line: lineno + 1,
+                message: format!("{what} vertex id `{tok}` is not a u32"),
+            })
         };
-        let src = parse(it.next())?;
-        let dst = parse(it.next())?;
+        let src = parse("source")?;
+        let dst = parse("destination")?;
         max_v = max_v.max(src).max(dst);
         edges.push(Edge::new(src, dst));
     }
     let n = if edges.is_empty() { 0 } else { max_v as usize + 1 };
     Ok(Graph::new(n, edges))
-}
-
-fn bad_line(lineno: usize) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, format!("malformed edge-list line {}", lineno + 1))
 }
 
 /// Write a graph as a whitespace-separated edge list.
@@ -73,13 +117,58 @@ mod tests {
     fn malformed_line_reports_line_number() {
         let input = "0 1\nnot numbers\n";
         let err = read_edge_list_from(Cursor::new(input)).unwrap_err();
+        match err {
+            GraphIoError::Parse { line, ref message } => {
+                assert_eq!(line, 2);
+                assert!(message.contains("`not`"), "{message}");
+            }
+            other => panic!("expected Parse, got {other:?}"),
+        }
         assert!(err.to_string().contains("line 2"), "{err}");
     }
 
     #[test]
     fn missing_second_column_is_an_error() {
         let err = read_edge_list_from(Cursor::new("42\n")).unwrap_err();
-        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        match err {
+            GraphIoError::Parse { line, ref message } => {
+                assert_eq!(line, 1);
+                assert!(message.contains("destination"), "{message}");
+            }
+            other => panic!("expected Parse, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negative_ids_are_rejected_with_the_token() {
+        let err = read_edge_list_from(Cursor::new("0 1\n2 -3\n")).unwrap_err();
+        match err {
+            GraphIoError::Parse { line, ref message } => {
+                assert_eq!(line, 2);
+                assert!(message.contains("`-3`"), "{message}");
+            }
+            other => panic!("expected Parse, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ids_beyond_u32_are_rejected() {
+        let input = format!("0 {}\n", u64::from(u32::MAX) + 1);
+        let err = read_edge_list_from(Cursor::new(input)).unwrap_err();
+        assert!(matches!(err, GraphIoError::Parse { line: 1, .. }), "{err:?}");
+    }
+
+    #[test]
+    fn float_ids_are_rejected() {
+        let err = read_edge_list_from(Cursor::new("1.5 2\n")).unwrap_err();
+        assert!(matches!(err, GraphIoError::Parse { line: 1, .. }), "{err:?}");
+    }
+
+    #[test]
+    fn parse_error_on_a_late_line_after_valid_prefix() {
+        let input = "0 1\n1 2\n2 3\n3 4\nbroken line here\n";
+        let err = read_edge_list_from(Cursor::new(input)).unwrap_err();
+        assert!(matches!(err, GraphIoError::Parse { line: 5, .. }), "{err:?}");
     }
 
     #[test]
@@ -92,6 +181,12 @@ mod tests {
         std::fs::remove_file(&path).ok();
         assert_eq!(g.edges(), g2.edges());
         assert_eq!(g.num_vertices(), g2.num_vertices());
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let err = read_edge_list(Path::new("/definitely/not/a/file.txt")).unwrap_err();
+        assert!(matches!(err, GraphIoError::Io(_)), "{err:?}");
     }
 
     #[test]

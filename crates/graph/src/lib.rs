@@ -27,5 +27,6 @@ pub mod types;
 pub use csr::Csr;
 pub use degree::DegreeTable;
 pub use edge_list::Graph;
+pub use io::GraphIoError;
 pub use properties::{GraphProperties, PropertyTier};
 pub use types::{Edge, VertexId};

@@ -50,6 +50,17 @@ impl Matrix {
         self.data[i * self.cols + j]
     }
 
+    /// The row-major backing storage (persistence codec).
+    pub fn values(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Rebuild a matrix from row-major storage (persistence codec).
+    pub fn from_flat(rows: usize, cols: usize, data: Vec<f64>) -> Matrix {
+        assert_eq!(data.len(), rows * cols, "flat data size mismatch");
+        Matrix { data, rows, cols }
+    }
+
     /// Select a subset of rows by index.
     pub fn select(&self, indices: &[usize]) -> Matrix {
         let mut m = Matrix::with_cols(self.cols);

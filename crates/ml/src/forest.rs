@@ -6,10 +6,11 @@
 //! interpretability for the feature-importance analysis of Table VII.
 
 use crate::dataset::Matrix;
+use crate::persist::{wrong_variant, ModelParams, PersistError};
 use crate::tree::{Binner, RegressionTree, TreeParams};
 use crate::Regressor;
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ForestParams {
     pub n_trees: usize,
     pub max_depth: usize,
@@ -40,6 +41,21 @@ pub struct RandomForest {
 impl RandomForest {
     pub fn new(params: ForestParams) -> Self {
         RandomForest { params, trees: Vec::new(), n_features: 0 }
+    }
+
+    /// Rebuild from [`ModelParams::Forest`].
+    pub fn from_params(params: ModelParams) -> Result<Self, PersistError> {
+        match params {
+            ModelParams::Forest { params, trees, n_features } => Ok(RandomForest {
+                params,
+                trees: trees
+                    .into_iter()
+                    .map(RegressionTree::from_params)
+                    .collect::<Result<_, _>>()?,
+                n_features,
+            }),
+            other => Err(wrong_variant("forest", &other)),
+        }
     }
 }
 
@@ -93,6 +109,14 @@ impl Regressor for RandomForest {
             }
         }
         Some(total)
+    }
+
+    fn to_params(&self) -> ModelParams {
+        ModelParams::Forest {
+            params: self.params.clone(),
+            trees: self.trees.iter().map(Regressor::to_params).collect(),
+            n_features: self.n_features,
+        }
     }
 }
 

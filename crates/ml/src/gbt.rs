@@ -7,10 +7,11 @@
 //! second-order XGB leaf weight with hessian 1.
 
 use crate::dataset::Matrix;
+use crate::persist::{wrong_variant, ModelParams, PersistError};
 use crate::tree::{Binner, RegressionTree, TreeParams};
 use crate::Regressor;
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GbtParams {
     pub n_estimators: usize,
     pub learning_rate: f64,
@@ -50,6 +51,22 @@ pub struct GradientBoosting {
 impl GradientBoosting {
     pub fn new(params: GbtParams) -> Self {
         GradientBoosting { params, base: 0.0, trees: Vec::new(), n_features: 0 }
+    }
+
+    /// Rebuild from [`ModelParams::Gbt`].
+    pub fn from_params(params: ModelParams) -> Result<Self, PersistError> {
+        match params {
+            ModelParams::Gbt { params, base, trees, n_features } => Ok(GradientBoosting {
+                params,
+                base,
+                trees: trees
+                    .into_iter()
+                    .map(RegressionTree::from_params)
+                    .collect::<Result<_, _>>()?,
+                n_features,
+            }),
+            other => Err(wrong_variant("gbt", &other)),
+        }
     }
 }
 
@@ -124,6 +141,15 @@ impl Regressor for GradientBoosting {
             }
         }
         Some(total)
+    }
+
+    fn to_params(&self) -> ModelParams {
+        ModelParams::Gbt {
+            params: self.params.clone(),
+            base: self.base,
+            trees: self.trees.iter().map(Regressor::to_params).collect(),
+            n_features: self.n_features,
+        }
     }
 }
 

@@ -1,6 +1,7 @@
 //! K-nearest-neighbors regression — the paper's simple baseline.
 
 use crate::dataset::Matrix;
+use crate::persist::{wrong_variant, ModelParams, PersistError};
 use crate::Regressor;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -25,6 +26,28 @@ impl KnnRegressor {
     pub fn new(k: usize, weights: KnnWeights) -> Self {
         assert!(k >= 1);
         KnnRegressor { k, weights, x: Matrix::with_cols(0), y: Vec::new() }
+    }
+
+    /// Rebuild from [`ModelParams::Knn`].
+    pub fn from_params(params: ModelParams) -> Result<Self, PersistError> {
+        match params {
+            ModelParams::Knn { k, distance_weighted, x, y } => {
+                if k == 0 {
+                    return Err(PersistError::Corrupt("knn k must be >= 1".into()));
+                }
+                if x.rows != y.len() {
+                    return Err(PersistError::Corrupt(format!(
+                        "knn: {} training rows vs {} targets",
+                        x.rows,
+                        y.len()
+                    )));
+                }
+                let weights =
+                    if distance_weighted { KnnWeights::Distance } else { KnnWeights::Uniform };
+                Ok(KnnRegressor { k, weights, x, y })
+            }
+            other => Err(wrong_variant("knn", &other)),
+        }
     }
 }
 
@@ -86,6 +109,15 @@ impl Regressor for KnnRegressor {
                 }
                 num / den
             }
+        }
+    }
+
+    fn to_params(&self) -> ModelParams {
+        ModelParams::Knn {
+            k: self.k,
+            distance_weighted: self.weights == KnnWeights::Distance,
+            x: self.x.clone(),
+            y: self.y.clone(),
         }
     }
 }

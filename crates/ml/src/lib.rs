@@ -19,6 +19,7 @@ pub mod knn;
 pub mod linear;
 pub mod metrics;
 pub mod mlp;
+pub mod persist;
 pub mod poly;
 pub mod preprocess;
 pub mod svr;
@@ -27,11 +28,15 @@ pub mod zoo;
 
 pub use dataset::{Dataset, Matrix};
 pub use metrics::{mae, mape, r2, rmse};
+pub use persist::{ModelParams, PersistError, Reader, Writer};
 pub use preprocess::{OneHotEncoder, ScaledModel, StandardScaler};
 pub use zoo::{ModelConfig, ModelKind};
 
 /// A regression model: fit on a feature matrix + targets, predict rows.
-pub trait Regressor: Send {
+///
+/// `Send + Sync` so trained models can serve concurrent queries behind a
+/// shared reference (the `EaseService::recommend_batch` fan-out).
+pub trait Regressor: Send + Sync {
     fn fit(&mut self, x: &Matrix, y: &[f64]);
 
     fn predict_row(&self, row: &[f64]) -> f64;
@@ -45,4 +50,9 @@ pub trait Regressor: Send {
     fn feature_importances(&self) -> Option<Vec<f64>> {
         None
     }
+
+    /// Snapshot the *fitted* state as plain data. Together with
+    /// [`persist::build_regressor`] this lets a trained model round-trip
+    /// through the on-disk codec bit-exactly.
+    fn to_params(&self) -> ModelParams;
 }

@@ -2,6 +2,7 @@
 //! Cholesky solve. The building block for polynomial regression.
 
 use crate::dataset::Matrix;
+use crate::persist::{wrong_variant, ModelParams, PersistError};
 use crate::Regressor;
 
 /// Ridge regression `min ‖Xw − y‖² + α‖w‖²` (intercept un-penalized,
@@ -21,6 +22,16 @@ impl Ridge {
 
     pub fn weights(&self) -> &[f64] {
         &self.weights
+    }
+
+    /// Rebuild from [`ModelParams::Ridge`].
+    pub fn from_params(params: ModelParams) -> Result<Self, PersistError> {
+        match params {
+            ModelParams::Ridge { alpha, weights, intercept } => {
+                Ok(Ridge { alpha, weights, intercept })
+            }
+            other => Err(wrong_variant("ridge", &other)),
+        }
     }
 }
 
@@ -123,6 +134,14 @@ impl Regressor for Ridge {
 
     fn predict_row(&self, row: &[f64]) -> f64 {
         self.intercept + self.weights.iter().zip(row).map(|(w, v)| w * v).sum::<f64>()
+    }
+
+    fn to_params(&self) -> ModelParams {
+        ModelParams::Ridge {
+            alpha: self.alpha,
+            weights: self.weights.clone(),
+            intercept: self.intercept,
+        }
     }
 }
 

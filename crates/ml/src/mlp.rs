@@ -8,9 +8,10 @@
 //! vs. run-times in seconds).
 
 use crate::dataset::Matrix;
+use crate::persist::{wrong_variant, LayerParams, ModelParams, PersistError};
 use crate::Regressor;
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MlpParams {
     pub hidden: Vec<usize>,
     pub epochs: usize,
@@ -101,6 +102,41 @@ pub struct MlpRegressor {
 impl MlpRegressor {
     pub fn new(params: MlpParams) -> Self {
         MlpRegressor { params, layers: Vec::new(), y_mean: 0.0, y_std: 1.0 }
+    }
+
+    /// Rebuild from [`ModelParams::Mlp`]. Adam moments are training-only
+    /// state and restart at zero; predictions depend only on weights and
+    /// biases, so the reload predicts bit-identically.
+    pub fn from_params(params: ModelParams) -> Result<Self, PersistError> {
+        match params {
+            ModelParams::Mlp { params, y_mean, y_std, layers } => {
+                for (i, pair) in layers.windows(2).enumerate() {
+                    if pair[0].n_out != pair[1].n_in {
+                        return Err(PersistError::Corrupt(format!(
+                            "mlp layer {i} emits {} values but layer {} expects {}",
+                            pair[0].n_out,
+                            i + 1,
+                            pair[1].n_in
+                        )));
+                    }
+                }
+                let layers = layers
+                    .into_iter()
+                    .map(|l| Layer {
+                        mw: vec![0.0; l.w.len()],
+                        vw: vec![0.0; l.w.len()],
+                        mb: vec![0.0; l.b.len()],
+                        vb: vec![0.0; l.b.len()],
+                        w: l.w,
+                        b: l.b,
+                        n_in: l.n_in,
+                        n_out: l.n_out,
+                    })
+                    .collect();
+                Ok(MlpRegressor { params, layers, y_mean, y_std })
+            }
+            other => Err(wrong_variant("mlp", &other)),
+        }
     }
 
     fn forward_all(&self, row: &[f64], activations: &mut Vec<Vec<f64>>) -> f64 {
@@ -224,6 +260,24 @@ impl Regressor for MlpRegressor {
         let mut activations = Vec::new();
         let z = self.forward_all(row, &mut activations);
         z * self.y_std + self.y_mean
+    }
+
+    fn to_params(&self) -> ModelParams {
+        ModelParams::Mlp {
+            params: self.params.clone(),
+            y_mean: self.y_mean,
+            y_std: self.y_std,
+            layers: self
+                .layers
+                .iter()
+                .map(|l| LayerParams {
+                    n_in: l.n_in,
+                    n_out: l.n_out,
+                    w: l.w.clone(),
+                    b: l.b.clone(),
+                })
+                .collect(),
+        }
     }
 }
 

@@ -1,0 +1,925 @@
+//! Versioned, hand-rolled binary model codec.
+//!
+//! EASE's value proposition is *train once, query cheaply*: a trained
+//! selector amortizes its profiling cost over many future queries, which
+//! requires the fitted models to survive the training process. No serde is
+//! available in the offline dependency set, so this module implements a
+//! small self-describing binary format:
+//!
+//! * [`Writer`]/[`Reader`] — little-endian primitive codec over a byte
+//!   buffer, with every read bounds-checked into a typed [`PersistError`].
+//! * [`ModelParams`] — the fitted state of every regressor in the zoo as
+//!   plain data. Models convert via [`crate::Regressor::to_params`] and
+//!   their inherent `from_params` constructors; [`build_regressor`] is the
+//!   tag-dispatched factory for trait objects.
+//! * A `MAGIC` + format-version header ([`write_header`]/[`read_header`])
+//!   so future layouts can evolve without silently misreading old files.
+//!
+//! The codec stores `f64`s as raw IEEE-754 bits, so a saved model predicts
+//! **bit-identically** after reload — locked by the round-trip tests in
+//! `tests/persistence_roundtrip.rs`.
+
+use crate::dataset::Matrix;
+use crate::forest::{ForestParams, RandomForest};
+use crate::gbt::{GbtParams, GradientBoosting};
+use crate::knn::KnnRegressor;
+use crate::mlp::{MlpParams, MlpRegressor};
+use crate::poly::PolynomialRegression;
+use crate::preprocess::{ScaledModel, StandardScaler};
+use crate::svr::{SvrParams, SvrRegressor};
+use crate::tree::{RegressionTree, TreeParams};
+use crate::zoo::ModelConfig;
+use crate::Regressor;
+use std::fmt;
+
+/// File magic for every EASE model artifact.
+pub const MAGIC: [u8; 8] = *b"EASEMODL";
+
+/// Current format version. Readers reject anything newer.
+pub const FORMAT_VERSION: u32 = 1;
+
+// ---------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------
+
+/// Typed decoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PersistError {
+    /// The buffer ended before a field could be read.
+    Truncated { offset: usize, needed: usize },
+    /// The file does not start with [`MAGIC`].
+    BadMagic,
+    /// The file declares a format version newer than this build understands.
+    UnsupportedVersion(u32),
+    /// Structurally invalid content (unknown tag, size mismatch, ...).
+    Corrupt(String),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Truncated { offset, needed } => {
+                write!(f, "truncated model data: needed {needed} bytes at offset {offset}")
+            }
+            PersistError::BadMagic => write!(f, "not an EASE model file (bad magic)"),
+            PersistError::UnsupportedVersion(v) => {
+                write!(f, "model format version {v} is newer than supported ({FORMAT_VERSION})")
+            }
+            PersistError::Corrupt(msg) => write!(f, "corrupt model data: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+// ---------------------------------------------------------------------
+// Writer / Reader
+// ---------------------------------------------------------------------
+
+/// Append-only little-endian byte sink.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    pub fn new() -> Self {
+        Writer { buf: Vec::new() }
+    }
+
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(u8::from(v));
+    }
+
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Raw IEEE-754 bits — NaNs and signed zeros round-trip exactly.
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    pub fn put_opt_usize(&mut self, v: Option<usize>) {
+        match v {
+            None => self.put_u8(0),
+            Some(x) => {
+                self.put_u8(1);
+                self.put_usize(x);
+            }
+        }
+    }
+
+    pub fn put_f64s(&mut self, vs: &[f64]) {
+        self.put_usize(vs.len());
+        for &v in vs {
+            self.put_f64(v);
+        }
+    }
+
+    pub fn put_str(&mut self, s: &str) {
+        self.put_usize(s.len());
+        self.put_bytes(s.as_bytes());
+    }
+}
+
+/// Bounds-checked little-endian byte source.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    pub fn offset(&self) -> usize {
+        self.pos
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    pub fn take_bytes(&mut self, n: usize) -> Result<&'a [u8], PersistError> {
+        if self.remaining() < n {
+            return Err(PersistError::Truncated { offset: self.pos, needed: n });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    pub fn take_u8(&mut self) -> Result<u8, PersistError> {
+        Ok(self.take_bytes(1)?[0])
+    }
+
+    pub fn take_bool(&mut self) -> Result<bool, PersistError> {
+        match self.take_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(PersistError::Corrupt(format!("invalid bool byte {other}"))),
+        }
+    }
+
+    pub fn take_u32(&mut self) -> Result<u32, PersistError> {
+        let b = self.take_bytes(4)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    pub fn take_u64(&mut self) -> Result<u64, PersistError> {
+        let b = self.take_bytes(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    pub fn take_usize(&mut self) -> Result<usize, PersistError> {
+        let v = self.take_u64()?;
+        usize::try_from(v).map_err(|_| PersistError::Corrupt(format!("size {v} overflows usize")))
+    }
+
+    /// A length that will immediately drive an allocation: bounded by what
+    /// the remaining buffer could possibly hold, so a corrupted length
+    /// cannot trigger a multi-gigabyte `Vec` reservation.
+    fn take_len(&mut self, elem_bytes: usize) -> Result<usize, PersistError> {
+        let n = self.take_usize()?;
+        if n.saturating_mul(elem_bytes) > self.remaining() {
+            return Err(PersistError::Corrupt(format!(
+                "declared length {n} exceeds remaining {} bytes",
+                self.remaining()
+            )));
+        }
+        Ok(n)
+    }
+
+    pub fn take_f64(&mut self) -> Result<f64, PersistError> {
+        Ok(f64::from_bits(self.take_u64()?))
+    }
+
+    pub fn take_opt_usize(&mut self) -> Result<Option<usize>, PersistError> {
+        match self.take_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.take_usize()?)),
+            other => Err(PersistError::Corrupt(format!("invalid option byte {other}"))),
+        }
+    }
+
+    pub fn take_f64s(&mut self) -> Result<Vec<f64>, PersistError> {
+        let n = self.take_len(8)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.take_f64()?);
+        }
+        Ok(out)
+    }
+
+    pub fn take_str(&mut self) -> Result<String, PersistError> {
+        let n = self.take_len(1)?;
+        let bytes = self.take_bytes(n)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| PersistError::Corrupt("invalid utf-8 string".into()))
+    }
+}
+
+/// Write the shared `MAGIC` + version header.
+pub fn write_header(w: &mut Writer) {
+    w.put_bytes(&MAGIC);
+    w.put_u32(FORMAT_VERSION);
+}
+
+/// Validate the header; returns the file's format version.
+pub fn read_header(r: &mut Reader) -> Result<u32, PersistError> {
+    let magic = r.take_bytes(MAGIC.len()).map_err(|_| PersistError::BadMagic)?;
+    if magic != MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    let version = r.take_u32()?;
+    if version == 0 || version > FORMAT_VERSION {
+        return Err(PersistError::UnsupportedVersion(version));
+    }
+    Ok(version)
+}
+
+// ---------------------------------------------------------------------
+// ModelParams — fitted state as plain data
+// ---------------------------------------------------------------------
+
+/// One node of a serialized [`RegressionTree`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum TreeNode {
+    Leaf { value: f64 },
+    Split { feature: u32, threshold: f64, left: u32, right: u32 },
+}
+
+/// One dense layer of a serialized [`MlpRegressor`] (weights + biases; the
+/// Adam moments are training-only state and are not persisted).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerParams {
+    pub n_in: usize,
+    pub n_out: usize,
+    pub w: Vec<f64>,
+    pub b: Vec<f64>,
+}
+
+/// The fitted state of every regressor in the zoo, as plain data.
+///
+/// Produced by [`Regressor::to_params`], consumed by the per-model
+/// `from_params` constructors (or [`build_regressor`] for trait objects),
+/// and serialized by [`encode_model`]/[`decode_model`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelParams {
+    Ridge { alpha: f64, weights: Vec<f64>, intercept: f64 },
+    Poly { degree: usize, alpha: f64, inner: Box<ModelParams> },
+    Tree { params: TreeParams, nodes: Vec<TreeNode>, importances: Vec<f64> },
+    Forest { params: ForestParams, trees: Vec<ModelParams>, n_features: usize },
+    Gbt { params: GbtParams, base: f64, trees: Vec<ModelParams>, n_features: usize },
+    Knn { k: usize, distance_weighted: bool, x: Matrix, y: Vec<f64> },
+    Mlp { params: MlpParams, y_mean: f64, y_std: f64, layers: Vec<LayerParams> },
+    Svr { params: SvrParams, support: Matrix, beta: Vec<f64>, bias: f64 },
+    Scaled { scaler: Option<StandardScaler>, inner: Box<ModelParams> },
+}
+
+impl ModelParams {
+    /// Short tag name for error messages.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            ModelParams::Ridge { .. } => "ridge",
+            ModelParams::Poly { .. } => "poly",
+            ModelParams::Tree { .. } => "tree",
+            ModelParams::Forest { .. } => "forest",
+            ModelParams::Gbt { .. } => "gbt",
+            ModelParams::Knn { .. } => "knn",
+            ModelParams::Mlp { .. } => "mlp",
+            ModelParams::Svr { .. } => "svr",
+            ModelParams::Scaled { .. } => "scaled",
+        }
+    }
+}
+
+/// Error helper: `from_params` received the wrong variant.
+pub fn wrong_variant(expected: &str, got: &ModelParams) -> PersistError {
+    PersistError::Corrupt(format!("expected {expected} params, got {}", got.kind_name()))
+}
+
+/// Rebuild a boxed [`Regressor`] from its serialized parameters
+/// (tag-dispatched factory over the whole zoo).
+pub fn build_regressor(params: ModelParams) -> Result<Box<dyn Regressor>, PersistError> {
+    Ok(match params {
+        p @ ModelParams::Ridge { .. } => Box::new(crate::linear::Ridge::from_params(p)?),
+        p @ ModelParams::Poly { .. } => Box::new(PolynomialRegression::from_params(p)?),
+        p @ ModelParams::Tree { .. } => Box::new(RegressionTree::from_params(p)?),
+        p @ ModelParams::Forest { .. } => Box::new(RandomForest::from_params(p)?),
+        p @ ModelParams::Gbt { .. } => Box::new(GradientBoosting::from_params(p)?),
+        p @ ModelParams::Knn { .. } => Box::new(KnnRegressor::from_params(p)?),
+        p @ ModelParams::Mlp { .. } => Box::new(MlpRegressor::from_params(p)?),
+        p @ ModelParams::Svr { .. } => Box::new(SvrRegressor::from_params(p)?),
+        p @ ModelParams::Scaled { .. } => Box::new(ScaledModel::from_params(p)?),
+    })
+}
+
+// ---------------------------------------------------------------------
+// ModelParams codec
+// ---------------------------------------------------------------------
+
+const TAG_RIDGE: u8 = 1;
+const TAG_POLY: u8 = 2;
+const TAG_TREE: u8 = 3;
+const TAG_FOREST: u8 = 4;
+const TAG_GBT: u8 = 5;
+const TAG_KNN: u8 = 6;
+const TAG_MLP: u8 = 7;
+const TAG_SVR: u8 = 8;
+const TAG_SCALED: u8 = 9;
+
+fn put_matrix(w: &mut Writer, m: &Matrix) {
+    w.put_usize(m.rows);
+    w.put_usize(m.cols);
+    w.put_f64s(m.values());
+}
+
+fn take_matrix(r: &mut Reader) -> Result<Matrix, PersistError> {
+    let rows = r.take_usize()?;
+    let cols = r.take_usize()?;
+    let data = r.take_f64s()?;
+    if data.len() != rows * cols {
+        return Err(PersistError::Corrupt(format!(
+            "matrix {rows}x{cols} carries {} values",
+            data.len()
+        )));
+    }
+    Ok(Matrix::from_flat(rows, cols, data))
+}
+
+fn put_tree_params(w: &mut Writer, p: &TreeParams) {
+    w.put_usize(p.max_depth);
+    w.put_usize(p.min_samples_split);
+    w.put_usize(p.min_samples_leaf);
+    w.put_opt_usize(p.max_features);
+    w.put_f64(p.leaf_l2);
+    w.put_f64(p.min_gain);
+    w.put_u64(p.seed);
+}
+
+fn take_tree_params(r: &mut Reader) -> Result<TreeParams, PersistError> {
+    Ok(TreeParams {
+        max_depth: r.take_usize()?,
+        min_samples_split: r.take_usize()?,
+        min_samples_leaf: r.take_usize()?,
+        max_features: r.take_opt_usize()?,
+        leaf_l2: r.take_f64()?,
+        min_gain: r.take_f64()?,
+        seed: r.take_u64()?,
+    })
+}
+
+/// Serialize fitted model parameters (recursing into nested models).
+pub fn encode_model(w: &mut Writer, params: &ModelParams) {
+    match params {
+        ModelParams::Ridge { alpha, weights, intercept } => {
+            w.put_u8(TAG_RIDGE);
+            w.put_f64(*alpha);
+            w.put_f64s(weights);
+            w.put_f64(*intercept);
+        }
+        ModelParams::Poly { degree, alpha, inner } => {
+            w.put_u8(TAG_POLY);
+            w.put_usize(*degree);
+            w.put_f64(*alpha);
+            encode_model(w, inner);
+        }
+        ModelParams::Tree { params, nodes, importances } => {
+            w.put_u8(TAG_TREE);
+            put_tree_params(w, params);
+            w.put_usize(nodes.len());
+            for n in nodes {
+                match n {
+                    TreeNode::Leaf { value } => {
+                        w.put_u8(0);
+                        w.put_f64(*value);
+                    }
+                    TreeNode::Split { feature, threshold, left, right } => {
+                        w.put_u8(1);
+                        w.put_u32(*feature);
+                        w.put_f64(*threshold);
+                        w.put_u32(*left);
+                        w.put_u32(*right);
+                    }
+                }
+            }
+            w.put_f64s(importances);
+        }
+        ModelParams::Forest { params, trees, n_features } => {
+            w.put_u8(TAG_FOREST);
+            w.put_usize(params.n_trees);
+            w.put_usize(params.max_depth);
+            w.put_usize(params.min_samples_leaf);
+            w.put_f64(params.feature_fraction);
+            w.put_u64(params.seed);
+            w.put_usize(*n_features);
+            w.put_usize(trees.len());
+            for t in trees {
+                encode_model(w, t);
+            }
+        }
+        ModelParams::Gbt { params, base, trees, n_features } => {
+            w.put_u8(TAG_GBT);
+            w.put_usize(params.n_estimators);
+            w.put_f64(params.learning_rate);
+            w.put_usize(params.max_depth);
+            w.put_f64(params.lambda);
+            w.put_f64(params.gamma);
+            w.put_f64(params.subsample);
+            w.put_usize(params.min_samples_leaf);
+            w.put_u64(params.seed);
+            w.put_f64(*base);
+            w.put_usize(*n_features);
+            w.put_usize(trees.len());
+            for t in trees {
+                encode_model(w, t);
+            }
+        }
+        ModelParams::Knn { k, distance_weighted, x, y } => {
+            w.put_u8(TAG_KNN);
+            w.put_usize(*k);
+            w.put_bool(*distance_weighted);
+            put_matrix(w, x);
+            w.put_f64s(y);
+        }
+        ModelParams::Mlp { params, y_mean, y_std, layers } => {
+            w.put_u8(TAG_MLP);
+            w.put_usize(params.hidden.len());
+            for &h in &params.hidden {
+                w.put_usize(h);
+            }
+            w.put_usize(params.epochs);
+            w.put_usize(params.batch_size);
+            w.put_f64(params.learning_rate);
+            w.put_f64(params.l2);
+            w.put_u64(params.seed);
+            w.put_f64(*y_mean);
+            w.put_f64(*y_std);
+            w.put_usize(layers.len());
+            for l in layers {
+                w.put_usize(l.n_in);
+                w.put_usize(l.n_out);
+                w.put_f64s(&l.w);
+                w.put_f64s(&l.b);
+            }
+        }
+        ModelParams::Svr { params, support, beta, bias } => {
+            w.put_u8(TAG_SVR);
+            w.put_f64(params.c);
+            w.put_f64(params.epsilon);
+            w.put_f64(params.gamma);
+            w.put_usize(params.max_passes);
+            w.put_f64(params.tol);
+            w.put_usize(params.max_train);
+            put_matrix(w, support);
+            w.put_f64s(beta);
+            w.put_f64(*bias);
+        }
+        ModelParams::Scaled { scaler, inner } => {
+            w.put_u8(TAG_SCALED);
+            match scaler {
+                None => w.put_bool(false),
+                Some(s) => {
+                    w.put_bool(true);
+                    w.put_f64s(&s.means);
+                    w.put_f64s(&s.stds);
+                }
+            }
+            encode_model(w, inner);
+        }
+    }
+}
+
+/// Decode fitted model parameters (inverse of [`encode_model`]).
+pub fn decode_model(r: &mut Reader) -> Result<ModelParams, PersistError> {
+    let tag = r.take_u8()?;
+    Ok(match tag {
+        TAG_RIDGE => ModelParams::Ridge {
+            alpha: r.take_f64()?,
+            weights: r.take_f64s()?,
+            intercept: r.take_f64()?,
+        },
+        TAG_POLY => ModelParams::Poly {
+            degree: r.take_usize()?,
+            alpha: r.take_f64()?,
+            inner: Box::new(decode_model(r)?),
+        },
+        TAG_TREE => {
+            let params = take_tree_params(r)?;
+            let n_nodes = r.take_len(9)?;
+            let mut nodes = Vec::with_capacity(n_nodes);
+            for _ in 0..n_nodes {
+                nodes.push(match r.take_u8()? {
+                    0 => TreeNode::Leaf { value: r.take_f64()? },
+                    1 => TreeNode::Split {
+                        feature: r.take_u32()?,
+                        threshold: r.take_f64()?,
+                        left: r.take_u32()?,
+                        right: r.take_u32()?,
+                    },
+                    other => {
+                        return Err(PersistError::Corrupt(format!("unknown tree node tag {other}")))
+                    }
+                });
+            }
+            for (i, n) in nodes.iter().enumerate() {
+                if let TreeNode::Split { left, right, .. } = n {
+                    if *left as usize >= nodes.len() || *right as usize >= nodes.len() {
+                        return Err(PersistError::Corrupt(format!(
+                            "tree node {i} links outside the {} stored nodes",
+                            nodes.len()
+                        )));
+                    }
+                }
+            }
+            ModelParams::Tree { params, nodes, importances: r.take_f64s()? }
+        }
+        TAG_FOREST => {
+            let params = ForestParams {
+                n_trees: r.take_usize()?,
+                max_depth: r.take_usize()?,
+                min_samples_leaf: r.take_usize()?,
+                feature_fraction: r.take_f64()?,
+                seed: r.take_u64()?,
+            };
+            let n_features = r.take_usize()?;
+            let n_trees = r.take_len(1)?;
+            let mut trees = Vec::with_capacity(n_trees);
+            for _ in 0..n_trees {
+                trees.push(decode_model(r)?);
+            }
+            ModelParams::Forest { params, trees, n_features }
+        }
+        TAG_GBT => {
+            let params = GbtParams {
+                n_estimators: r.take_usize()?,
+                learning_rate: r.take_f64()?,
+                max_depth: r.take_usize()?,
+                lambda: r.take_f64()?,
+                gamma: r.take_f64()?,
+                subsample: r.take_f64()?,
+                min_samples_leaf: r.take_usize()?,
+                seed: r.take_u64()?,
+            };
+            let base = r.take_f64()?;
+            let n_features = r.take_usize()?;
+            let n_trees = r.take_len(1)?;
+            let mut trees = Vec::with_capacity(n_trees);
+            for _ in 0..n_trees {
+                trees.push(decode_model(r)?);
+            }
+            ModelParams::Gbt { params, base, trees, n_features }
+        }
+        TAG_KNN => ModelParams::Knn {
+            k: r.take_usize()?,
+            distance_weighted: r.take_bool()?,
+            x: take_matrix(r)?,
+            y: r.take_f64s()?,
+        },
+        TAG_MLP => {
+            let n_hidden = r.take_len(8)?;
+            let mut hidden = Vec::with_capacity(n_hidden);
+            for _ in 0..n_hidden {
+                hidden.push(r.take_usize()?);
+            }
+            let params = MlpParams {
+                hidden,
+                epochs: r.take_usize()?,
+                batch_size: r.take_usize()?,
+                learning_rate: r.take_f64()?,
+                l2: r.take_f64()?,
+                seed: r.take_u64()?,
+            };
+            let y_mean = r.take_f64()?;
+            let y_std = r.take_f64()?;
+            let n_layers = r.take_len(1)?;
+            let mut layers = Vec::with_capacity(n_layers);
+            for _ in 0..n_layers {
+                let n_in = r.take_usize()?;
+                let n_out = r.take_usize()?;
+                let w = r.take_f64s()?;
+                let b = r.take_f64s()?;
+                if w.len() != n_in * n_out || b.len() != n_out {
+                    return Err(PersistError::Corrupt(format!(
+                        "mlp layer {n_in}x{n_out} carries {} weights / {} biases",
+                        w.len(),
+                        b.len()
+                    )));
+                }
+                layers.push(LayerParams { n_in, n_out, w, b });
+            }
+            ModelParams::Mlp { params, y_mean, y_std, layers }
+        }
+        TAG_SVR => {
+            let params = SvrParams {
+                c: r.take_f64()?,
+                epsilon: r.take_f64()?,
+                gamma: r.take_f64()?,
+                max_passes: r.take_usize()?,
+                tol: r.take_f64()?,
+                max_train: r.take_usize()?,
+            };
+            let support = take_matrix(r)?;
+            let beta = r.take_f64s()?;
+            if beta.len() != support.rows {
+                return Err(PersistError::Corrupt(format!(
+                    "svr: {} duals for {} support vectors",
+                    beta.len(),
+                    support.rows
+                )));
+            }
+            ModelParams::Svr { params, support, beta, bias: r.take_f64()? }
+        }
+        TAG_SCALED => {
+            let scaler = if r.take_bool()? {
+                let means = r.take_f64s()?;
+                let stds = r.take_f64s()?;
+                if means.len() != stds.len() {
+                    return Err(PersistError::Corrupt(format!(
+                        "scaler: {} means vs {} stds",
+                        means.len(),
+                        stds.len()
+                    )));
+                }
+                Some(StandardScaler { means, stds })
+            } else {
+                None
+            };
+            ModelParams::Scaled { scaler, inner: Box::new(decode_model(r)?) }
+        }
+        other => return Err(PersistError::Corrupt(format!("unknown model tag {other}"))),
+    })
+}
+
+// ---------------------------------------------------------------------
+// ModelConfig codec (for persisted grid-search provenance)
+// ---------------------------------------------------------------------
+
+/// Serialize a hyper-parameter point (the provenance half of a persisted
+/// predictor: which configuration won the grid search).
+pub fn encode_config(w: &mut Writer, cfg: &ModelConfig) {
+    match cfg {
+        ModelConfig::Poly { degree, alpha } => {
+            w.put_u8(1);
+            w.put_usize(*degree);
+            w.put_f64(*alpha);
+        }
+        ModelConfig::Svr { c, epsilon, gamma } => {
+            w.put_u8(2);
+            w.put_f64(*c);
+            w.put_f64(*epsilon);
+            w.put_f64(*gamma);
+        }
+        ModelConfig::Forest { n_trees, max_depth, feature_fraction } => {
+            w.put_u8(3);
+            w.put_usize(*n_trees);
+            w.put_usize(*max_depth);
+            w.put_f64(*feature_fraction);
+        }
+        ModelConfig::Xgb { n_estimators, learning_rate, max_depth, lambda } => {
+            w.put_u8(4);
+            w.put_usize(*n_estimators);
+            w.put_f64(*learning_rate);
+            w.put_usize(*max_depth);
+            w.put_f64(*lambda);
+        }
+        ModelConfig::Knn { k, distance_weighted } => {
+            w.put_u8(5);
+            w.put_usize(*k);
+            w.put_bool(*distance_weighted);
+        }
+        ModelConfig::Mlp { hidden, epochs, learning_rate } => {
+            w.put_u8(6);
+            w.put_usize(hidden.len());
+            for &h in hidden {
+                w.put_usize(h);
+            }
+            w.put_usize(*epochs);
+            w.put_f64(*learning_rate);
+        }
+    }
+}
+
+/// Decode a hyper-parameter point (inverse of [`encode_config`]).
+pub fn decode_config(r: &mut Reader) -> Result<ModelConfig, PersistError> {
+    Ok(match r.take_u8()? {
+        1 => ModelConfig::Poly { degree: r.take_usize()?, alpha: r.take_f64()? },
+        2 => ModelConfig::Svr { c: r.take_f64()?, epsilon: r.take_f64()?, gamma: r.take_f64()? },
+        3 => ModelConfig::Forest {
+            n_trees: r.take_usize()?,
+            max_depth: r.take_usize()?,
+            feature_fraction: r.take_f64()?,
+        },
+        4 => ModelConfig::Xgb {
+            n_estimators: r.take_usize()?,
+            learning_rate: r.take_f64()?,
+            max_depth: r.take_usize()?,
+            lambda: r.take_f64()?,
+        },
+        5 => ModelConfig::Knn { k: r.take_usize()?, distance_weighted: r.take_bool()? },
+        6 => {
+            let n = r.take_len(8)?;
+            let mut hidden = Vec::with_capacity(n);
+            for _ in 0..n {
+                hidden.push(r.take_usize()?);
+            }
+            ModelConfig::Mlp { hidden, epochs: r.take_usize()?, learning_rate: r.take_f64()? }
+        }
+        other => return Err(PersistError::Corrupt(format!("unknown config tag {other}"))),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+
+    fn training_data(n: usize) -> (Matrix, Vec<f64>) {
+        let mut state = 0xDEADu64;
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| {
+                (0..3)
+                    .map(|_| {
+                        state = state
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        (state >> 40) as f64 / 1e5
+                    })
+                    .collect()
+            })
+            .collect();
+        let y: Vec<f64> = rows.iter().map(|r| r[0] * 2.0 + (r[1] * 3.0).sin() + r[2]).collect();
+        (Matrix::from_rows(&rows), y)
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut w = Writer::new();
+        w.put_u8(7);
+        w.put_bool(true);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX);
+        w.put_usize(123_456);
+        w.put_f64(-0.0);
+        w.put_f64(f64::NAN);
+        w.put_opt_usize(None);
+        w.put_opt_usize(Some(9));
+        w.put_f64s(&[1.5, -2.5]);
+        w.put_str("ease");
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.take_u8().unwrap(), 7);
+        assert!(r.take_bool().unwrap());
+        assert_eq!(r.take_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.take_u64().unwrap(), u64::MAX);
+        assert_eq!(r.take_usize().unwrap(), 123_456);
+        assert_eq!(r.take_f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert!(r.take_f64().unwrap().is_nan());
+        assert_eq!(r.take_opt_usize().unwrap(), None);
+        assert_eq!(r.take_opt_usize().unwrap(), Some(9));
+        assert_eq!(r.take_f64s().unwrap(), vec![1.5, -2.5]);
+        assert_eq!(r.take_str().unwrap(), "ease");
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn truncated_reads_are_typed_errors() {
+        let mut w = Writer::new();
+        w.put_u32(5);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(r.take_u64(), Err(PersistError::Truncated { .. })));
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_without_allocation() {
+        let mut w = Writer::new();
+        w.put_usize(usize::MAX / 2);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(r.take_f64s(), Err(PersistError::Corrupt(_))));
+    }
+
+    #[test]
+    fn header_round_trip_and_rejection() {
+        let mut w = Writer::new();
+        write_header(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(read_header(&mut r).unwrap(), FORMAT_VERSION);
+
+        let mut corrupt = bytes.clone();
+        corrupt[0] ^= 0xFF;
+        assert_eq!(read_header(&mut Reader::new(&corrupt)).unwrap_err(), PersistError::BadMagic);
+
+        let mut future = bytes;
+        future[MAGIC.len()] = 0xFE; // version 254
+        assert!(matches!(
+            read_header(&mut Reader::new(&future)).unwrap_err(),
+            PersistError::UnsupportedVersion(_)
+        ));
+    }
+
+    #[test]
+    fn every_default_grid_model_round_trips_bit_exactly() {
+        let (x, y) = training_data(40);
+        let (xt, _) = training_data(15);
+        for cfg in zoo::default_grid() {
+            let mut m = match cfg {
+                ModelConfig::Mlp { ref hidden, .. } => {
+                    ModelConfig::Mlp { hidden: hidden.clone(), epochs: 8, learning_rate: 1e-3 }
+                        .build()
+                }
+                _ => cfg.build(),
+            };
+            m.fit(&x, &y);
+            let mut w = Writer::new();
+            encode_model(&mut w, &m.to_params());
+            let bytes = w.into_bytes();
+            let mut r = Reader::new(&bytes);
+            let restored = build_regressor(decode_model(&mut r).unwrap()).unwrap();
+            assert_eq!(r.remaining(), 0, "{}", cfg.describe());
+            for i in 0..xt.rows {
+                let a = m.predict_row(xt.row(i));
+                let b = restored.predict_row(xt.row(i));
+                assert_eq!(a.to_bits(), b.to_bits(), "{} row {i}", cfg.describe());
+            }
+        }
+    }
+
+    #[test]
+    fn restored_importances_match() {
+        let (x, y) = training_data(60);
+        let mut m =
+            ModelConfig::Forest { n_trees: 12, max_depth: 8, feature_fraction: 1.0 }.build();
+        m.fit(&x, &y);
+        let mut w = Writer::new();
+        encode_model(&mut w, &m.to_params());
+        let bytes = w.into_bytes();
+        let restored = build_regressor(decode_model(&mut Reader::new(&bytes)).unwrap()).unwrap();
+        assert_eq!(m.feature_importances(), restored.feature_importances());
+    }
+
+    #[test]
+    fn config_codec_round_trips_the_whole_grid() {
+        for cfg in zoo::default_grid().into_iter().chain(zoo::quick_grid()) {
+            let mut w = Writer::new();
+            encode_config(&mut w, &cfg);
+            let bytes = w.into_bytes();
+            let back = decode_config(&mut Reader::new(&bytes)).unwrap();
+            assert_eq!(cfg, back);
+        }
+    }
+
+    #[test]
+    fn wrong_variant_is_a_corrupt_error() {
+        let p = ModelParams::Ridge { alpha: 1.0, weights: vec![], intercept: 0.0 };
+        let err = crate::knn::KnnRegressor::from_params(p).unwrap_err();
+        assert!(matches!(err, PersistError::Corrupt(_)));
+    }
+
+    #[test]
+    fn split_links_are_validated() {
+        let bad = ModelParams::Tree {
+            params: TreeParams::default(),
+            nodes: vec![TreeNode::Split { feature: 0, threshold: 0.0, left: 5, right: 6 }],
+            importances: vec![0.0],
+        };
+        let mut w = Writer::new();
+        encode_model(&mut w, &bad);
+        let bytes = w.into_bytes();
+        assert!(matches!(decode_model(&mut Reader::new(&bytes)), Err(PersistError::Corrupt(_))));
+    }
+}

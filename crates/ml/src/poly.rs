@@ -2,6 +2,7 @@
 
 use crate::dataset::Matrix;
 use crate::linear::Ridge;
+use crate::persist::{wrong_variant, ModelParams, PersistError};
 use crate::Regressor;
 
 /// Polynomial regression of degree 1–3.
@@ -20,6 +21,21 @@ impl PolynomialRegression {
     pub fn new(degree: usize, alpha: f64) -> Self {
         assert!((1..=3).contains(&degree), "degree must be 1..=3");
         PolynomialRegression { degree, alpha, inner: Ridge::new(alpha) }
+    }
+
+    /// Rebuild from [`ModelParams::Poly`].
+    pub fn from_params(params: ModelParams) -> Result<Self, PersistError> {
+        match params {
+            ModelParams::Poly { degree, alpha, inner } => {
+                if !(1..=3).contains(&degree) {
+                    return Err(PersistError::Corrupt(format!(
+                        "poly degree {degree} out of 1..=3"
+                    )));
+                }
+                Ok(PolynomialRegression { degree, alpha, inner: Ridge::from_params(*inner)? })
+            }
+            other => Err(wrong_variant("poly", &other)),
+        }
     }
 
     fn expand(&self, row: &[f64], out: &mut Vec<f64>) {
@@ -64,6 +80,14 @@ impl Regressor for PolynomialRegression {
         let mut buf = Vec::new();
         self.expand(row, &mut buf);
         self.inner.predict_row(&buf)
+    }
+
+    fn to_params(&self) -> ModelParams {
+        ModelParams::Poly {
+            degree: self.degree,
+            alpha: self.alpha,
+            inner: Box::new(self.inner.to_params()),
+        }
     }
 }
 

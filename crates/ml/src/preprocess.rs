@@ -4,10 +4,11 @@
 //! algorithms").
 
 use crate::dataset::Matrix;
+use crate::persist::{build_regressor, wrong_variant, ModelParams, PersistError};
 use crate::Regressor;
 
 /// Per-column z-score scaler.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct StandardScaler {
     pub means: Vec<f64>,
     pub stds: Vec<f64>,
@@ -99,6 +100,16 @@ impl ScaledModel {
     pub fn new(inner: Box<dyn Regressor>) -> Self {
         ScaledModel { scaler: None, inner }
     }
+
+    /// Rebuild from [`ModelParams::Scaled`].
+    pub fn from_params(params: ModelParams) -> Result<Self, PersistError> {
+        match params {
+            ModelParams::Scaled { scaler, inner } => {
+                Ok(ScaledModel { scaler, inner: build_regressor(*inner)? })
+            }
+            other => Err(wrong_variant("scaled", &other)),
+        }
+    }
 }
 
 impl Regressor for ScaledModel {
@@ -118,6 +129,10 @@ impl Regressor for ScaledModel {
 
     fn feature_importances(&self) -> Option<Vec<f64>> {
         self.inner.feature_importances()
+    }
+
+    fn to_params(&self) -> ModelParams {
+        ModelParams::Scaled { scaler: self.scaler.clone(), inner: Box::new(self.inner.to_params()) }
     }
 }
 

@@ -15,9 +15,10 @@
 //! component, it is one of the compared families).
 
 use crate::dataset::Matrix;
+use crate::persist::{wrong_variant, ModelParams, PersistError};
 use crate::Regressor;
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SvrParams {
     pub c: f64,
     pub epsilon: f64,
@@ -62,6 +63,17 @@ impl SvrRegressor {
     /// Number of support vectors (non-zero duals) after fitting.
     pub fn num_support_vectors(&self) -> usize {
         self.beta.iter().filter(|b| b.abs() > 1e-12).count()
+    }
+
+    /// Rebuild from [`ModelParams::Svr`]. The decoder already validated
+    /// that `beta` and `support` agree in length.
+    pub fn from_params(params: ModelParams) -> Result<Self, PersistError> {
+        match params {
+            ModelParams::Svr { params, support, beta, bias } => {
+                Ok(SvrRegressor { params, support, beta, bias })
+            }
+            other => Err(wrong_variant("svr", &other)),
+        }
     }
 }
 
@@ -135,6 +147,15 @@ impl Regressor for SvrRegressor {
             sum += b * self.kernel(self.support.row(i), row);
         }
         sum
+    }
+
+    fn to_params(&self) -> ModelParams {
+        ModelParams::Svr {
+            params: self.params.clone(),
+            support: self.support.clone(),
+            beta: self.beta.clone(),
+            bias: self.bias,
+        }
     }
 }
 

@@ -13,6 +13,7 @@
 //! (paper Sec. V-E).
 
 use crate::dataset::Matrix;
+use crate::persist::{wrong_variant, ModelParams, PersistError, TreeNode};
 use crate::Regressor;
 use ease_rng::SplitMix64;
 
@@ -46,7 +47,7 @@ mod ease_rng {
 pub const MAX_BINS: usize = 64;
 
 /// Tree hyper-parameters.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TreeParams {
     pub max_depth: usize,
     pub min_samples_split: usize,
@@ -282,6 +283,26 @@ impl RegressionTree {
     pub fn raw_importances(&self) -> &[f64] {
         &self.importances
     }
+
+    /// Rebuild from [`ModelParams::Tree`]. Split links were already
+    /// validated against the node count by the decoder.
+    pub fn from_params(params: ModelParams) -> Result<Self, PersistError> {
+        match params {
+            ModelParams::Tree { params, nodes, importances } => {
+                let nodes = nodes
+                    .into_iter()
+                    .map(|n| match n {
+                        TreeNode::Leaf { value } => Node::Leaf { value },
+                        TreeNode::Split { feature, threshold, left, right } => {
+                            Node::Split { feature, threshold, left, right }
+                        }
+                    })
+                    .collect();
+                Ok(RegressionTree { params, nodes, importances })
+            }
+            other => Err(wrong_variant("tree", &other)),
+        }
+    }
 }
 
 impl Regressor for RegressionTree {
@@ -316,6 +337,23 @@ impl Regressor for RegressionTree {
             return Some(vec![0.0; self.importances.len()]);
         }
         Some(self.importances.iter().map(|v| v / total).collect())
+    }
+
+    fn to_params(&self) -> ModelParams {
+        ModelParams::Tree {
+            params: self.params.clone(),
+            nodes: self
+                .nodes
+                .iter()
+                .map(|n| match *n {
+                    Node::Leaf { value } => TreeNode::Leaf { value },
+                    Node::Split { feature, threshold, left, right } => {
+                        TreeNode::Split { feature, threshold, left, right }
+                    }
+                })
+                .collect(),
+            importances: self.importances.clone(),
+        }
     }
 }
 

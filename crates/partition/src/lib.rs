@@ -27,7 +27,10 @@ pub mod two_ps;
 
 pub use assignment::EdgePartition;
 pub use metrics::{QualityMetrics, QualityTarget};
-pub use runner::{run_partitioner, PartitionRun};
+pub use runner::{
+    deterministic_partitioning_secs, run_partitioner, run_partitioner_with, PartitionRun,
+    TimingMode,
+};
 
 use ease_graph::Graph;
 

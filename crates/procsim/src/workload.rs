@@ -61,6 +61,23 @@ impl Workload {
         }
     }
 
+    /// Inverse of [`Workload::name`] with the paper's default
+    /// parametrization — the single name→workload catalog shared by the
+    /// `ease` CLI and the persistence layer (which uses it to intern saved
+    /// workload names back to `'static`).
+    pub fn from_name(name: &str) -> Option<Workload> {
+        Some(match name {
+            "pr" => Workload::PageRank { iterations: 10 },
+            "cc" => Workload::ConnectedComponents,
+            "sssp" => Workload::Sssp { source_seed: 0x55AA },
+            "kcores" => Workload::KCores,
+            "lp" => Workload::LabelPropagation { iterations: 10 },
+            "synthetic-low" => Workload::Synthetic { s: 1, iterations: 5 },
+            "synthetic-high" => Workload::Synthetic { s: 10, iterations: 5 },
+            _ => return None,
+        })
+    }
+
     /// Human-readable label matching the paper's tables.
     pub fn label(self) -> &'static str {
         match self {

@@ -8,31 +8,31 @@
 //! cargo run --release --example auto_selection
 //! ```
 
-use ease_repro::core::pipeline::{train_ease, EaseConfig};
-use ease_repro::core::selector::OptGoal;
 use ease_repro::graph::GraphProperties;
 use ease_repro::graphgen::Scale;
 use ease_repro::partition::run_partitioner;
 use ease_repro::procsim::{ClusterSpec, DistributedGraph, Workload};
+use ease_repro::{EaseServiceBuilder, OptGoal};
 
 fn main() {
     println!("training EASE at tiny scale (this profiles two corpora)...");
-    let mut cfg = EaseConfig::at_scale(Scale::Tiny);
     // the default tiny caps (24 + 10 graphs) are sized for unit tests;
     // give the example enough training data for a credible ranking
-    cfg.max_small_graphs = Some(80);
-    cfg.max_large_graphs = Some(36);
-    let (ease, _artifacts) = train_ease(&cfg);
+    let service = EaseServiceBuilder::at_scale(Scale::Tiny)
+        .max_small_graphs(Some(80))
+        .max_large_graphs(Some(36))
+        .train()
+        .expect("valid config");
 
     // an unseen graph: the Socfb-A-anon analogue of the paper's Fig. 2
     let tg = ease_repro::graphgen::realworld::socfb_analogue(Scale::Tiny, 777);
     let props = GraphProperties::compute_advanced(&tg.graph);
     println!("\nunseen graph {}: |V|={} |E|={}", tg.name, props.num_vertices, props.num_edges);
 
-    let k = cfg.processing_k;
+    let k = service.meta().default_k;
     let workload = Workload::PageRank { iterations: 10 };
     for goal in [OptGoal::EndToEnd, OptGoal::ProcessingOnly] {
-        let selection = ease.select(&props, workload, k, goal);
+        let selection = service.recommend(&props, workload, goal).expect("trained workload");
         println!("\ngoal {:?}: EASE picks {}", goal, selection.best.name());
         println!("  {:<8} {:>10} {:>10} {:>10}", "algo", "pred-part", "pred-proc", "pred-e2e");
         let mut ranked = selection.candidates.clone();
@@ -51,8 +51,8 @@ fn main() {
     // ground truth for the EndToEnd goal
     println!("\nmeasured ground truth (all 11 partitioners):");
     let cluster = ClusterSpec::new(k);
-    let mut truth: Vec<(String, f64)> = ease
-        .catalog
+    let mut truth: Vec<(String, f64)> = service
+        .catalog()
         .iter()
         .map(|&p| {
             let run = run_partitioner(p, &tg.graph, k, 5);
@@ -65,7 +65,12 @@ fn main() {
     for (name, secs) in &truth {
         println!("  {name:<8} {secs:>9.3}s");
     }
-    let pick = ease.select(&props, workload, k, OptGoal::EndToEnd).best.name().to_string();
+    let pick = service
+        .recommend(&props, workload, OptGoal::EndToEnd)
+        .expect("trained workload")
+        .best
+        .name()
+        .to_string();
     let rank = truth.iter().position(|(n, _)| *n == pick).unwrap_or(99);
     println!(
         "\nEASE's pick `{pick}` ranks #{} of {} by true end-to-end time.",

@@ -12,11 +12,10 @@
 //!
 //! Without arguments it demos on a generated graph.
 
-use ease_repro::core::pipeline::{train_ease, EaseConfig};
-use ease_repro::core::selector::OptGoal;
 use ease_repro::graph::{Graph, GraphProperties};
 use ease_repro::graphgen::Scale;
 use ease_repro::procsim::Workload;
+use ease_repro::{EaseService, EaseServiceBuilder, OptGoal};
 
 fn workload_from_name(name: &str) -> Workload {
     match name {
@@ -55,10 +54,23 @@ fn main() {
         graph.num_edges(),
         workload.label()
     );
-    // The paper's trained models would be loaded here; we retrain at tiny
-    // scale so the example is self-contained (seconds).
-    println!("training EASE (tiny scale) ...");
-    let (system, _) = train_ease(&EaseConfig::at_scale(Scale::Tiny));
+    // Train once, then persist — reruns of this example reuse the saved
+    // service instead of re-profiling (the paper's amortization argument).
+    let model_path = std::env::temp_dir().join("ease_select_for_file.model");
+    let system = match EaseService::load(&model_path) {
+        Ok(service) => {
+            println!("loaded trained service from {} ...", model_path.display());
+            service
+        }
+        Err(_) => {
+            println!("training EASE (tiny scale) ...");
+            let service = EaseServiceBuilder::at_scale(Scale::Tiny).train().expect("valid config");
+            if service.save(&model_path).is_ok() {
+                println!("saved trained service to {} for future runs", model_path.display());
+            }
+            service
+        }
+    };
 
     let props = GraphProperties::compute_advanced(&graph);
     println!(
@@ -68,7 +80,13 @@ fn main() {
         props.avg_lcc.unwrap_or(0.0)
     );
     for goal in [OptGoal::EndToEnd, OptGoal::ProcessingOnly] {
-        let sel = system.select(&props, workload, k, goal);
+        let sel = match system.recommend_with_k(&props, workload, k, goal) {
+            Ok(sel) => sel,
+            Err(e) => {
+                eprintln!("cannot recommend: {e}");
+                std::process::exit(1);
+            }
+        };
         let best = sel
             .candidates
             .iter()

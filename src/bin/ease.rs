@@ -1,0 +1,338 @@
+//! `ease` — the partitioner-selection service CLI.
+//!
+//! Drives the full *train once, query cheaply* lifecycle from the shell:
+//!
+//! ```sh
+//! ease gen --out graph.txt --kind soc --scale tiny --seed 7
+//! ease train --out ease.model --scale tiny --quick --deterministic
+//! ease inspect --model ease.model
+//! ease recommend --model ease.model --graph graph.txt --workload pr --goal e2e
+//! ```
+//!
+//! Every failure path is a typed [`EaseError`] rendered as a one-line
+//! message with exit code 1 (2 for usage errors) — no panics on user input.
+
+use ease_repro::core::profiling::TimingMode;
+use ease_repro::graph::GraphProperties;
+use ease_repro::graphgen::realworld::{generate_typed, GraphType};
+use ease_repro::graphgen::Scale;
+use ease_repro::procsim::Workload;
+use ease_repro::{EaseError, EaseService, EaseServiceBuilder, OptGoal};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const USAGE: &str = "ease — partitioner selection with EASE (Merkel et al., ICDE 2023)
+
+USAGE:
+    ease <SUBCOMMAND> [OPTIONS]
+
+SUBCOMMANDS:
+    train        Train a selection service and save it to disk
+    recommend    Query a saved service for the best partitioner for a graph
+    inspect      Print a saved service's provenance and chosen models
+    gen          Generate a synthetic edge-list file to experiment with
+
+TRAIN OPTIONS:
+    --out <path>          Where to save the trained service (required)
+    --scale <s>           tiny | small | medium           [default: tiny]
+    --quick               Use the reduced quick model grid
+    --folds <n>           Cross-validation folds          [default: per scale]
+    --seed <n>            Training seed                   [default: 0xEA5E]
+    --deterministic       Analytical timing proxy instead of wall clock
+    --k <n>               Default partition count for recommendations
+    --max-small <n>       Cap the quality-training corpus
+    --max-large <n>       Cap the time-training corpus
+
+RECOMMEND OPTIONS:
+    --model <path>        Saved service (required)
+    --graph <path>        Whitespace-separated edge list (required)
+    --workload <w>        pr | cc | sssp | kcores | lp | synthetic-low |
+                          synthetic-high                  [default: pr]
+    --k <n>               Partition count                 [default: service]
+    --goal <g>            e2e | processing                [default: e2e]
+    --top <n>             How many candidates to print    [default: 5]
+
+INSPECT OPTIONS:
+    --model <path>        Saved service (required)
+
+GEN OPTIONS:
+    --out <path>          Where to write the edge list (required)
+    --kind <k>            soc | web | wiki | citation | collaboration |
+                          interaction | internet | affiliation |
+                          product_network                 [default: soc]
+    --scale <s>           tiny | small | medium           [default: tiny]
+    --seed <n>            Generator seed                  [default: 42]
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let result = match cmd.as_str() {
+        "train" => cmd_train(&args[1..]),
+        "recommend" => cmd_recommend(&args[1..]),
+        "inspect" => cmd_inspect(&args[1..]),
+        "gen" => cmd_gen(&args[1..]),
+        "--help" | "-h" | "help" => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => {
+            eprintln!("unknown subcommand `{other}`\n");
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(CliError::Usage(msg)) => {
+            eprintln!("usage error: {msg} (see `ease --help`)");
+            ExitCode::from(2)
+        }
+        Err(CliError::Ease(e)) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+enum CliError {
+    Usage(String),
+    Ease(EaseError),
+}
+
+impl From<EaseError> for CliError {
+    fn from(e: EaseError) -> Self {
+        CliError::Ease(e)
+    }
+}
+
+impl From<ease_repro::graph::GraphIoError> for CliError {
+    fn from(e: ease_repro::graph::GraphIoError) -> Self {
+        CliError::Ease(e.into())
+    }
+}
+
+/// Minimal flag parser: `--flag value` pairs plus boolean switches.
+struct Flags {
+    pairs: Vec<(String, Option<String>)>,
+}
+
+impl Flags {
+    fn parse(args: &[String], switches: &[&str]) -> Result<Flags, CliError> {
+        let mut pairs = Vec::new();
+        let mut it = args.iter().peekable();
+        while let Some(arg) = it.next() {
+            let Some(name) = arg.strip_prefix("--") else {
+                return Err(CliError::Usage(format!("unexpected argument `{arg}`")));
+            };
+            if switches.contains(&name) {
+                pairs.push((name.to_string(), None));
+            } else {
+                let value =
+                    it.next().ok_or_else(|| CliError::Usage(format!("--{name} needs a value")))?;
+                pairs.push((name.to_string(), Some(value.clone())));
+            }
+        }
+        Ok(Flags { pairs })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.pairs.iter().rev().find(|(n, _)| n == name).and_then(|(_, v)| v.as_deref())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.pairs.iter().any(|(n, _)| n == name)
+    }
+
+    fn require(&self, name: &str) -> Result<&str, CliError> {
+        self.get(name).ok_or_else(|| CliError::Usage(format!("--{name} is required")))
+    }
+
+    fn parse_num<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, CliError> {
+        match self.get(name) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| CliError::Usage(format!("--{name} `{v}` is not a number"))),
+        }
+    }
+}
+
+fn parse_scale(flags: &Flags) -> Result<Scale, CliError> {
+    match flags.get("scale") {
+        None => Ok(Scale::Tiny),
+        Some(s) => Scale::parse(s).ok_or_else(|| CliError::Usage(format!("unknown scale `{s}`"))),
+    }
+}
+
+fn parse_workload(name: &str) -> Result<Workload, CliError> {
+    Workload::from_name(name).ok_or_else(|| CliError::Usage(format!("unknown workload `{name}`")))
+}
+
+fn parse_goal(flags: &Flags) -> Result<OptGoal, CliError> {
+    Ok(match flags.get("goal") {
+        None | Some("e2e") => OptGoal::EndToEnd,
+        Some("processing") | Some("proc") => OptGoal::ProcessingOnly,
+        Some(other) => return Err(CliError::Usage(format!("unknown goal `{other}`"))),
+    })
+}
+
+fn cmd_train(args: &[String]) -> Result<(), CliError> {
+    let flags = Flags::parse(args, &["quick", "deterministic"])?;
+    let out = PathBuf::from(flags.require("out")?);
+    let scale = parse_scale(&flags)?;
+    let mut builder = EaseServiceBuilder::at_scale(scale);
+    if flags.has("quick") {
+        builder = builder.quick_grid();
+    }
+    if flags.has("deterministic") {
+        builder = builder.timing(TimingMode::Deterministic);
+    }
+    if let Some(folds) = flags.parse_num::<usize>("folds")? {
+        builder = builder.folds(folds);
+    }
+    if let Some(seed) = flags.parse_num::<u64>("seed")? {
+        builder = builder.seed(seed);
+    }
+    if let Some(k) = flags.parse_num::<usize>("k")? {
+        builder = builder.processing_k(k);
+    }
+    if let Some(cap) = flags.parse_num::<usize>("max-small")? {
+        builder = builder.max_small_graphs(Some(cap));
+    }
+    if let Some(cap) = flags.parse_num::<usize>("max-large")? {
+        builder = builder.max_large_graphs(Some(cap));
+    }
+    let cfg = builder.config();
+    eprintln!(
+        "training EASE: scale={} grid={} folds={} timing={} ({} + {} graphs)...",
+        cfg.scale.name(),
+        cfg.grid.len(),
+        cfg.folds,
+        cfg.timing.name(),
+        cfg.small_inputs().len(),
+        cfg.large_inputs().len(),
+    );
+    let start = std::time::Instant::now();
+    let service = builder.train()?;
+    service.save(&out)?;
+    let size = std::fs::metadata(&out).map(|m| m.len()).unwrap_or(0);
+    eprintln!(
+        "trained in {:.1}s, saved {} ({:.1} KiB)",
+        start.elapsed().as_secs_f64(),
+        out.display(),
+        size as f64 / 1024.0
+    );
+    Ok(())
+}
+
+fn cmd_recommend(args: &[String]) -> Result<(), CliError> {
+    let flags = Flags::parse(args, &[])?;
+    let model = PathBuf::from(flags.require("model")?);
+    let graph_path = PathBuf::from(flags.require("graph")?);
+    let workload = parse_workload(flags.get("workload").unwrap_or("pr"))?;
+    let goal = parse_goal(&flags)?;
+    let top = flags.parse_num::<usize>("top")?.unwrap_or(5);
+
+    let service = EaseService::load(&model)?;
+    let graph = ease_repro::graph::io::read_edge_list(&graph_path)?;
+    let props = GraphProperties::compute_advanced(&graph);
+    println!(
+        "graph {}: |V|={} |E|={} mean-degree {:.2}",
+        graph_path.display(),
+        props.num_vertices,
+        props.num_edges,
+        props.mean_degree
+    );
+    let k = flags.parse_num::<usize>("k")?.unwrap_or(service.meta().default_k);
+    let selection = service.recommend_with_k(&props, workload, k, goal)?;
+    println!(
+        "recommended partitioner for {} (k={k}, goal {}): {}",
+        workload.label(),
+        selection.goal.name(),
+        selection.best.name()
+    );
+    let mut ranked = selection.candidates.clone();
+    ranked.sort_by(|a, b| {
+        let cost = |c: &ease_repro::core::selector::PredictedCosts| match goal {
+            OptGoal::EndToEnd => c.end_to_end_secs,
+            OptGoal::ProcessingOnly => c.processing_secs,
+        };
+        cost(a).partial_cmp(&cost(b)).expect("finite predictions")
+    });
+    println!(
+        "{:<10} {:>12} {:>12} {:>12} {:>8}",
+        "candidate", "pred-part", "pred-proc", "pred-e2e", "rf"
+    );
+    for c in ranked.iter().take(top) {
+        println!(
+            "{:<10} {:>11.4}s {:>11.4}s {:>11.4}s {:>8.2}",
+            c.partitioner.name(),
+            c.partitioning_secs,
+            c.processing_secs,
+            c.end_to_end_secs,
+            c.quality.replication_factor
+        );
+    }
+    Ok(())
+}
+
+fn cmd_inspect(args: &[String]) -> Result<(), CliError> {
+    let flags = Flags::parse(args, &[])?;
+    let model = PathBuf::from(flags.require("model")?);
+    let service = EaseService::load(&model)?;
+    let info = service.info();
+    println!("EASE service {}", model.display());
+    println!("  scale:       {}", info.meta.scale.name());
+    println!("  seed:        {:#x}", info.meta.seed);
+    println!("  cv folds:    {}", info.meta.folds);
+    println!("  timing:      {}", info.meta.timing.name());
+    println!("  default k:   {}", info.meta.default_k);
+    println!("  goal:        {}", info.meta.default_goal.name());
+    println!("  feature tier: {}", info.tier.name());
+    println!(
+        "  catalog:     {}",
+        info.catalog.iter().map(|p| p.name()).collect::<Vec<_>>().join(", ")
+    );
+    println!("  workloads:   {}", info.workloads.join(", "));
+    println!("  models:");
+    for (component, config, cv_mape) in &info.chosen {
+        if cv_mape.is_nan() {
+            println!("    {component:<28} {config}");
+        } else {
+            println!("    {component:<28} {config}  (cv MAPE {cv_mape:.3})");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_gen(args: &[String]) -> Result<(), CliError> {
+    let flags = Flags::parse(args, &[])?;
+    let out = PathBuf::from(flags.require("out")?);
+    let scale = parse_scale(&flags)?;
+    let seed = flags.parse_num::<u64>("seed")?.unwrap_or(42);
+    let kind_name = flags.get("kind").unwrap_or("soc");
+    let kind = GraphType::ALL
+        .into_iter()
+        .find(|t| t.name() == kind_name)
+        .ok_or_else(|| CliError::Usage(format!("unknown graph kind `{kind_name}`")))?;
+    let tg = generate_typed(kind, 0, scale, seed);
+    write_graph(&tg.graph, &out)?;
+    eprintln!(
+        "wrote {} ({}: |V|={} |E|={})",
+        out.display(),
+        tg.name,
+        tg.graph.num_vertices(),
+        tg.graph.num_edges()
+    );
+    Ok(())
+}
+
+fn write_graph(graph: &ease_repro::graph::Graph, path: &Path) -> Result<(), CliError> {
+    ease_repro::graph::io::write_edge_list(graph, path)
+        .map_err(|e| CliError::Ease(EaseError::Io(e)))
+}

@@ -90,3 +90,46 @@ fn core_namespace_is_reachable() {
     assert!(!cfg.ks.is_empty());
     assert!(matches!(OptGoal::EndToEnd, OptGoal::EndToEnd));
 }
+
+#[test]
+fn service_api_is_the_primary_entry_point() {
+    // the PR 2 surface: builder, service, typed errors, batch queries —
+    // re-exported at the facade root
+    use ease_repro::graphgen::Scale;
+    use ease_repro::{EaseError, EaseServiceBuilder, OptGoal};
+    let builder = EaseServiceBuilder::at_scale(Scale::Tiny).seed(1).goal(OptGoal::EndToEnd);
+    assert_eq!(builder.config().seed, 1);
+    // validation is typed, not a panic
+    let err = EaseServiceBuilder::at_scale(Scale::Tiny).folds(0).train().unwrap_err();
+    assert!(matches!(err, EaseError::InvalidConfig(_)));
+}
+
+#[test]
+fn timing_mode_lives_in_the_partition_runner() {
+    // PR 2 moved TimingMode next to the runner so deterministic mode can
+    // skip the wall clock entirely; the core re-export must stay intact
+    use ease_repro::partition::{run_partitioner_with, TimingMode};
+    let g = Graph::from_pairs([(0, 1), (1, 2), (2, 0), (0, 2)]);
+    let run = run_partitioner_with(PartitionerId::Dbh, &g, 2, 1, TimingMode::Deterministic);
+    assert_eq!(
+        run.partitioning_secs,
+        ease_repro::partition::deterministic_partitioning_secs(PartitionerId::Dbh, 4, 2)
+    );
+    // same type through the core path
+    let _: ease_repro::core::profiling::TimingMode = TimingMode::Measured;
+}
+
+#[test]
+fn ml_persistence_is_reachable_through_the_facade() {
+    use ease_repro::ml::persist::{build_regressor, decode_model, encode_model, Reader, Writer};
+    use ease_repro::ml::{Matrix, ModelConfig};
+    let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0], vec![3.0]]);
+    let y = vec![0.0, 2.0, 4.0, 6.0];
+    let mut m = ModelConfig::Knn { k: 1, distance_weighted: false }.build();
+    m.fit(&x, &y);
+    let mut w = Writer::new();
+    encode_model(&mut w, &m.to_params());
+    let bytes = w.into_bytes();
+    let restored = build_regressor(decode_model(&mut Reader::new(&bytes)).unwrap()).unwrap();
+    assert_eq!(m.predict_row(&[1.2]), restored.predict_row(&[1.2]));
+}
