@@ -3,7 +3,7 @@
 //! below partitioning cost, unlike GNN embeddings; Sec. IV-E).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ease_graph::{DegreeTable, GraphProperties, PropertyTier};
+use ease_graph::{DegreeTable, GraphProperties, PreparedGraph, PropertyTier};
 use ease_graphgen::rmat::{Rmat, RMAT_COMBOS};
 use std::hint::black_box;
 
@@ -17,6 +17,15 @@ fn bench_property_tiers(c: &mut Criterion) {
         });
     }
     group.finish();
+}
+
+fn bench_prepared_extraction(c: &mut Criterion) {
+    let graph = Rmat::new(RMAT_COMBOS[5], 1 << 13, 40_000, 11).generate();
+    let prepared = PreparedGraph::of(&graph);
+    prepared.properties(PropertyTier::Advanced); // warm the context
+    c.bench_function("properties_40k_edges/advanced_prepared_warm", |b| {
+        b.iter(|| black_box(prepared.properties(PropertyTier::Advanced)));
+    });
 }
 
 fn bench_degree_table(c: &mut Criterion) {
@@ -38,6 +47,6 @@ criterion_group! {
     config = Criterion::default()
         .measurement_time(std::time::Duration::from_secs(2))
         .warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_property_tiers, bench_degree_table, bench_triangles
+    targets = bench_property_tiers, bench_prepared_extraction, bench_degree_table, bench_triangles
 }
 criterion_main!(benches);

@@ -1,0 +1,169 @@
+//! PR 3 benchmark — the prepared-graph refactor, measured three ways:
+//!
+//! 1. **Extraction**: advanced-tier property extraction cold (throwaway
+//!    context per call, the pre-refactor behaviour) vs. on a warmed
+//!    [`PreparedGraph`] (the profiling/serving steady state).
+//! 2. **Profiling**: wall-clock of the exact training configuration
+//!    `bench_pr2` used, compared against the `train_secs` it recorded in
+//!    `BENCH_pr2.json` — profiling workers now share one context per graph.
+//! 3. **Serving**: `recommend_graph` QPS with the fingerprint-keyed
+//!    property cache vs. recomputing properties per query.
+//!
+//! Writes `BENCH_pr3.json`.
+//!
+//! ```sh
+//! cargo run --release -p ease-bench --bin bench_pr3
+//! ```
+
+use ease::profiling::TimingMode;
+use ease::selector::OptGoal;
+use ease::EaseServiceBuilder;
+use ease_graph::{GraphProperties, PreparedGraph, PropertyTier};
+use ease_graphgen::realworld::{generate_typed, GraphType};
+use ease_graphgen::rmat::{Rmat, RMAT_COMBOS};
+use ease_graphgen::Scale;
+use ease_procsim::Workload;
+use std::hint::black_box;
+use std::time::Instant;
+
+const EXTRACT_REPS: usize = 9;
+const TRAIN_REPS: usize = 2;
+const N_QUERY_GRAPHS: usize = 8;
+const QUERY_ROUNDS: usize = 64;
+const PR2_TRAIN_SECS_FALLBACK: f64 = 2.5923;
+
+fn min_secs(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Pull a `"key": <number>` value out of a flat JSON file without a JSON
+/// dependency (the build environment has no crates.io access).
+fn json_number(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let start = text.find(&needle)? + needle.len();
+    let rest = text[start..].trim_start();
+    let end = rest.find([',', '\n', '}'])?;
+    rest[..end].trim().parse().ok()
+}
+
+fn main() {
+    println!("### BENCH_pr3 — PreparedGraph: build once, share everywhere");
+
+    // ---- 1. advanced-tier extraction: cold vs prepared -----------------
+    let graph = Rmat::new(RMAT_COMBOS[5], 1 << 13, 60_000, 11).generate();
+    println!("extraction graph: |V|={} |E|={}", graph.num_vertices(), graph.num_edges());
+    let cold_secs = min_secs(EXTRACT_REPS, || {
+        black_box(GraphProperties::compute_advanced(black_box(&graph)));
+    });
+    let prepared = PreparedGraph::of(&graph);
+    let t = Instant::now();
+    black_box(prepared.properties(PropertyTier::Advanced));
+    let prepared_first_secs = t.elapsed().as_secs_f64();
+    let prepared_warm_secs = min_secs(EXTRACT_REPS, || {
+        black_box(prepared.properties(PropertyTier::Advanced));
+    });
+    let extraction_speedup = cold_secs / prepared_warm_secs;
+    println!(
+        "advanced extraction: cold {:.3} ms | prepared first {:.3} ms | warm {:.3} ms -> {extraction_speedup:.1}x",
+        cold_secs * 1e3,
+        prepared_first_secs * 1e3,
+        prepared_warm_secs * 1e3,
+    );
+
+    // ---- 2. profiling/training wall-clock vs the PR2 baseline ----------
+    let pr2_train_secs = std::fs::read_to_string("BENCH_pr2.json")
+        .ok()
+        .and_then(|text| json_number(&text, "train_secs"))
+        .unwrap_or(PR2_TRAIN_SECS_FALLBACK);
+    println!("training the bench_pr2 config ({TRAIN_REPS} reps)...");
+    let mut service = None;
+    let train_secs = min_secs(TRAIN_REPS, || {
+        let s = EaseServiceBuilder::at_scale(Scale::Tiny)
+            .quick_grid()
+            .timing(TimingMode::Deterministic)
+            .seed(42)
+            .train()
+            .expect("valid config");
+        service = Some(s);
+    });
+    let service = service.expect("trained");
+    let train_speedup = pr2_train_secs / train_secs;
+    println!("train: {train_secs:.3}s vs PR2 baseline {pr2_train_secs:.3}s -> {train_speedup:.2}x");
+
+    // ---- 3. recommend_graph QPS: cached vs recompute-per-query ---------
+    let graphs: Vec<_> = (0..N_QUERY_GRAPHS)
+        .map(|i| {
+            generate_typed(GraphType::ALL[i % GraphType::ALL.len()], i, Scale::Tiny, 77 + i as u64)
+                .graph
+        })
+        .collect();
+    let workload = Workload::PageRank { iterations: 10 };
+    // warm the cache once so the measured rounds are all hits
+    for g in &graphs {
+        service.recommend_graph(g, workload, OptGoal::EndToEnd).expect("trained");
+    }
+    let n_queries = (N_QUERY_GRAPHS * QUERY_ROUNDS) as f64;
+    let cached_secs = min_secs(3, || {
+        for _ in 0..QUERY_ROUNDS {
+            for g in &graphs {
+                black_box(service.recommend_graph(g, workload, OptGoal::EndToEnd).expect("ok"));
+            }
+        }
+    });
+    let uncached_secs = min_secs(3, || {
+        for _ in 0..QUERY_ROUNDS {
+            for g in &graphs {
+                let props = GraphProperties::compute_advanced(g);
+                black_box(service.recommend(&props, workload, OptGoal::EndToEnd).expect("ok"));
+            }
+        }
+    });
+    let cached_qps = n_queries / cached_secs;
+    let uncached_qps = n_queries / uncached_secs;
+    let stats = service.property_cache_stats();
+    println!(
+        "recommend_graph: cached {cached_qps:.0} q/s vs recompute {uncached_qps:.0} q/s \
+         ({:.1}x, cache {} hits / {} misses)",
+        cached_qps / uncached_qps,
+        stats.hits,
+        stats.misses,
+    );
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"prepared_graph\",\n  \"pr\": 3,\n  \
+         \"extract_reps\": {EXTRACT_REPS},\n  \
+         \"cold_extract_secs\": {cold_secs:.6},\n  \
+         \"prepared_first_extract_secs\": {prepared_first_secs:.6},\n  \
+         \"prepared_warm_extract_secs\": {prepared_warm_secs:.9},\n  \
+         \"extraction_speedup\": {extraction_speedup:.3},\n  \
+         \"train_secs\": {train_secs:.4},\n  \
+         \"pr2_train_secs\": {pr2_train_secs:.4},\n  \
+         \"train_speedup\": {train_speedup:.3},\n  \
+         \"n_queries\": {},\n  \
+         \"cached_recommend_qps\": {cached_qps:.2},\n  \
+         \"uncached_recommend_qps\": {uncached_qps:.2},\n  \
+         \"cache_hits\": {},\n  \"cache_misses\": {},\n  \
+         \"note\": \"cold = throwaway context per extraction (pre-refactor behaviour); \
+         prepared = shared memoized context; train config identical to bench_pr2\"\n}}\n",
+        n_queries as usize, stats.hits, stats.misses,
+    );
+    std::fs::write("BENCH_pr3.json", &json).expect("write BENCH_pr3.json");
+    println!("wrote BENCH_pr3.json");
+
+    assert!(
+        extraction_speedup >= 1.5,
+        "acceptance: prepared advanced extraction must be >= 1.5x cold, got {extraction_speedup:.2}x"
+    );
+    // In CI, bench_pr2 rewrites BENCH_pr2.json on the same machine moments
+    // before this runs, so the comparison is like-for-like.
+    assert!(
+        train_secs < pr2_train_secs,
+        "acceptance: profiling wall-clock {train_secs:.3}s must beat the PR2 baseline {pr2_train_secs:.3}s"
+    );
+}

@@ -51,4 +51,6 @@ pub mod service;
 pub use error::EaseError;
 pub use predictors::{PartitioningTimePredictor, ProcessingTimePredictor, QualityPredictor};
 pub use selector::{Ease, OptGoal, Selection};
-pub use service::{EaseService, EaseServiceBuilder, RecommendQuery, ServiceInfo, ServiceMeta};
+pub use service::{
+    EaseService, EaseServiceBuilder, PropertyCacheStats, RecommendQuery, ServiceInfo, ServiceMeta,
+};

@@ -11,6 +11,10 @@
 //! * [`EaseService::recommend`] / [`EaseService::recommend_batch`] —
 //!   query-oriented selection with typed [`EaseError`]s; the batch variant
 //!   fans queries out over `std::thread` for concurrent serving.
+//! * [`EaseService::recommend_graph`] — graph-in, answer-out: property
+//!   extraction runs through a fingerprint-keyed LRU cache, so repeated
+//!   queries on the same graph skip the (advanced-tier) extraction
+//!   entirely.
 //! * [`EaseService::save`] / [`EaseService::load`] — versioned binary
 //!   persistence of the whole trained system (all fitted models plus
 //!   provenance), so a selector trained in one process answers queries in
@@ -41,7 +45,7 @@ use crate::predictors::{
 };
 use crate::profiling::TimingMode;
 use crate::selector::{Ease, OptGoal, Selection};
-use ease_graph::{GraphProperties, PropertyTier};
+use ease_graph::{Graph, GraphProperties, PreparedGraph, PropertyTier};
 use ease_graphgen::Scale;
 use ease_ml::persist::{
     decode_config, decode_model, encode_config, encode_model, read_header, write_header,
@@ -216,7 +220,7 @@ impl EaseServiceBuilder {
             default_goal: self.default_goal,
         };
         let (ease, artifacts) = train_ease(&self.cfg);
-        Ok((EaseService { ease, meta }, artifacts))
+        Ok((EaseService::from_parts(ease, meta), artifacts))
     }
 }
 
@@ -251,10 +255,69 @@ pub struct ServiceInfo {
     pub chosen: Vec<(String, String, f64)>,
 }
 
+/// Default capacity of the query-side property cache: graph properties are
+/// a few hundred bytes, so even a generous window of recently seen graphs
+/// costs nothing against the model weights it sits next to.
+pub const PROPERTY_CACHE_CAPACITY: usize = 64;
+
+/// Fingerprint-keyed LRU of advanced-tier graph properties. Guarded by one
+/// mutex — a hit is a linear scan over ≤ capacity u64 keys plus a small
+/// clone, orders of magnitude below one triangle counting pass.
+struct PropertyCache {
+    capacity: usize,
+    /// Most recently used at the back.
+    entries: Vec<(u64, GraphProperties)>,
+    hits: u64,
+    misses: u64,
+}
+
+impl PropertyCache {
+    fn new(capacity: usize) -> Self {
+        PropertyCache { capacity, entries: Vec::new(), hits: 0, misses: 0 }
+    }
+
+    fn get(&mut self, key: u64) -> Option<GraphProperties> {
+        match self.entries.iter().position(|(k, _)| *k == key) {
+            Some(pos) => {
+                let entry = self.entries.remove(pos);
+                let props = entry.1.clone();
+                self.entries.push(entry);
+                self.hits += 1;
+                Some(props)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn insert(&mut self, key: u64, props: GraphProperties) {
+        if let Some(pos) = self.entries.iter().position(|(k, _)| *k == key) {
+            self.entries.remove(pos);
+        } else if self.entries.len() >= self.capacity {
+            self.entries.remove(0);
+        }
+        self.entries.push((key, props));
+    }
+}
+
+/// Observability snapshot of the query-side property cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PropertyCacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub len: usize,
+    pub capacity: usize,
+}
+
 /// A trained, persistable, query-oriented partitioner-selection service.
 pub struct EaseService {
     ease: Ease,
     meta: ServiceMeta,
+    /// Query-side LRU keyed by [`PreparedGraph::fingerprint`] — not
+    /// persisted; a reloaded service starts cold.
+    props_cache: Mutex<PropertyCache>,
 }
 
 impl std::fmt::Debug for EaseService {
@@ -263,6 +326,7 @@ impl std::fmt::Debug for EaseService {
             .field("meta", &self.meta)
             .field("catalog", &self.ease.catalog)
             .field("workloads", &self.supported_workloads())
+            .field("property_cache", &self.property_cache_stats())
             .finish_non_exhaustive()
     }
 }
@@ -270,7 +334,11 @@ impl std::fmt::Debug for EaseService {
 impl EaseService {
     /// Wrap an already-trained [`Ease`] system.
     pub fn from_parts(ease: Ease, meta: ServiceMeta) -> Self {
-        EaseService { ease, meta }
+        EaseService {
+            ease,
+            meta,
+            props_cache: Mutex::new(PropertyCache::new(PROPERTY_CACHE_CAPACITY)),
+        }
     }
 
     /// The underlying predictor stack (evaluation studies, reports).
@@ -319,6 +387,58 @@ impl EaseService {
         goal: OptGoal,
     ) -> Result<Selection, EaseError> {
         self.ease.try_select(props, workload, k, goal)
+    }
+
+    /// Recommend straight from a graph: advanced-tier properties come from
+    /// the fingerprint-keyed LRU cache when this graph (by content) was
+    /// queried before, so repeated queries skip extraction entirely —
+    /// hashing the edge list is the only per-query `O(|E|)` work.
+    pub fn recommend_graph(
+        &self,
+        graph: &Graph,
+        workload: Workload,
+        goal: OptGoal,
+    ) -> Result<Selection, EaseError> {
+        self.recommend_graph_with_k(graph, workload, self.meta.default_k, goal)
+    }
+
+    /// [`EaseService::recommend_graph`] with an explicit partition count.
+    pub fn recommend_graph_with_k(
+        &self,
+        graph: &Graph,
+        workload: Workload,
+        k: usize,
+        goal: OptGoal,
+    ) -> Result<Selection, EaseError> {
+        let props = self.cached_properties(graph);
+        self.recommend_with_k(&props, workload, k, goal)
+    }
+
+    /// Advanced-tier properties of `graph`, served from the query-side LRU
+    /// when its content fingerprint was seen before. Extraction (the miss
+    /// path) runs outside the cache lock; concurrent first queries on the
+    /// same graph may both extract, which is wasteful but correct — the
+    /// results are identical.
+    pub fn cached_properties(&self, graph: &Graph) -> GraphProperties {
+        let prepared = PreparedGraph::of(graph);
+        let key = prepared.fingerprint();
+        if let Some(props) = self.props_cache.lock().expect("props cache lock").get(key) {
+            return props;
+        }
+        let props = prepared.properties(PropertyTier::Advanced);
+        self.props_cache.lock().expect("props cache lock").insert(key, props.clone());
+        props
+    }
+
+    /// Hit/miss/occupancy counters of the property cache.
+    pub fn property_cache_stats(&self) -> PropertyCacheStats {
+        let cache = self.props_cache.lock().expect("props cache lock");
+        PropertyCacheStats {
+            hits: cache.hits,
+            misses: cache.misses,
+            len: cache.entries.len(),
+            capacity: cache.capacity,
+        }
     }
 
     /// Answer many queries concurrently: the queries fan out over
@@ -513,7 +633,7 @@ impl EaseService {
         let mut ease = Ease::new(quality, partitioning_time, processing_time);
         ease.catalog = catalog;
         let meta = ServiceMeta { scale, seed, folds, timing, default_k, default_goal };
-        Ok(EaseService { ease, meta })
+        Ok(EaseService::from_parts(ease, meta))
     }
 
     /// Persist the trained service to disk (atomic: write to a sibling
@@ -739,6 +859,50 @@ mod tests {
             EaseService::from_bytes(&long).unwrap_err(),
             EaseError::Persist(PersistError::Corrupt(_))
         ));
+    }
+
+    #[test]
+    fn recommend_graph_caches_by_content_fingerprint() {
+        let service = tiny_builder().train().unwrap();
+        let g = socfb_analogue(Scale::Tiny, 21).graph;
+        let wl = Workload::PageRank { iterations: 3 };
+        let first = service.recommend_graph(&g, wl, OptGoal::EndToEnd).unwrap();
+        let stats = service.property_cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.len), (0, 1, 1));
+        // same content (an independent clone!) -> cache hit, same answer
+        let again = service.recommend_graph(&g.clone(), wl, OptGoal::EndToEnd).unwrap();
+        assert_eq!(first.best, again.best);
+        let stats = service.property_cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        // a different graph misses
+        let other = socfb_analogue(Scale::Tiny, 22).graph;
+        service.recommend_graph(&other, wl, OptGoal::EndToEnd).unwrap();
+        let stats = service.property_cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.len), (1, 2, 2));
+        // cached answers are bit-identical to the uncached path
+        let direct = service
+            .recommend(&GraphProperties::compute_advanced(&g), wl, OptGoal::EndToEnd)
+            .unwrap();
+        for (a, b) in first.candidates.iter().zip(&direct.candidates) {
+            assert_eq!(a.end_to_end_secs.to_bits(), b.end_to_end_secs.to_bits());
+        }
+    }
+
+    #[test]
+    fn property_cache_evicts_least_recently_used() {
+        let mut cache = PropertyCache::new(2);
+        let props = GraphProperties::compute_advanced(&socfb_analogue(Scale::Tiny, 1).graph);
+        cache.insert(1, props.clone());
+        cache.insert(2, props.clone());
+        assert!(cache.get(1).is_some()); // 1 becomes most recent
+        cache.insert(3, props.clone()); // evicts 2
+        assert!(cache.get(2).is_none());
+        assert!(cache.get(1).is_some());
+        assert!(cache.get(3).is_some());
+        // re-inserting an existing key must not evict anyone
+        cache.insert(1, props);
+        assert!(cache.get(3).is_some());
+        assert_eq!(cache.entries.len(), 2);
     }
 
     #[test]

@@ -10,6 +10,9 @@
 //!   coefficients,
 //! * [`GraphProperties`] — the simple/basic/advanced feature tiers of
 //!   Table III of the paper,
+//! * [`PreparedGraph`] — a build-once, share-everywhere analysis context
+//!   that lazily memoizes the CSRs, degree table, triangle counts and a
+//!   stable content fingerprint,
 //! * [`hash`] — fast seeded mixing functions shared by the hash partitioners.
 //!
 //! Everything is deterministic: no global RNG state, no time-dependent
@@ -20,6 +23,7 @@ pub mod degree;
 pub mod edge_list;
 pub mod hash;
 pub mod io;
+pub mod prepared;
 pub mod properties;
 pub mod triangles;
 pub mod types;
@@ -28,5 +32,6 @@ pub use csr::Csr;
 pub use degree::DegreeTable;
 pub use edge_list::Graph;
 pub use io::GraphIoError;
+pub use prepared::PreparedGraph;
 pub use properties::{GraphProperties, PropertyTier};
 pub use types::{Edge, VertexId};

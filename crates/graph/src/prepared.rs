@@ -1,0 +1,331 @@
+//! `PreparedGraph` — a build-once, share-everywhere graph analysis context.
+//!
+//! Every layer of the workspace consumes *derived* graph structure: property
+//! extraction needs the degree table and the undirected simple adjacency,
+//! triangle counting needs the same adjacency, DBH and HEP need total
+//! degrees, the placement simulator needs out- and total-degree vectors, and
+//! profiling runs 11 partitioners × K on the *same* graph. Rebuilding each of
+//! those from the raw edge list at every call site is the dominant shared
+//! cost of the training pipeline (the HEP paper makes the same observation
+//! about degree/adjacency precomputation across partitioners).
+//!
+//! [`PreparedGraph`] wraps a [`Graph`] and lazily memoizes the expensive
+//! derived structures behind [`OnceLock`]s:
+//!
+//! * out-/in-/undirected-simple CSR adjacency,
+//! * the [`DegreeTable`] (degrees + moments + skewness),
+//! * per-vertex triangle counts of the undirected simple graph,
+//! * a stable content [fingerprint](PreparedGraph::fingerprint) for
+//!   query-side property caches.
+//!
+//! Nothing is computed until first use, every structure is computed at most
+//! once, and `&PreparedGraph` is `Send + Sync`, so one context can serve a
+//! whole profiling fan-out. The context either borrows the graph
+//! (zero-copy, [`PreparedGraph::of`]) or shares ownership via `Arc`
+//! ([`PreparedGraph::new`] / [`PreparedGraph::from_arc`]).
+//!
+//! ```
+//! use ease_graph::{Graph, PreparedGraph, PropertyTier};
+//!
+//! let g = Graph::from_pairs([(0, 1), (1, 2), (2, 0)]);
+//! let prepared = PreparedGraph::of(&g);
+//! let props = prepared.properties(PropertyTier::Advanced);
+//! assert_eq!(props.avg_triangles, Some(1.0));
+//! // the second extraction reuses every memoized structure
+//! let again = prepared.properties(PropertyTier::Advanced);
+//! assert_eq!(props, again);
+//! assert_eq!(prepared.undirected_csr_builds(), 1);
+//! ```
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use crate::csr::{Csr, Direction};
+use crate::degree::DegreeTable;
+use crate::edge_list::Graph;
+use crate::hash::mix64;
+use crate::properties::{GraphProperties, PropertyTier};
+use crate::triangles::{self, TriangleStats};
+
+/// How the context holds its graph: borrowed (zero-copy views over a caller
+/// graph) or shared (`Arc`, for contexts handed across threads or stored).
+enum GraphHandle<'g> {
+    Borrowed(&'g Graph),
+    Shared(Arc<Graph>),
+}
+
+/// A graph plus lazily built, memoized derived structure. See the module
+/// docs for the motivation; the short version is *build once, share
+/// everywhere*.
+pub struct PreparedGraph<'g> {
+    handle: GraphHandle<'g>,
+    out_csr: OnceLock<Csr>,
+    in_csr: OnceLock<Csr>,
+    undirected_simple: OnceLock<Csr>,
+    degrees: OnceLock<DegreeTable>,
+    triangle_counts: OnceLock<Vec<u64>>,
+    fingerprint: OnceLock<u64>,
+    /// Observability hook: how many times the undirected simple CSR was
+    /// actually constructed (must stay ≤ 1; locked by tests).
+    undirected_builds: AtomicU32,
+}
+
+impl std::fmt::Debug for PreparedGraph<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PreparedGraph")
+            .field("num_vertices", &self.graph().num_vertices())
+            .field("num_edges", &self.graph().num_edges())
+            .field("out_csr", &self.out_csr.get().is_some())
+            .field("in_csr", &self.in_csr.get().is_some())
+            .field("undirected_simple", &self.undirected_simple.get().is_some())
+            .field("degrees", &self.degrees.get().is_some())
+            .field("triangle_counts", &self.triangle_counts.get().is_some())
+            .field("fingerprint", &self.fingerprint.get())
+            .finish()
+    }
+}
+
+impl<'g> PreparedGraph<'g> {
+    /// Borrow `graph` without copying it. The context lives at most as long
+    /// as the graph.
+    pub fn of(graph: &'g Graph) -> PreparedGraph<'g> {
+        Self::from_handle(GraphHandle::Borrowed(graph))
+    }
+
+    /// Take ownership of `graph` (wrapped in an `Arc` so the context can
+    /// later hand out shared references).
+    pub fn new(graph: Graph) -> PreparedGraph<'static> {
+        PreparedGraph::from_arc(Arc::new(graph))
+    }
+
+    /// Share an already `Arc`-owned graph — the profiling fan-out path:
+    /// workers receive clones of the `Arc`, never of the edge list.
+    pub fn from_arc(graph: Arc<Graph>) -> PreparedGraph<'static> {
+        PreparedGraph::from_handle(GraphHandle::Shared(graph))
+    }
+
+    fn from_handle(handle: GraphHandle<'g>) -> Self {
+        PreparedGraph {
+            handle,
+            out_csr: OnceLock::new(),
+            in_csr: OnceLock::new(),
+            undirected_simple: OnceLock::new(),
+            degrees: OnceLock::new(),
+            triangle_counts: OnceLock::new(),
+            fingerprint: OnceLock::new(),
+            undirected_builds: AtomicU32::new(0),
+        }
+    }
+
+    /// The underlying graph.
+    #[inline]
+    pub fn graph(&self) -> &Graph {
+        match &self.handle {
+            GraphHandle::Borrowed(g) => g,
+            GraphHandle::Shared(g) => g,
+        }
+    }
+
+    /// A shared handle to the graph, if the context owns one
+    /// (`None` for borrowed contexts — they cannot extend the lifetime).
+    pub fn shared_graph(&self) -> Option<Arc<Graph>> {
+        match &self.handle {
+            GraphHandle::Borrowed(_) => None,
+            GraphHandle::Shared(g) => Some(Arc::clone(g)),
+        }
+    }
+
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.graph().num_vertices()
+    }
+
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.graph().num_edges()
+    }
+
+    /// Out-neighbor adjacency, built on first use.
+    pub fn out_csr(&self) -> &Csr {
+        self.out_csr.get_or_init(|| Csr::build(self.graph(), Direction::Out))
+    }
+
+    /// In-neighbor adjacency, built on first use.
+    pub fn in_csr(&self) -> &Csr {
+        self.in_csr.get_or_init(|| Csr::build(self.graph(), Direction::In))
+    }
+
+    /// Undirected *simple* adjacency (sorted lists, no loops/duplicates) —
+    /// the input of triangle counting and neighborhood expansion. Built at
+    /// most once per context.
+    pub fn undirected_simple(&self) -> &Csr {
+        self.undirected_simple.get_or_init(|| {
+            self.undirected_builds.fetch_add(1, Ordering::Relaxed);
+            Csr::build_undirected_simple(self.graph())
+        })
+    }
+
+    /// How many times the undirected simple CSR was constructed so far
+    /// (0 before first use, 1 ever after — memoization makes more
+    /// impossible).
+    pub fn undirected_csr_builds(&self) -> u32 {
+        self.undirected_builds.load(Ordering::Relaxed)
+    }
+
+    /// Degree tables + moments/skewness, built on first use.
+    pub fn degrees(&self) -> &DegreeTable {
+        self.degrees.get_or_init(|| DegreeTable::compute(self.graph()))
+    }
+
+    /// Per-vertex triangle counts of the undirected simple graph, built on
+    /// first use from the (shared) undirected adjacency.
+    pub fn triangle_counts(&self) -> &[u64] {
+        self.triangle_counts
+            .get_or_init(|| triangles::triangle_counts_from_simple(self.undirected_simple()))
+    }
+
+    /// Averaged triangle statistics (`t(G)`, `C(G)`) from the memoized
+    /// adjacency and counts — bit-identical to
+    /// [`triangles::triangle_stats`] on the same graph.
+    pub fn triangle_stats(&self) -> TriangleStats {
+        triangles::stats_from_parts(self.undirected_simple(), self.triangle_counts())
+    }
+
+    /// Graph properties up to `tier`, computed from the memoized structures
+    /// (see [`GraphProperties::compute_prepared`]). Only the structures the
+    /// tier needs are built: `Simple` touches nothing, `Basic` the degree
+    /// table, `Advanced` additionally the undirected CSR + triangle counts.
+    pub fn properties(&self, tier: PropertyTier) -> GraphProperties {
+        GraphProperties::compute_prepared(self, tier)
+    }
+
+    /// A stable content fingerprint: equal for identical `(num_vertices,
+    /// edge list)` inputs, different (with overwhelming probability) when
+    /// any edge, the edge order, or the vertex universe changes. Keys the
+    /// query-side property caches.
+    pub fn fingerprint(&self) -> u64 {
+        *self.fingerprint.get_or_init(|| {
+            let g = self.graph();
+            let mut h = mix64(0xEA5E_F16E ^ (g.num_vertices() as u64));
+            h = mix64(h ^ (g.num_edges() as u64).rotate_left(32));
+            for e in g.edges() {
+                h = mix64(h ^ ((u64::from(e.src) << 32) | u64::from(e.dst)));
+            }
+            h
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Edge;
+
+    fn toy() -> Graph {
+        Graph::from_pairs([(0, 1), (1, 2), (2, 0), (2, 3), (3, 0), (1, 3)])
+    }
+
+    #[test]
+    fn advanced_properties_build_undirected_csr_exactly_once() {
+        let g = toy();
+        let prepared = PreparedGraph::of(&g);
+        assert_eq!(prepared.undirected_csr_builds(), 0, "lazy until first use");
+        let a = prepared.properties(PropertyTier::Advanced);
+        assert_eq!(prepared.undirected_csr_builds(), 1);
+        // repeated extraction + direct access: still exactly one build
+        let b = prepared.properties(PropertyTier::Advanced);
+        let _ = prepared.triangle_counts();
+        let _ = prepared.undirected_simple();
+        let _ = prepared.triangle_stats();
+        assert_eq!(prepared.undirected_csr_builds(), 1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn simple_tier_builds_nothing() {
+        let g = toy();
+        let prepared = PreparedGraph::of(&g);
+        let p = prepared.properties(PropertyTier::Simple);
+        assert_eq!(p.num_edges, 6);
+        assert_eq!(prepared.undirected_csr_builds(), 0);
+        assert!(!format!("{prepared:?}").contains("degrees: true"));
+    }
+
+    #[test]
+    fn memoized_views_match_direct_builds() {
+        let g = toy();
+        let prepared = PreparedGraph::of(&g);
+        for v in 0..g.num_vertices() as u32 {
+            assert_eq!(
+                prepared.out_csr().neighbors(v),
+                Csr::build(&g, Direction::Out).neighbors(v)
+            );
+            assert_eq!(prepared.in_csr().neighbors(v), Csr::build(&g, Direction::In).neighbors(v));
+            assert_eq!(
+                prepared.undirected_simple().neighbors(v),
+                Csr::build_undirected_simple(&g).neighbors(v)
+            );
+        }
+        assert_eq!(prepared.degrees().total, g.total_degrees());
+        assert_eq!(prepared.triangle_counts(), triangles::triangle_counts(&g).as_slice());
+    }
+
+    #[test]
+    fn ownership_modes_agree() {
+        let g = toy();
+        let borrowed = PreparedGraph::of(&g);
+        let owned = PreparedGraph::new(g.clone());
+        let shared = PreparedGraph::from_arc(Arc::new(g.clone()));
+        assert_eq!(borrowed.fingerprint(), owned.fingerprint());
+        assert_eq!(owned.fingerprint(), shared.fingerprint());
+        assert!(borrowed.shared_graph().is_none());
+        let arc = shared.shared_graph().expect("shared context owns an Arc");
+        assert_eq!(arc.num_edges(), shared.num_edges());
+        // Arc sharing: no deep copy, the clone points at the same allocation
+        assert!(Arc::ptr_eq(&arc, &shared.shared_graph().unwrap()));
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_content_sensitive() {
+        let g = toy();
+        let a = PreparedGraph::of(&g).fingerprint();
+        let b = PreparedGraph::of(&g.clone()).fingerprint();
+        assert_eq!(a, b, "same content -> same fingerprint");
+        // flip one edge endpoint
+        let mut changed = g.clone();
+        changed.edges_mut()[0] = Edge::new(0, 2);
+        assert_ne!(a, PreparedGraph::of(&changed).fingerprint());
+        // add an edge
+        let mut grown = g.clone();
+        grown.push_edge(0, 3);
+        assert_ne!(a, PreparedGraph::of(&grown).fingerprint());
+        // grow the vertex universe without touching edges
+        let padded = Graph::new(g.num_vertices() + 1, g.edges().to_vec());
+        assert_ne!(a, PreparedGraph::of(&padded).fingerprint());
+    }
+
+    #[test]
+    fn prepared_is_shareable_across_threads() {
+        let g = toy();
+        let prepared = PreparedGraph::of(&g);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    let p = prepared.properties(PropertyTier::Advanced);
+                    assert_eq!(p.num_edges, 6);
+                });
+            }
+        });
+        assert_eq!(prepared.undirected_csr_builds(), 1, "OnceLock serializes the build");
+    }
+
+    #[test]
+    fn empty_graph_is_degenerate_but_safe() {
+        let g = Graph::empty(0);
+        let prepared = PreparedGraph::of(&g);
+        let p = prepared.properties(PropertyTier::Advanced);
+        assert_eq!(p.avg_triangles, Some(0.0));
+        assert_eq!(prepared.triangle_counts().len(), 0);
+        let _ = prepared.fingerprint();
+    }
+}

@@ -8,9 +8,8 @@
 //! * **Advanced**: basic + average triangles + average local clustering
 //!   coefficient — compute-intensive, optionally improves RF prediction.
 
-use crate::degree::DegreeTable;
 use crate::edge_list::Graph;
-use crate::triangles;
+use crate::prepared::PreparedGraph;
 
 /// Which tier of features to compute / use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -57,19 +56,34 @@ pub struct GraphProperties {
 
 impl GraphProperties {
     /// Compute properties up to the requested tier.
+    ///
+    /// Cold path: wraps the graph in a throwaway [`PreparedGraph`]. Callers
+    /// that extract repeatedly from the same graph (profiling workers, the
+    /// query service) should build one context and use
+    /// [`Self::compute_prepared`] so the degree table and the undirected
+    /// adjacency are built exactly once.
     pub fn compute(graph: &Graph, tier: PropertyTier) -> Self {
-        let n = graph.num_vertices();
-        let m = graph.num_edges();
+        Self::compute_prepared(&PreparedGraph::of(graph), tier)
+    }
+
+    /// Compute properties as a thin view over an analysis context: every
+    /// super-constant structure (degree table, undirected simple CSR,
+    /// triangle counts) comes from the context's memoized caches. The
+    /// `Advanced` tier builds the undirected CSR exactly once — triangle
+    /// counts and the clustering coefficient share it.
+    pub fn compute_prepared(prepared: &PreparedGraph<'_>, tier: PropertyTier) -> Self {
+        let n = prepared.num_vertices();
+        let m = prepared.num_edges();
         let density = if n > 1 { m as f64 / (n as f64 * (n as f64 - 1.0)) } else { 0.0 };
         let mean_degree = if n > 0 { 2.0 * m as f64 / n as f64 } else { 0.0 };
         let (in_skew, out_skew) = if matches!(tier, PropertyTier::Simple) {
             (0.0, 0.0)
         } else {
-            let deg = DegreeTable::compute(graph);
+            let deg = prepared.degrees();
             (deg.in_moments.pearson_skew, deg.out_moments.pearson_skew)
         };
         let (avg_triangles, avg_lcc) = if matches!(tier, PropertyTier::Advanced) {
-            let s = triangles::triangle_stats(graph);
+            let s = prepared.triangle_stats();
             (Some(s.avg_triangles), Some(s.avg_lcc))
         } else {
             (None, None)

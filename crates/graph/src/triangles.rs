@@ -135,6 +135,14 @@ pub struct TriangleStats {
 pub fn triangle_stats(graph: &Graph) -> TriangleStats {
     let adj = Csr::build_undirected_simple(graph);
     let t = triangle_counts_from_simple(&adj);
+    stats_from_parts(&adj, &t)
+}
+
+/// Averaged triangle statistics from a prebuilt undirected simple adjacency
+/// and its per-vertex triangle counts — the path
+/// [`crate::PreparedGraph::triangle_stats`] takes so the adjacency is built
+/// only once per graph.
+pub fn stats_from_parts(adj: &Csr, t: &[u64]) -> TriangleStats {
     let n = adj.num_vertices();
     if n == 0 {
         return TriangleStats { avg_triangles: 0.0, avg_lcc: 0.0 };

@@ -9,7 +9,7 @@
 use crate::assignment::EdgePartition;
 use crate::{Partitioner, PartitionerId};
 use ease_graph::hash::{bucket, hash_pair, hash_vertex};
-use ease_graph::Graph;
+use ease_graph::PreparedGraph;
 
 /// Which endpoint a 1-dimensional hash partitioner keys on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,7 +45,8 @@ impl Partitioner for OneD {
         }
     }
 
-    fn partition(&self, graph: &Graph, k: usize) -> EdgePartition {
+    fn partition_prepared(&self, prepared: &PreparedGraph<'_>, k: usize) -> EdgePartition {
+        let graph = prepared.graph();
         let mut assignment = Vec::with_capacity(graph.num_edges());
         for e in graph.edges() {
             let key = match self.endpoint {
@@ -77,7 +78,8 @@ impl Partitioner for TwoD {
         PartitionerId::TwoD
     }
 
-    fn partition(&self, graph: &Graph, k: usize) -> EdgePartition {
+    fn partition_prepared(&self, prepared: &PreparedGraph<'_>, k: usize) -> EdgePartition {
+        let graph = prepared.graph();
         let side = (k as f64).sqrt().ceil() as usize;
         let mut assignment = Vec::with_capacity(graph.num_edges());
         for e in graph.edges() {
@@ -108,7 +110,8 @@ impl Partitioner for Crvc {
         PartitionerId::Crvc
     }
 
-    fn partition(&self, graph: &Graph, k: usize) -> EdgePartition {
+    fn partition_prepared(&self, prepared: &PreparedGraph<'_>, k: usize) -> EdgePartition {
+        let graph = prepared.graph();
         let mut assignment = Vec::with_capacity(graph.num_edges());
         for e in graph.edges() {
             let (a, b) = e.canonical();
@@ -119,8 +122,10 @@ impl Partitioner for Crvc {
 }
 
 /// DBH — degree-based hashing (Xie et al., NIPS 2014): hash the endpoint
-/// with the *lower* degree, cutting hubs instead of the long tail. Uses one
-/// degree-counting pre-pass, like the reference implementation.
+/// with the *lower* degree, cutting hubs instead of the long tail. The
+/// degree pre-pass of the reference implementation comes from the shared
+/// [`PreparedGraph`] degree table, so repeated DBH runs on one graph (the
+/// profiling cross-product) derive degrees only once.
 #[derive(Debug, Clone)]
 pub struct Dbh {
     seed: u64,
@@ -137,8 +142,9 @@ impl Partitioner for Dbh {
         PartitionerId::Dbh
     }
 
-    fn partition(&self, graph: &Graph, k: usize) -> EdgePartition {
-        let degrees = graph.total_degrees();
+    fn partition_prepared(&self, prepared: &PreparedGraph<'_>, k: usize) -> EdgePartition {
+        let graph = prepared.graph();
+        let degrees = &prepared.degrees().total;
         let mut assignment = Vec::with_capacity(graph.num_edges());
         for e in graph.edges() {
             let (ds, dd) = (degrees[e.src as usize], degrees[e.dst as usize]);

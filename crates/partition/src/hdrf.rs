@@ -18,7 +18,7 @@
 use crate::assignment::EdgePartition;
 use crate::{Partitioner, PartitionerId, MAX_PARTITIONS};
 use ease_graph::hash::SplitMix64;
-use ease_graph::Graph;
+use ease_graph::PreparedGraph;
 
 /// HDRF with the standard balance weight λ = 1.1 (paper default).
 #[derive(Debug, Clone)]
@@ -42,8 +42,12 @@ impl Partitioner for Hdrf {
         PartitionerId::Hdrf
     }
 
-    fn partition(&self, graph: &Graph, k: usize) -> EdgePartition {
+    fn partition_prepared(&self, prepared: &PreparedGraph<'_>, k: usize) -> EdgePartition {
         assert!((1..=MAX_PARTITIONS).contains(&k));
+        // HDRF is degree-agnostic by design: it tracks *partial* degrees as
+        // the stream unfolds, so the prepared context only supplies the
+        // edge list.
+        let graph = prepared.graph();
         let mut state = HdrfState::new(graph.num_vertices(), k, self.lambda, self.seed);
         let mut assignment = Vec::with_capacity(graph.num_edges());
         for e in graph.edges() {

@@ -14,7 +14,7 @@ use crate::assignment::EdgePartition;
 use crate::hdrf::HdrfState;
 use crate::ne::neighborhood_expansion;
 use crate::{Partitioner, PartitionerId, MAX_PARTITIONS};
-use ease_graph::Graph;
+use ease_graph::PreparedGraph;
 
 #[derive(Debug, Clone)]
 pub struct Hep {
@@ -45,13 +45,17 @@ impl Partitioner for Hep {
         self.id_for_tau()
     }
 
-    fn partition(&self, graph: &Graph, k: usize) -> EdgePartition {
+    fn partition_prepared(&self, prepared: &PreparedGraph<'_>, k: usize) -> EdgePartition {
         assert!((1..=MAX_PARTITIONS).contains(&k));
+        let graph = prepared.graph();
         let m = graph.num_edges();
         if m == 0 {
             return EdgePartition::new(k, Vec::new());
         }
-        let degrees = graph.total_degrees();
+        // The degree threshold split uses *final* total degrees — exactly
+        // what the shared context memoizes (one derivation across all three
+        // HEP-τ variants and every k).
+        let degrees = &prepared.degrees().total;
         let used = degrees.iter().filter(|&&d| d > 0).count().max(1);
         let mean_degree = 2.0 * m as f64 / used as f64;
         let threshold = (self.tau * mean_degree).max(1.0);
@@ -98,6 +102,7 @@ mod tests {
     use crate::hashing::OneD;
     use crate::metrics::QualityMetrics;
     use crate::ne::Ne;
+    use ease_graph::Graph;
     use ease_graphgen::rmat::{Rmat, RMAT_COMBOS};
 
     fn test_graph() -> Graph {

@@ -17,7 +17,7 @@
 use crate::assignment::EdgePartition;
 use crate::{Partitioner, PartitionerId, MAX_PARTITIONS};
 use ease_graph::hash::SplitMix64;
-use ease_graph::Graph;
+use ease_graph::{Graph, PreparedGraph};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -37,8 +37,12 @@ impl Partitioner for Ne {
         PartitionerId::Ne
     }
 
-    fn partition(&self, graph: &Graph, k: usize) -> EdgePartition {
+    fn partition_prepared(&self, prepared: &PreparedGraph<'_>, k: usize) -> EdgePartition {
         assert!((1..=MAX_PARTITIONS).contains(&k));
+        // NE needs *edge-index-carrying* incidence (so allocation can flip
+        // per-edge flags), which no other consumer shares — it builds its
+        // own and takes only the edge list from the context.
+        let graph = prepared.graph();
         let capacity = graph.num_edges().div_ceil(k).max(1);
         let r = neighborhood_expansion(graph, k, capacity, None, true, self.seed);
         EdgePartition::new(k, r.assignment)

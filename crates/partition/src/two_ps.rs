@@ -16,7 +16,7 @@
 
 use crate::assignment::EdgePartition;
 use crate::{Partitioner, PartitionerId, MAX_PARTITIONS};
-use ease_graph::Graph;
+use ease_graph::PreparedGraph;
 
 #[derive(Debug, Clone)]
 pub struct TwoPs {
@@ -122,8 +122,11 @@ impl Partitioner for TwoPs {
         PartitionerId::TwoPs
     }
 
-    fn partition(&self, graph: &Graph, k: usize) -> EdgePartition {
+    fn partition_prepared(&self, prepared: &PreparedGraph<'_>, k: usize) -> EdgePartition {
         assert!((1..=MAX_PARTITIONS).contains(&k));
+        // 2PS streams edges twice and maintains its own *partial* degrees
+        // (streaming semantics) — the context only supplies the edge list.
+        let graph = prepared.graph();
         let n = graph.num_vertices();
         let m = graph.num_edges();
         if m == 0 {

@@ -1,6 +1,6 @@
 //! Placement of an edge-partitioned graph onto simulated machines.
 
-use ease_graph::{Edge, Graph};
+use ease_graph::{Edge, Graph, PreparedGraph};
 use ease_partition::EdgePartition;
 
 /// One machine's slice of the graph.
@@ -37,6 +37,23 @@ pub const NO_MASTER: u16 = u16::MAX;
 
 impl DistributedGraph {
     pub fn build(graph: &Graph, partition: &EdgePartition) -> Self {
+        Self::build_inner(graph, partition, None)
+    }
+
+    /// [`DistributedGraph::build`] from a shared analysis context: the
+    /// global degree vectors come from the context's memoized
+    /// [`ease_graph::DegreeTable`] instead of being re-derived per
+    /// placement — profiling places the same graph once per partitioner.
+    pub fn build_prepared(prepared: &PreparedGraph<'_>, partition: &EdgePartition) -> Self {
+        let deg = prepared.degrees();
+        Self::build_inner(prepared.graph(), partition, Some((&deg.out, &deg.total)))
+    }
+
+    fn build_inner(
+        graph: &Graph,
+        partition: &EdgePartition,
+        shared_degrees: Option<(&Vec<u32>, &Vec<u32>)>,
+    ) -> Self {
         assert_eq!(graph.num_edges(), partition.num_edges());
         let k = partition.num_partitions();
         assert!(k <= 128, "replica masks are u128");
@@ -79,14 +96,11 @@ impl DistributedGraph {
                 PartitionData { edges, vertices, edge_src_local, edge_dst_local }
             })
             .collect();
-        DistributedGraph {
-            parts,
-            master,
-            replicas,
-            out_degree: graph.out_degrees(),
-            total_degree: graph.total_degrees(),
-            num_vertices: n,
-        }
+        let (out_degree, total_degree) = match shared_degrees {
+            Some((out, total)) => (out.clone(), total.clone()),
+            None => (graph.out_degrees(), graph.total_degrees()),
+        };
+        DistributedGraph { parts, master, replicas, out_degree, total_degree, num_vertices: n }
     }
 
     #[inline]
@@ -189,6 +203,25 @@ mod tests {
         let dg = DistributedGraph::build(&g, &p);
         assert_eq!(dg.master_of(4), NO_MASTER);
         assert_eq!(dg.replica_count(4), 0);
+    }
+
+    #[test]
+    fn build_prepared_matches_build() {
+        let (g, p) = toy();
+        let direct = DistributedGraph::build(&g, &p);
+        let prepared = PreparedGraph::of(&g);
+        let shared = DistributedGraph::build_prepared(&prepared, &p);
+        assert_eq!(shared.num_partitions(), direct.num_partitions());
+        for v in 0..g.num_vertices() as u32 {
+            assert_eq!(shared.master_of(v), direct.master_of(v));
+            assert_eq!(shared.replica_mask(v), direct.replica_mask(v));
+            assert_eq!(shared.out_degree(v), direct.out_degree(v));
+            assert_eq!(shared.total_degree(v), direct.total_degree(v));
+        }
+        for part in 0..direct.num_partitions() {
+            assert_eq!(shared.partition(part).edges, direct.partition(part).edges);
+            assert_eq!(shared.partition(part).vertices, direct.partition(part).vertices);
+        }
     }
 
     #[test]

@@ -73,6 +73,7 @@ pub use ease_partition as partition;
 pub use ease_procsim as procsim;
 
 pub use ease::{
-    EaseError, EaseService, EaseServiceBuilder, OptGoal, RecommendQuery, Selection, ServiceInfo,
-    ServiceMeta,
+    EaseError, EaseService, EaseServiceBuilder, OptGoal, PropertyCacheStats, RecommendQuery,
+    Selection, ServiceInfo, ServiceMeta,
 };
+pub use ease_graph::PreparedGraph;
