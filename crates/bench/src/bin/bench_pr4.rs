@@ -1,0 +1,233 @@
+//! PR 4 benchmark — zero-copy ingestion, measured three ways:
+//!
+//! 1. **Ingestion throughput**: full-stream consumption of a ≥1M-edge graph
+//!    from a text edge list (line parsing into an owned `Graph`) vs. the
+//!    memory-mapped `.bel` binary format (zero-copy decode straight off the
+//!    mapping). Acceptance: mmap ≥ 3× faster.
+//! 2. **Cold `recommend` end-to-end latency per backend**: open + prepare +
+//!    advanced-tier extraction + prediction, for in-memory, `.bel` mmap and
+//!    streamed-text ingestion of the same graph.
+//! 3. **Peak-RSS proxy**: a counting global allocator records bytes
+//!    allocated and peak live bytes during each ingestion path — the text
+//!    path materializes the edge list, the mmap path allocates nothing
+//!    proportional to `|E|`.
+//!
+//! Writes `BENCH_pr4.json`.
+//!
+//! ```sh
+//! cargo run --release -p ease-bench --bin bench_pr4
+//! ```
+
+use ease::profiling::TimingMode;
+use ease::selector::OptGoal;
+use ease::EaseServiceBuilder;
+use ease_graph::bel::{BelSource, BelWriter};
+use ease_graph::io::TextEdgeListWriter;
+use ease_graph::source::TextStreamSource;
+use ease_graph::{GraphSource, PreparedGraph, PropertyTier};
+use ease_graphgen::rmat::{Rmat, RMAT_COMBOS};
+use ease_graphgen::Scale;
+use ease_procsim::Workload;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+const NUM_VERTICES: usize = 1 << 17;
+const NUM_EDGES: usize = 1_200_000;
+const INGEST_REPS: usize = 3;
+
+// ---------------------------------------------------------------------
+// Allocation-counting shim around the system allocator
+// ---------------------------------------------------------------------
+
+static TOTAL: AtomicU64 = AtomicU64::new(0);
+static LIVE: AtomicU64 = AtomicU64::new(0);
+static PEAK: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let size = layout.size() as u64;
+        TOTAL.fetch_add(size, Ordering::Relaxed);
+        let live = LIVE.fetch_add(size, Ordering::Relaxed) + size;
+        PEAK.fetch_max(live, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        LIVE.fetch_sub(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Run `f`, returning `(result, bytes allocated, peak-live delta)`.
+fn alloc_metered<T>(f: impl FnOnce() -> T) -> (T, u64, u64) {
+    let live_before = LIVE.load(Ordering::Relaxed);
+    PEAK.store(live_before, Ordering::Relaxed);
+    let total_before = TOTAL.load(Ordering::Relaxed);
+    let out = f();
+    let allocated = TOTAL.load(Ordering::Relaxed) - total_before;
+    let peak_delta = PEAK.load(Ordering::Relaxed).saturating_sub(live_before);
+    (out, allocated, peak_delta)
+}
+
+fn min_secs(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn mib(bytes: u64) -> f64 {
+    bytes as f64 / (1024.0 * 1024.0)
+}
+
+fn main() {
+    println!("### BENCH_pr4 — zero-copy ingestion: text parse vs mmap .bel");
+    let dir = std::env::temp_dir();
+    let txt_path = dir.join(format!("bench_pr4_{}.txt", std::process::id()));
+    let bel_path = dir.join(format!("bench_pr4_{}.bel", std::process::id()));
+
+    // ---- 0. stream-generate the benchmark graph to both formats --------
+    // (constant memory: the generator pipes edges straight into the file
+    // writers, exercising the streaming `ease gen` path)
+    let rmat = Rmat::new(RMAT_COMBOS[6], NUM_VERTICES, NUM_EDGES, 0xEA5E);
+    let t = Instant::now();
+    {
+        let mut txt = TextEdgeListWriter::create(&txt_path).expect("create txt");
+        let mut bel = BelWriter::create(&bel_path).expect("create bel");
+        rmat.generate_into(&mut |e| {
+            txt.push(e).expect("write txt");
+            bel.push(e).expect("write bel");
+        });
+        txt.finish_with_vertices(NUM_VERTICES).expect("finish txt");
+        bel.finish_with_vertices(NUM_VERTICES).expect("finish bel");
+    }
+    let gen_secs = t.elapsed().as_secs_f64();
+    let txt_bytes = std::fs::metadata(&txt_path).map(|m| m.len()).unwrap_or(0);
+    let bel_bytes = std::fs::metadata(&bel_path).map(|m| m.len()).unwrap_or(0);
+    println!(
+        "graph: |V|={NUM_VERTICES} |E|={NUM_EDGES}, streamed to disk in {gen_secs:.2}s \
+         (txt {:.1} MiB, bel {:.1} MiB)",
+        mib(txt_bytes),
+        mib(bel_bytes)
+    );
+
+    // ---- 1. ingestion throughput: text parse vs mmap -------------------
+    // text: the pre-PR-4 path — parse every line into an owned Graph
+    let (_, txt_alloc, txt_peak) = alloc_metered(|| {
+        black_box(ease_graph::io::read_edge_list(&txt_path).expect("parse txt"));
+    });
+    let text_parse_secs = min_secs(INGEST_REPS, || {
+        black_box(ease_graph::io::read_edge_list(&txt_path).expect("parse txt"));
+    });
+    // bel: open (validates) + one full zero-copy pass
+    let (_, bel_alloc, bel_peak) = alloc_metered(|| {
+        let src = BelSource::open(&bel_path).expect("open bel");
+        let mut acc = 0u64;
+        src.for_each_edge(&mut |e| acc += u64::from(e.src) ^ u64::from(e.dst));
+        black_box(acc);
+    });
+    let mmap_ingest_secs = min_secs(INGEST_REPS, || {
+        let src = BelSource::open(&bel_path).expect("open bel");
+        let mut acc = 0u64;
+        src.for_each_edge(&mut |e| acc += u64::from(e.src) ^ u64::from(e.dst));
+        black_box(acc);
+    });
+    let ingest_speedup = text_parse_secs / mmap_ingest_secs;
+    let text_meps = NUM_EDGES as f64 / text_parse_secs / 1e6;
+    let mmap_meps = NUM_EDGES as f64 / mmap_ingest_secs / 1e6;
+    println!(
+        "ingestion: text parse {text_parse_secs:.3}s ({text_meps:.1} Medges/s) | \
+         mmap {mmap_ingest_secs:.3}s ({mmap_meps:.1} Medges/s) -> {ingest_speedup:.1}x"
+    );
+    println!(
+        "allocation: text parse {:.1} MiB allocated / {:.1} MiB peak | \
+         mmap {:.3} MiB allocated / {:.3} MiB peak",
+        mib(txt_alloc),
+        mib(txt_peak),
+        mib(bel_alloc),
+        mib(bel_peak)
+    );
+
+    // ---- 2. cold recommend end-to-end latency per backend --------------
+    println!("training a tiny service for the serving benchmark...");
+    let service = EaseServiceBuilder::at_scale(Scale::Tiny)
+        .quick_grid()
+        .timing(TimingMode::Deterministic)
+        .seed(42)
+        .train()
+        .expect("valid config");
+    let workload = Workload::PageRank { iterations: 10 };
+    // cold = open + prepare + advanced extraction + predict, bypassing the
+    // service's property cache so every backend pays the full path
+    let cold = |props: ease_graph::GraphProperties| {
+        black_box(service.recommend(&props, workload, OptGoal::EndToEnd).expect("recommend"));
+    };
+    let t = Instant::now();
+    let in_memory_graph = ease_graph::io::read_edge_list(&txt_path).expect("parse txt");
+    let props = PreparedGraph::of(&in_memory_graph).properties(PropertyTier::Advanced);
+    cold(props);
+    let cold_text_secs = t.elapsed().as_secs_f64();
+    drop(in_memory_graph);
+
+    let t = Instant::now();
+    let bel_src = BelSource::open(&bel_path).expect("open bel");
+    let props = PreparedGraph::of_source(&bel_src).properties(PropertyTier::Advanced);
+    cold(props);
+    let cold_bel_secs = t.elapsed().as_secs_f64();
+    drop(bel_src);
+
+    let t = Instant::now();
+    let stream_src = TextStreamSource::open(&txt_path).expect("open stream");
+    let props = PreparedGraph::of_source(&stream_src).properties(PropertyTier::Advanced);
+    cold(props);
+    let cold_stream_secs = t.elapsed().as_secs_f64();
+    drop(stream_src);
+    println!(
+        "cold recommend (open + extract + predict): text-load {cold_text_secs:.3}s | \
+         bel-mmap {cold_bel_secs:.3}s | text-stream {cold_stream_secs:.3}s"
+    );
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"graph_source_ingestion\",\n  \"pr\": 4,\n  \
+         \"num_vertices\": {NUM_VERTICES},\n  \"num_edges\": {NUM_EDGES},\n  \
+         \"txt_file_bytes\": {txt_bytes},\n  \"bel_file_bytes\": {bel_bytes},\n  \
+         \"gen_stream_secs\": {gen_secs:.4},\n  \
+         \"text_parse_secs\": {text_parse_secs:.6},\n  \
+         \"mmap_ingest_secs\": {mmap_ingest_secs:.6},\n  \
+         \"ingest_speedup\": {ingest_speedup:.3},\n  \
+         \"text_parse_medges_per_sec\": {text_meps:.3},\n  \
+         \"mmap_medges_per_sec\": {mmap_meps:.3},\n  \
+         \"text_alloc_bytes\": {txt_alloc},\n  \"text_peak_bytes\": {txt_peak},\n  \
+         \"mmap_alloc_bytes\": {bel_alloc},\n  \"mmap_peak_bytes\": {bel_peak},\n  \
+         \"cold_recommend_text_secs\": {cold_text_secs:.4},\n  \
+         \"cold_recommend_bel_secs\": {cold_bel_secs:.4},\n  \
+         \"cold_recommend_stream_secs\": {cold_stream_secs:.4},\n  \
+         \"note\": \"ingestion = full-stream consumption; text parses lines into an owned \
+         Graph, bel decodes u64 pairs off a private mmap with no owned edge list; \
+         alloc/peak from the counting-allocator shim\"\n}}\n",
+    );
+    std::fs::write("BENCH_pr4.json", &json).expect("write BENCH_pr4.json");
+    println!("wrote BENCH_pr4.json");
+    std::fs::remove_file(&txt_path).ok();
+    std::fs::remove_file(&bel_path).ok();
+
+    assert!(
+        ingest_speedup >= 3.0,
+        "acceptance: mmap ingestion must be >= 3x text parsing, got {ingest_speedup:.2}x"
+    );
+    assert!(
+        bel_peak * 8 < txt_peak,
+        "acceptance: mmap ingestion peak allocation ({bel_peak} B) must be at least 8x \
+         below the text parse peak ({txt_peak} B)"
+    );
+}

@@ -18,6 +18,8 @@ pub enum EaseError {
     Io(io::Error),
     /// An edge-list line could not be parsed (`line` is 1-based).
     Parse { line: usize, message: String },
+    /// A binary graph file (`.bel`) is structurally invalid.
+    Format(String),
     /// A model artifact could not be decoded (bad magic, version skew,
     /// truncation, corruption).
     Persist(PersistError),
@@ -37,6 +39,7 @@ impl fmt::Display for EaseError {
             EaseError::Parse { line, message } => {
                 write!(f, "malformed edge-list line {line}: {message}")
             }
+            EaseError::Format(message) => write!(f, "malformed binary edge list: {message}"),
             EaseError::Persist(e) => write!(f, "model persistence error: {e}"),
             EaseError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             EaseError::UnsupportedWorkload { requested, supported } => write!(
@@ -76,6 +79,7 @@ impl From<GraphIoError> for EaseError {
         match e {
             GraphIoError::Io(e) => EaseError::Io(e),
             GraphIoError::Parse { line, message } => EaseError::Parse { line, message },
+            GraphIoError::Format(message) => EaseError::Format(message),
         }
     }
 }

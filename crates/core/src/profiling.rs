@@ -15,7 +15,9 @@ use ease_graphgen::grids::RmatSpec;
 use ease_graphgen::realworld::{GraphType, TestGraph};
 use ease_partition::{run_partitioner_prepared, PartitionerId, QualityMetrics};
 use ease_procsim::{ClusterSpec, DistributedGraph, Workload};
-use std::sync::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 // The timing mode lives next to the partition runner so the runner itself
 // can skip the wall clock under `Deterministic`; re-exported here because
@@ -66,12 +68,163 @@ impl GraphInput {
         }
     }
 
+    /// [`GraphInput::prepare`] with a pinned construction-shard count.
+    /// The profiling fan-out already saturates the machine with one worker
+    /// per core, so its contexts pin shards to the leftover parallelism
+    /// (usually 1) instead of the default one-shard-per-core — nested
+    /// `workers × cores` thread explosions add scheduler noise to
+    /// `Measured`-timing runs without speeding anything up.
+    pub fn prepare_sharded(&self, shards: usize) -> PreparedGraph<'_> {
+        self.prepare().with_shards(shards)
+    }
+
     pub fn from_specs(specs: Vec<RmatSpec>) -> Vec<GraphInput> {
         specs.into_iter().map(GraphInput::Rmat).collect()
     }
 
     pub fn from_tests(tests: Vec<TestGraph>) -> Vec<GraphInput> {
         tests.into_iter().map(GraphInput::Materialized).collect()
+    }
+
+    /// A stable identity for "this input materializes the same graph":
+    /// every generation parameter for R-MAT specs (float params captured by
+    /// their bits), and the *content fingerprint* for materialized test
+    /// graphs — their names (`soc-000`, ...) encode neither scale nor seed,
+    /// so name-keying would alias different graphs across corpora. The
+    /// fingerprint pass is one cheap traversal of an already in-memory
+    /// edge list, amortized by the dozens of profiling passes that follow.
+    fn spec_key(&self) -> String {
+        match self {
+            GraphInput::Rmat(s) => format!(
+                "rmat/{}/{}/{:016x}{:016x}{:016x}{:016x}/{}/{}/{}",
+                s.name,
+                s.combo_index,
+                s.params.a.to_bits(),
+                s.params.b.to_bits(),
+                s.params.c.to_bits(),
+                s.params.d.to_bits(),
+                s.num_vertices,
+                s.num_edges,
+                s.seed
+            ),
+            GraphInput::Materialized(t) => format!(
+                "test/{}/{}/{:016x}",
+                t.graph_type.name(),
+                t.name,
+                ease_graph::source::fingerprint_source(&t.graph)
+            ),
+        }
+    }
+}
+
+/// Shared [`PreparedGraph`] contexts for graph specs that appear in *both*
+/// profiling corpora (ROADMAP open item): the quality and processing passes
+/// used to generate + prepare such a graph once each; the pool keys
+/// contexts by [`GraphInput::spec_key`] so every overlapping spec is built
+/// exactly once total, and its memoized CSRs/degrees/triangles feed both
+/// passes. Non-overlapping specs take the old per-pass path and are dropped
+/// as soon as their worker finishes — the pool never grows beyond the
+/// overlap.
+pub struct PreparedPool {
+    eligible: std::collections::HashSet<String>,
+    /// Per-key latches: the map lock is held only to fetch/insert a cell;
+    /// the (expensive) generate + prepare runs inside the cell's
+    /// `OnceLock`, so concurrent *distinct* specs build in parallel while
+    /// concurrent requests for the *same* spec still build exactly once.
+    shared: Mutex<HashMap<String, Arc<OnceLock<Arc<PreparedGraph<'static>>>>>>,
+    builds: AtomicUsize,
+    reuses: AtomicUsize,
+}
+
+impl PreparedPool {
+    /// A pool eligible for exactly the specs present in both corpora.
+    pub fn for_overlap(a: &[GraphInput], b: &[GraphInput]) -> PreparedPool {
+        let keys_a: std::collections::HashSet<String> =
+            a.iter().map(GraphInput::spec_key).collect();
+        let eligible = b.iter().map(GraphInput::spec_key).filter(|k| keys_a.contains(k)).collect();
+        PreparedPool {
+            eligible,
+            shared: Mutex::new(HashMap::new()),
+            builds: AtomicUsize::new(0),
+            reuses: AtomicUsize::new(0),
+        }
+    }
+
+    /// An empty pool (no sharing) — the behaviour of the unpooled API.
+    pub fn disabled() -> PreparedPool {
+        PreparedPool {
+            eligible: Default::default(),
+            shared: Mutex::new(HashMap::new()),
+            builds: AtomicUsize::new(0),
+            reuses: AtomicUsize::new(0),
+        }
+    }
+
+    /// How many specs the two corpora share.
+    pub fn overlap(&self) -> usize {
+        self.eligible.len()
+    }
+
+    /// `(contexts built, contexts served from the pool)` so far.
+    pub fn stats(&self) -> (usize, usize) {
+        (self.builds.load(Ordering::Relaxed), self.reuses.load(Ordering::Relaxed))
+    }
+
+    /// Prepare `input` with pinned construction shards, sharing the
+    /// context if its spec is in the overlap.
+    fn prepare<'i>(&self, input: &'i GraphInput, shards: usize) -> PooledPrepared<'i> {
+        // No overlap (the disabled-pool legacy paths): skip spec_key
+        // entirely — for materialized inputs it costs a full O(|E|)
+        // fingerprint pass that could never produce a hit.
+        if self.eligible.is_empty() {
+            return PooledPrepared::Local(input.prepare_sharded(shards));
+        }
+        let key = input.spec_key();
+        if !self.eligible.contains(&key) {
+            return PooledPrepared::Local(input.prepare_sharded(shards));
+        }
+        let cell = {
+            let mut shared = self.shared.lock().expect("prepared pool lock");
+            Arc::clone(shared.entry(key).or_default())
+        };
+        // Build outside the map lock: racing workers for the same spec
+        // serialize on this key's OnceLock only, never on each other.
+        let mut built = false;
+        let arc = cell.get_or_init(|| {
+            built = true;
+            Arc::new(
+                match input {
+                    GraphInput::Rmat(s) => PreparedGraph::new(s.generate()),
+                    GraphInput::Materialized(t) => PreparedGraph::new(t.graph.clone()),
+                }
+                .with_shards(shards),
+            )
+        });
+        if built {
+            self.builds.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.reuses.fetch_add(1, Ordering::Relaxed);
+        }
+        PooledPrepared::Pooled(Arc::clone(arc))
+    }
+}
+
+/// A context that is either private to one profiling worker or shared
+/// through the [`PreparedPool`]. One short-lived value per profiled graph,
+/// so the variant size gap is irrelevant; boxing the local context would
+/// only add an indirection on the hot path.
+#[allow(clippy::large_enum_variant)]
+enum PooledPrepared<'i> {
+    Local(PreparedGraph<'i>),
+    Pooled(Arc<PreparedGraph<'static>>),
+}
+
+impl PooledPrepared<'_> {
+    fn get(&self) -> &PreparedGraph<'_> {
+        match self {
+            PooledPrepared::Local(p) => p,
+            PooledPrepared::Pooled(p) => p,
+        }
     }
 }
 
@@ -113,13 +266,18 @@ fn worker_count(n_items: usize) -> usize {
 }
 
 /// Run `f` over the inputs with scoped-thread fan-out, collecting outputs.
+/// `f` receives the per-context construction-shard budget: the leftover
+/// parallelism after the worker fan-out (so `workers × shards ≈ cores`,
+/// never `workers × cores` nested threads).
 fn parallel_profile<T: Send, F>(inputs: &[GraphInput], f: F) -> Vec<T>
 where
-    F: Fn(&GraphInput) -> Vec<T> + Sync,
+    F: Fn(&GraphInput, usize) -> Vec<T> + Sync,
 {
     let results: Mutex<Vec<(usize, Vec<T>)>> = Mutex::new(Vec::new());
     let next = std::sync::atomic::AtomicUsize::new(0);
     let workers = worker_count(inputs.len());
+    let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+    let ctx_shards = (cores / workers.max(1)).max(1);
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
@@ -127,7 +285,7 @@ where
                 if idx >= inputs.len() {
                     break;
                 }
-                let out = f(&inputs[idx]);
+                let out = f(&inputs[idx], ctx_shards);
                 results.lock().unwrap().push((idx, out));
             });
         }
@@ -158,16 +316,31 @@ pub fn profile_quality_with(
     seed: u64,
     timing: TimingMode,
 ) -> Vec<QualityRecord> {
-    parallel_profile(inputs, |input| {
-        let prepared = input.prepare();
+    profile_quality_pooled(inputs, partitioners, ks, seed, timing, &PreparedPool::disabled())
+}
+
+/// [`profile_quality_with`] sharing prepared contexts through `pool` for
+/// specs that also appear in the processing corpus. Records are identical
+/// to the unpooled call — the pool only changes *where* contexts come from.
+pub fn profile_quality_pooled(
+    inputs: &[GraphInput],
+    partitioners: &[PartitionerId],
+    ks: &[usize],
+    seed: u64,
+    timing: TimingMode,
+    pool: &PreparedPool,
+) -> Vec<QualityRecord> {
+    parallel_profile(inputs, |input, ctx_shards| {
+        let pooled = pool.prepare(input, ctx_shards);
+        let prepared = pooled.get();
         // Extracting properties first also warms the context (degree table,
         // undirected CSR, triangles), so no partitioner run is charged for
         // the shared derivation under measured timing.
-        let props = GraphProperties::compute_prepared(&prepared, PropertyTier::Advanced);
+        let props = GraphProperties::compute_prepared(prepared, PropertyTier::Advanced);
         let mut out = Vec::with_capacity(partitioners.len() * ks.len());
         for &p in partitioners {
             for &k in ks {
-                let run = run_partitioner_prepared(p, &prepared, k, seed ^ k as u64, timing);
+                let run = run_partitioner_prepared(p, prepared, k, seed ^ k as u64, timing);
                 out.push(QualityRecord {
                     graph_name: input.name().to_string(),
                     graph_type: input.graph_type(),
@@ -205,15 +378,37 @@ pub fn profile_processing_with(
     seed: u64,
     timing: TimingMode,
 ) -> Vec<ProcessingRecord> {
+    profile_processing_pooled(
+        inputs,
+        partitioners,
+        k,
+        workloads,
+        seed,
+        timing,
+        &PreparedPool::disabled(),
+    )
+}
+
+/// [`profile_processing_with`] sharing prepared contexts through `pool`.
+pub fn profile_processing_pooled(
+    inputs: &[GraphInput],
+    partitioners: &[PartitionerId],
+    k: usize,
+    workloads: &[Workload],
+    seed: u64,
+    timing: TimingMode,
+    pool: &PreparedPool,
+) -> Vec<ProcessingRecord> {
     let cluster = ClusterSpec::new(k);
-    parallel_profile(inputs, |input| {
-        let prepared = input.prepare();
-        let props = GraphProperties::compute_prepared(&prepared, PropertyTier::Advanced);
+    parallel_profile(inputs, |input, ctx_shards| {
+        let pooled = pool.prepare(input, ctx_shards);
+        let prepared = pooled.get();
+        let props = GraphProperties::compute_prepared(prepared, PropertyTier::Advanced);
         let mut out = Vec::with_capacity(partitioners.len() * workloads.len());
         for &p in partitioners {
-            let run = run_partitioner_prepared(p, &prepared, k, seed, timing);
+            let run = run_partitioner_prepared(p, prepared, k, seed, timing);
             let partitioning_secs = run.partitioning_secs;
-            let dg = DistributedGraph::build_prepared(&prepared, &run.partition);
+            let dg = DistributedGraph::build_prepared(prepared, &run.partition);
             for &w in workloads {
                 let report = w.execute(&dg, &cluster);
                 out.push(ProcessingRecord {
@@ -295,6 +490,66 @@ mod tests {
         let gi = GraphInput::Materialized(tg.clone());
         assert_eq!(gi.graph_type(), Some(GraphType::Social));
         assert_eq!(gi.generate().num_edges(), tg.graph.num_edges());
+    }
+
+    #[test]
+    fn pooled_profiling_builds_overlapping_specs_once_and_matches_unpooled() {
+        // both "corpora" share their first two specs
+        let quality_inputs = tiny_inputs(3);
+        let processing_inputs: Vec<GraphInput> = tiny_inputs(2);
+        let parts = [PartitionerId::OneDD, PartitionerId::Dbh];
+        let workloads = [Workload::PageRank { iterations: 3 }];
+        let pool = PreparedPool::for_overlap(&quality_inputs, &processing_inputs);
+        assert_eq!(pool.overlap(), 2);
+        let q_pooled = profile_quality_pooled(
+            &quality_inputs,
+            &parts,
+            &[2, 4],
+            1,
+            TimingMode::Deterministic,
+            &pool,
+        );
+        let p_pooled = profile_processing_pooled(
+            &processing_inputs,
+            &parts,
+            4,
+            &workloads,
+            2,
+            TimingMode::Deterministic,
+            &pool,
+        );
+        // the two overlapping specs were built exactly once total, then
+        // served back to the second pass from the pool
+        let (builds, reuses) = pool.stats();
+        assert_eq!(builds, 2, "one build per overlapping spec");
+        assert_eq!(reuses, 2, "the processing pass reused both");
+        // pooled records are identical to the unpooled path
+        let q_plain =
+            profile_quality_with(&quality_inputs, &parts, &[2, 4], 1, TimingMode::Deterministic);
+        let p_plain = profile_processing_with(
+            &processing_inputs,
+            &parts,
+            4,
+            &workloads,
+            2,
+            TimingMode::Deterministic,
+        );
+        assert_eq!(q_pooled.len(), q_plain.len());
+        for (a, b) in q_pooled.iter().zip(&q_plain) {
+            assert_eq!(a.graph_name, b.graph_name);
+            assert_eq!(a.props, b.props);
+            assert_eq!(a.metrics, b.metrics);
+            assert_eq!(a.partitioning_secs.to_bits(), b.partitioning_secs.to_bits());
+        }
+        assert_eq!(p_pooled.len(), p_plain.len());
+        for (a, b) in p_pooled.iter().zip(&p_plain) {
+            assert_eq!(a.graph_name, b.graph_name);
+            assert_eq!(a.metrics, b.metrics);
+            assert_eq!(a.target_secs.to_bits(), b.target_secs.to_bits());
+        }
+        // disjoint specs never enter the pool
+        let disjoint = PreparedPool::for_overlap(&tiny_inputs(1), &tiny_inputs(0));
+        assert_eq!(disjoint.overlap(), 0);
     }
 
     #[test]

@@ -315,8 +315,9 @@ pub struct PropertyCacheStats {
 pub struct EaseService {
     ease: Ease,
     meta: ServiceMeta,
-    /// Query-side LRU keyed by [`PreparedGraph::fingerprint`] — not
-    /// persisted; a reloaded service starts cold.
+    /// Query-side LRU keyed by [`PreparedGraph::fingerprint`]. Persisted
+    /// alongside the models (format v2), so a restarted service answers
+    /// warm for every graph it had already extracted.
     props_cache: Mutex<PropertyCache>,
 }
 
@@ -410,17 +411,46 @@ impl EaseService {
         k: usize,
         goal: OptGoal,
     ) -> Result<Selection, EaseError> {
-        let props = self.cached_properties(graph);
+        self.recommend_prepared_with_k(&PreparedGraph::of(graph), workload, k, goal)
+    }
+
+    /// Recommend from a shared [`PreparedGraph`] analysis context — the
+    /// ingestion-agnostic entry: the context may wrap an in-memory graph, a
+    /// memory-mapped `.bel` file, or a streamed text edge list, and the
+    /// recommendation is bit-identical across all of them. No owned
+    /// `Vec<Edge>` is materialized for source-backed contexts.
+    pub fn recommend_prepared(
+        &self,
+        prepared: &PreparedGraph<'_>,
+        workload: Workload,
+        goal: OptGoal,
+    ) -> Result<Selection, EaseError> {
+        self.recommend_prepared_with_k(prepared, workload, self.meta.default_k, goal)
+    }
+
+    /// [`EaseService::recommend_prepared`] with an explicit partition count.
+    pub fn recommend_prepared_with_k(
+        &self,
+        prepared: &PreparedGraph<'_>,
+        workload: Workload,
+        k: usize,
+        goal: OptGoal,
+    ) -> Result<Selection, EaseError> {
+        let props = self.cached_properties_prepared(prepared);
         self.recommend_with_k(&props, workload, k, goal)
     }
 
     /// Advanced-tier properties of `graph`, served from the query-side LRU
-    /// when its content fingerprint was seen before. Extraction (the miss
-    /// path) runs outside the cache lock; concurrent first queries on the
-    /// same graph may both extract, which is wasteful but correct — the
-    /// results are identical.
+    /// when its content fingerprint was seen before.
     pub fn cached_properties(&self, graph: &Graph) -> GraphProperties {
-        let prepared = PreparedGraph::of(graph);
+        self.cached_properties_prepared(&PreparedGraph::of(graph))
+    }
+
+    /// [`EaseService::cached_properties`] over a shared analysis context.
+    /// Extraction (the miss path) runs outside the cache lock; concurrent
+    /// first queries on the same graph may both extract, which is wasteful
+    /// but correct — the results are identical.
+    pub fn cached_properties_prepared(&self, prepared: &PreparedGraph<'_>) -> GraphProperties {
         let key = prepared.fingerprint();
         if let Some(props) = self.props_cache.lock().expect("props cache lock").get(key) {
             return props;
@@ -545,13 +575,21 @@ impl EaseService {
             put_chosen(&mut w, c);
             encode_model(&mut w, model);
         }
+        // property-cache trailer (format v2): fingerprint-keyed extracted
+        // properties in LRU order, so a reloaded service answers warm
+        let cache = self.props_cache.lock().expect("props cache lock");
+        w.put_usize(cache.entries.len());
+        for (key, props) in &cache.entries {
+            w.put_u64(*key);
+            put_props(&mut w, props);
+        }
         w.into_bytes()
     }
 
     /// Deserialize a service persisted by [`EaseService::to_bytes`].
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, EaseError> {
         let mut r = Reader::new(bytes);
-        read_header(&mut r)?;
+        let version = read_header(&mut r)?;
         // provenance
         let scale_name = r.take_str()?;
         let scale = Scale::parse(&scale_name).ok_or_else(|| {
@@ -623,6 +661,22 @@ impl EaseService {
         }
         let processing_time =
             ProcessingTimePredictor::from_params(ProcessingTimePredictorParams { workloads })?;
+        // property-cache trailer (absent in v1 files: those start cold)
+        let mut warm: Vec<(u64, GraphProperties)> = Vec::new();
+        if version >= 2 {
+            let n_cached = r.take_usize()?;
+            if n_cached > PROPERTY_CACHE_CAPACITY {
+                return Err(PersistError::Corrupt(format!(
+                    "{n_cached} cached property entries exceed the cache capacity \
+                     ({PROPERTY_CACHE_CAPACITY})"
+                ))
+                .into());
+            }
+            for _ in 0..n_cached {
+                let key = r.take_u64()?;
+                warm.push((key, take_props(&mut r)?));
+            }
+        }
         if r.remaining() != 0 {
             return Err(PersistError::Corrupt(format!(
                 "{} trailing bytes after the service payload",
@@ -633,7 +687,14 @@ impl EaseService {
         let mut ease = Ease::new(quality, partitioning_time, processing_time);
         ease.catalog = catalog;
         let meta = ServiceMeta { scale, seed, folds, timing, default_k, default_goal };
-        Ok(EaseService::from_parts(ease, meta))
+        let service = EaseService::from_parts(ease, meta);
+        {
+            let mut cache = service.props_cache.lock().expect("props cache lock");
+            for (key, props) in warm {
+                cache.insert(key, props);
+            }
+        }
+        Ok(service)
     }
 
     /// Persist the trained service to disk (atomic: write to a sibling
@@ -706,6 +767,54 @@ fn put_chosen(w: &mut Writer, c: &ChosenModel) {
 
 fn take_chosen(r: &mut Reader) -> Result<ChosenModel, PersistError> {
     Ok(ChosenModel { config: decode_config(r)?, cv_mape: r.take_f64()? })
+}
+
+/// Encode extracted graph properties for the cache trailer. `f64`s go as
+/// raw bits, so a warm-restarted cache serves byte-identical answers.
+fn put_props(w: &mut Writer, p: &GraphProperties) {
+    w.put_usize(p.num_vertices);
+    w.put_usize(p.num_edges);
+    w.put_f64(p.density);
+    w.put_f64(p.mean_degree);
+    w.put_f64(p.in_degree_skew);
+    w.put_f64(p.out_degree_skew);
+    let mut put_opt = |v: Option<f64>| match v {
+        Some(x) => {
+            w.put_u8(1);
+            w.put_f64(x);
+        }
+        None => w.put_u8(0),
+    };
+    put_opt(p.avg_triangles);
+    put_opt(p.avg_lcc);
+}
+
+fn take_props(r: &mut Reader) -> Result<GraphProperties, PersistError> {
+    let num_vertices = r.take_usize()?;
+    let num_edges = r.take_usize()?;
+    let density = r.take_f64()?;
+    let mean_degree = r.take_f64()?;
+    let in_degree_skew = r.take_f64()?;
+    let out_degree_skew = r.take_f64()?;
+    let take_opt = |r: &mut Reader| -> Result<Option<f64>, PersistError> {
+        match r.take_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(r.take_f64()?)),
+            other => Err(PersistError::Corrupt(format!("unknown option tag {other}"))),
+        }
+    };
+    let avg_triangles = take_opt(r)?;
+    let avg_lcc = take_opt(r)?;
+    Ok(GraphProperties {
+        num_vertices,
+        num_edges,
+        density,
+        mean_degree,
+        in_degree_skew,
+        out_degree_skew,
+        avg_triangles,
+        avg_lcc,
+    })
 }
 
 #[cfg(test)]
@@ -903,6 +1012,49 @@ mod tests {
         cache.insert(1, props);
         assert!(cache.get(3).is_some());
         assert_eq!(cache.entries.len(), 2);
+    }
+
+    #[test]
+    fn persisted_property_cache_makes_restarts_warm() {
+        let service = tiny_builder().train().unwrap();
+        let g = socfb_analogue(Scale::Tiny, 33).graph;
+        let wl = Workload::PageRank { iterations: 3 };
+        let first = service.recommend_graph(&g, wl, OptGoal::EndToEnd).unwrap();
+        assert_eq!(service.property_cache_stats().misses, 1);
+        // save with the warm entry, reload in a "new process"
+        let restored = EaseService::from_bytes(&service.to_bytes()).unwrap();
+        let stats = restored.property_cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.len), (0, 0, 1), "restored warm");
+        // the restarted service answers from the persisted cache: a hit, no
+        // extraction, and a byte-identical ranking
+        let again = restored.recommend_graph(&g, wl, OptGoal::EndToEnd).unwrap();
+        let stats = restored.property_cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 0));
+        assert_eq!(first.best, again.best);
+        for (a, b) in first.candidates.iter().zip(&again.candidates) {
+            assert_eq!(a.end_to_end_secs.to_bits(), b.end_to_end_secs.to_bits());
+        }
+        // cached properties survive the round trip bit-exactly
+        let direct = GraphProperties::compute_advanced(&g);
+        let cached = restored.cached_properties(&g);
+        assert_eq!(cached, direct);
+        // an empty cache round-trips too
+        let cold = tiny_builder().train().unwrap();
+        let reloaded = EaseService::from_bytes(&cold.to_bytes()).unwrap();
+        assert_eq!(reloaded.property_cache_stats().len, 0);
+    }
+
+    #[test]
+    fn recommend_prepared_matches_recommend_graph() {
+        let service = tiny_builder().train().unwrap();
+        let g = socfb_analogue(Scale::Tiny, 44).graph;
+        let wl = Workload::ConnectedComponents;
+        let via_graph = service.recommend_graph(&g, wl, OptGoal::EndToEnd).unwrap();
+        let prepared = ease_graph::PreparedGraph::of(&g);
+        let via_prepared = service.recommend_prepared(&prepared, wl, OptGoal::EndToEnd).unwrap();
+        assert_eq!(via_graph.best, via_prepared.best);
+        // second query on the same content hit the cache
+        assert!(service.property_cache_stats().hits >= 1);
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! Compressed sparse row adjacency.
 
 use crate::edge_list::Graph;
-use crate::types::VertexId;
+use crate::source::{each_edge, each_edge_in, GraphSource};
+use crate::types::{Edge, VertexId};
 
 /// Which adjacency direction a [`Csr`] encodes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -86,18 +87,108 @@ impl Csr {
         Csr { offsets, targets, direction }
     }
 
+    /// Build adjacency from any [`GraphSource`] with the counting and
+    /// placement passes sharded over `shards` contiguous edge ranges
+    /// (scoped `std::thread` workers). One shard — or a source without
+    /// random access — degrades to the sequential two-pass build.
+    ///
+    /// Bit-identical to [`Csr::build`] on the same stream for every shard
+    /// count: per-shard counts merge by addition, and each shard places its
+    /// edges at cursor positions offset by the counts of earlier shards, so
+    /// every per-vertex neighbor list ends up in stream order.
+    pub fn build_source(source: &dyn GraphSource, direction: Direction, shards: usize) -> Self {
+        let n = source.num_vertices();
+        let chunks = source.par_chunks(shards.max(1));
+        if chunks.len() <= 1 {
+            return Self::build_source_sequential(source, direction);
+        }
+        // ---- counting pass: one private count array per shard ----
+        let per_shard: Vec<Vec<u32>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .iter()
+                .cloned()
+                .map(|range| {
+                    scope.spawn(move || {
+                        let mut counts = vec![0u32; n];
+                        each_edge_in(source, range, |e| count_edge(&mut counts, direction, e));
+                        counts
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("csr count shard")).collect()
+        });
+        // ---- merge into offsets; derive each shard's start cursors ----
+        let mut offsets = vec![0usize; n + 1];
+        for v in 0..n {
+            let total: usize = per_shard.iter().map(|c| c[v] as usize).sum();
+            offsets[v + 1] = offsets[v] + total;
+        }
+        let mut cursors: Vec<Vec<usize>> = Vec::with_capacity(per_shard.len());
+        let mut running = offsets[..n].to_vec();
+        for shard_counts in &per_shard {
+            cursors.push(running.clone());
+            for (r, &c) in running.iter_mut().zip(shard_counts) {
+                *r += c as usize;
+            }
+        }
+        drop(per_shard);
+        // ---- placement pass: disjoint writes into one shared buffer ----
+        let mut targets = vec![0 as VertexId; offsets[n]];
+        let shared = SharedTargets { ptr: targets.as_mut_ptr(), len: targets.len() };
+        std::thread::scope(|scope| {
+            for (range, mut cursor) in chunks.into_iter().zip(cursors) {
+                let shared = &shared;
+                scope.spawn(move || {
+                    each_edge_in(source, range, |e| {
+                        place_edge(&mut cursor, shared, direction, e);
+                    });
+                });
+            }
+        });
+        Csr { offsets, targets, direction }
+    }
+
+    /// Sequential two-pass build over a source (the degrade path of
+    /// [`Csr::build_source`]).
+    fn build_source_sequential(source: &dyn GraphSource, direction: Direction) -> Self {
+        let n = source.num_vertices();
+        let mut counts = vec![0u32; n];
+        each_edge(source, |e| count_edge(&mut counts, direction, e));
+        let mut offsets = vec![0usize; n + 1];
+        for v in 0..n {
+            offsets[v + 1] = offsets[v] + counts[v] as usize;
+        }
+        drop(counts);
+        let mut cursor = offsets[..n].to_vec();
+        let mut targets = vec![0 as VertexId; offsets[n]];
+        let shared = SharedTargets { ptr: targets.as_mut_ptr(), len: targets.len() };
+        each_edge(source, |e| place_edge(&mut cursor, &shared, direction, e));
+        Csr { offsets, targets, direction }
+    }
+
+    /// [`Csr::build_undirected_simple`] over any source, with the
+    /// underlying undirected build sharded (see [`Csr::build_source`]).
+    pub fn build_undirected_simple_source(source: &dyn GraphSource, shards: usize) -> Self {
+        Self::build_source(source, Direction::Undirected, shards).into_undirected_simple()
+    }
+
     /// Build undirected *simple* adjacency: reciprocal duplicates, parallel
     /// edges and self-loops removed, each list sorted. This is the input for
     /// triangle counting and neighborhood expansion.
     pub fn build_undirected_simple(graph: &Graph) -> Self {
-        let mut csr = Csr::build(graph, Direction::Undirected);
+        Csr::build(graph, Direction::Undirected).into_undirected_simple()
+    }
+
+    /// Simplify an undirected adjacency in place: sort each list, drop
+    /// self-loops and duplicates.
+    fn into_undirected_simple(mut self) -> Self {
+        let csr = &mut self;
         let n = csr.num_vertices();
         let mut new_targets: Vec<VertexId> = Vec::with_capacity(csr.targets.len());
         let mut new_offsets: Vec<usize> = Vec::with_capacity(n + 1);
         new_offsets.push(0);
         // Sort + dedup each list, dropping self-loops.
         for v in 0..n {
-            let start = new_targets.len();
             let (lo, hi) = (csr.offsets[v], csr.offsets[v + 1]);
             let list = &mut csr.targets[lo..hi];
             list.sort_unstable();
@@ -109,7 +200,6 @@ impl Csr {
                 new_targets.push(t);
                 prev = Some(t);
             }
-            let _ = start;
             new_offsets.push(new_targets.len());
         }
         Csr { offsets: new_offsets, targets: new_targets, direction: Direction::Undirected }
@@ -146,6 +236,63 @@ impl Csr {
     /// Iterate `(vertex, neighbors)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (VertexId, &[VertexId])> {
         (0..self.num_vertices() as VertexId).map(move |v| (v, self.neighbors(v)))
+    }
+}
+
+#[inline]
+fn count_edge(counts: &mut [u32], direction: Direction, e: Edge) {
+    match direction {
+        Direction::Out => counts[e.src as usize] += 1,
+        Direction::In => counts[e.dst as usize] += 1,
+        Direction::Undirected => {
+            counts[e.src as usize] += 1;
+            counts[e.dst as usize] += 1;
+        }
+    }
+}
+
+#[inline]
+fn place_edge(cursor: &mut [usize], targets: &SharedTargets, direction: Direction, e: Edge) {
+    let mut put = |v: usize, t: VertexId| {
+        let c = &mut cursor[v];
+        // SAFETY: see `SharedTargets` — this cursor position belongs
+        // exclusively to this shard.
+        unsafe { targets.write(*c, t) };
+        *c += 1;
+    };
+    match direction {
+        Direction::Out => put(e.src as usize, e.dst),
+        Direction::In => put(e.dst as usize, e.src),
+        Direction::Undirected => {
+            put(e.src as usize, e.dst);
+            put(e.dst as usize, e.src);
+        }
+    }
+}
+
+/// Shared mutable view of the placement target buffer.
+///
+/// SAFETY invariant: every write index is unique across all shards. Shard
+/// `s` writes vertex `v`'s entries at `offsets[v] + Σ_{t<s} counts_t[v] ..`,
+/// a span sized exactly to its own count of `v`-incident edges — spans for
+/// the same vertex from different shards are disjoint by construction, and
+/// spans for different vertices live in disjoint `offsets` windows. Nobody
+/// reads the buffer until every placement worker has joined.
+struct SharedTargets {
+    ptr: *mut VertexId,
+    len: usize,
+}
+
+unsafe impl Sync for SharedTargets {}
+unsafe impl Send for SharedTargets {}
+
+impl SharedTargets {
+    /// Write `val` at `idx`. Caller must uphold the disjoint-index
+    /// invariant documented on the type.
+    #[inline]
+    unsafe fn write(&self, idx: usize, val: VertexId) {
+        debug_assert!(idx < self.len);
+        unsafe { *self.ptr.add(idx) = val };
     }
 }
 
@@ -203,5 +350,48 @@ mod tests {
         assert_eq!(csr.num_vertices(), 3);
         assert_eq!(csr.num_entries(), 0);
         assert_eq!(csr.neighbors(1), &[] as &[u32]);
+    }
+
+    /// A deterministic pseudo-random multigraph big enough to span several
+    /// fingerprint blocks when `m` is large.
+    fn scrambled(n: u32, m: usize) -> Graph {
+        let mut edges = Vec::with_capacity(m);
+        let mut x = 0x9E3779B97F4A7C15u64;
+        for _ in 0..m {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let src = ((x >> 33) % u64::from(n)) as u32;
+            let dst = ((x >> 11) % u64::from(n)) as u32;
+            edges.push(crate::types::Edge::new(src, dst));
+        }
+        Graph::new(n as usize, edges)
+    }
+
+    #[test]
+    fn sharded_build_is_bit_identical_to_sequential() {
+        // > one fingerprint block so multi-chunk splits actually happen
+        let g = scrambled(257, crate::source::FINGERPRINT_BLOCK * 3 + 101);
+        for direction in [Direction::Out, Direction::In, Direction::Undirected] {
+            let reference = Csr::build(&g, direction);
+            for shards in [1, 2, 3, 5, 8] {
+                let sharded = Csr::build_source(&g, direction, shards);
+                assert_eq!(sharded.offsets, reference.offsets, "{direction:?} x{shards}");
+                assert_eq!(sharded.targets, reference.targets, "{direction:?} x{shards}");
+            }
+        }
+        let simple_ref = Csr::build_undirected_simple(&g);
+        let simple_sharded = Csr::build_undirected_simple_source(&g, 4);
+        assert_eq!(simple_sharded.offsets, simple_ref.offsets);
+        assert_eq!(simple_sharded.targets, simple_ref.targets);
+    }
+
+    #[test]
+    fn sharded_build_handles_degenerate_inputs() {
+        let empty = Graph::empty(4);
+        let csr = Csr::build_source(&empty, Direction::Out, 8);
+        assert_eq!(csr.num_vertices(), 4);
+        assert_eq!(csr.num_entries(), 0);
+        let tiny = toy();
+        let csr = Csr::build_source(&tiny, Direction::Undirected, 64);
+        assert_eq!(csr.targets, Csr::build(&tiny, Direction::Undirected).targets);
     }
 }

@@ -25,6 +25,10 @@ pub enum GraphIoError {
     Io(io::Error),
     /// A line could not be parsed; `line` is 1-based.
     Parse { line: usize, message: String },
+    /// The file is structurally invalid: bad magic / truncated payload /
+    /// out-of-range endpoint in a `.bel`, or an out-of-bounds declared
+    /// universe in a text summary comment.
+    Format(String),
 }
 
 impl fmt::Display for GraphIoError {
@@ -34,6 +38,7 @@ impl fmt::Display for GraphIoError {
             GraphIoError::Parse { line, message } => {
                 write!(f, "malformed edge-list line {line}: {message}")
             }
+            GraphIoError::Format(message) => write!(f, "malformed graph file: {message}"),
         }
     }
 }
@@ -42,7 +47,7 @@ impl std::error::Error for GraphIoError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             GraphIoError::Io(e) => Some(e),
-            GraphIoError::Parse { .. } => None,
+            GraphIoError::Parse { .. } | GraphIoError::Format(_) => None,
         }
     }
 }
@@ -59,34 +64,82 @@ pub fn read_edge_list(path: &Path) -> Result<Graph, GraphIoError> {
     read_edge_list_from(BufReader::new(file))
 }
 
+/// Parse a `# vertices N ...` summary comment (written by
+/// [`write_edge_list`] and [`TextEdgeListWriter`]). Text has no binary
+/// header, so this comment is how a text edge list carries an explicit
+/// vertex universe — readers take `max(declared, max endpoint + 1)`,
+/// preserving isolated trailing vertices across text round trips.
+pub fn parse_universe_comment(line: &str) -> Option<usize> {
+    let mut it = line.split_whitespace();
+    if it.next() != Some("#") || it.next() != Some("vertices") {
+        return None;
+    }
+    it.next()?.parse().ok()
+}
+
+/// Bound a declared universe to the `u32` id space — untrusted input must
+/// not be able to drive `vec![0; n]` allocations into an OOM abort with a
+/// one-line comment (the binary reader enforces the same bound).
+pub(crate) fn check_declared_universe(declared: usize) -> Result<(), GraphIoError> {
+    if declared as u64 > u32::MAX as u64 + 1 {
+        return Err(GraphIoError::Format(format!(
+            "declared vertex universe {declared} exceeds the u32 id space"
+        )));
+    }
+    Ok(())
+}
+
+/// Parse one edge-list line. Returns `Ok(None)` for blank/comment lines;
+/// `lineno` is 1-based and only used for error reporting. Shared by the
+/// materializing reader below and the streaming
+/// [`crate::source::TextStreamSource`].
+pub fn parse_edge_line(line: &str, lineno: usize) -> Result<Option<Edge>, GraphIoError> {
+    let trimmed = line.trim();
+    if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+        return Ok(None);
+    }
+    let mut it = trimmed.split_whitespace();
+    let mut parse = |what: &str| -> Result<u32, GraphIoError> {
+        let tok = it.next().ok_or_else(|| GraphIoError::Parse {
+            line: lineno,
+            message: format!("missing {what} vertex id"),
+        })?;
+        tok.parse::<u32>().map_err(|_| GraphIoError::Parse {
+            line: lineno,
+            message: format!("{what} vertex id `{tok}` is not a u32"),
+        })
+    };
+    let src = parse("source")?;
+    let dst = parse("destination")?;
+    Ok(Some(Edge::new(src, dst)))
+}
+
 /// Read a graph from any buffered reader (useful for tests / stdin).
-pub fn read_edge_list_from<R: BufRead>(reader: R) -> Result<Graph, GraphIoError> {
+/// One reusable line buffer — no per-line `String` allocation. A
+/// `# vertices N` summary comment (anywhere in the file) declares an
+/// explicit universe; the result covers `max(declared, max endpoint + 1)`.
+pub fn read_edge_list_from<R: BufRead>(mut reader: R) -> Result<Graph, GraphIoError> {
     let mut edges: Vec<Edge> = Vec::new();
     let mut max_v: u32 = 0;
-    for (lineno, line) in reader.lines().enumerate() {
-        let line = line?;
-        let trimmed = line.trim();
-        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
-            continue;
+    let mut declared: usize = 0;
+    let mut line = String::new();
+    let mut lineno = 0usize;
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break;
         }
-        let mut it = trimmed.split_whitespace();
-        let mut parse = |what: &str| -> Result<u32, GraphIoError> {
-            let tok = it.next().ok_or_else(|| GraphIoError::Parse {
-                line: lineno + 1,
-                message: format!("missing {what} vertex id"),
-            })?;
-            tok.parse::<u32>().map_err(|_| GraphIoError::Parse {
-                line: lineno + 1,
-                message: format!("{what} vertex id `{tok}` is not a u32"),
-            })
-        };
-        let src = parse("source")?;
-        let dst = parse("destination")?;
-        max_v = max_v.max(src).max(dst);
-        edges.push(Edge::new(src, dst));
+        lineno += 1;
+        if let Some(e) = parse_edge_line(&line, lineno)? {
+            max_v = max_v.max(e.src).max(e.dst);
+            edges.push(e);
+        } else if let Some(n) = parse_universe_comment(&line) {
+            check_declared_universe(n)?;
+            declared = declared.max(n);
+        }
     }
-    let n = if edges.is_empty() { 0 } else { max_v as usize + 1 };
-    Ok(Graph::new(n, edges))
+    let inferred = if edges.is_empty() { 0 } else { max_v as usize + 1 };
+    Ok(Graph::new(inferred.max(declared), edges))
 }
 
 /// Write a graph as a whitespace-separated edge list.
@@ -98,6 +151,60 @@ pub fn write_edge_list(graph: &Graph, path: &Path) -> io::Result<()> {
         writeln!(w, "{} {}", e.src, e.dst)?;
     }
     w.flush()
+}
+
+/// Streaming text edge-list writer: edges go to the (buffered) file as
+/// they are pushed, so generators can pipe straight to disk without
+/// materializing an edge list. The summary comment goes at the *end* of
+/// the file — text cannot seek-patch a variable-length header — and
+/// readers skip comments wherever they appear.
+#[derive(Debug)]
+pub struct TextEdgeListWriter {
+    w: BufWriter<File>,
+    edge_count: usize,
+    max_endpoint: u32,
+    any_edge: bool,
+}
+
+impl TextEdgeListWriter {
+    pub fn create(path: &Path) -> io::Result<TextEdgeListWriter> {
+        let file = File::create(path)?;
+        Ok(TextEdgeListWriter {
+            w: BufWriter::new(file),
+            edge_count: 0,
+            max_endpoint: 0,
+            any_edge: false,
+        })
+    }
+
+    /// Append one edge.
+    pub fn push(&mut self, e: Edge) -> io::Result<()> {
+        writeln!(self.w, "{} {}", e.src, e.dst)?;
+        self.edge_count += 1;
+        self.max_endpoint = self.max_endpoint.max(e.src).max(e.dst);
+        self.any_edge = true;
+        Ok(())
+    }
+
+    /// Write the trailing summary comment (inferring the universe as
+    /// `max endpoint + 1`) and flush.
+    pub fn finish(self) -> io::Result<()> {
+        let nv = if self.any_edge { self.max_endpoint as usize + 1 } else { 0 };
+        self.finish_with_vertices(nv)
+    }
+
+    /// [`TextEdgeListWriter::finish`] with an explicit vertex universe —
+    /// readers honour the summary comment, so isolated trailing vertices
+    /// survive text round trips.
+    pub fn finish_with_vertices(mut self, num_vertices: usize) -> io::Result<()> {
+        assert!(
+            !self.any_edge || num_vertices > self.max_endpoint as usize,
+            "vertex universe {num_vertices} does not cover max endpoint {}",
+            self.max_endpoint
+        );
+        writeln!(self.w, "# vertices {num_vertices} edges {}", self.edge_count)?;
+        self.w.flush()
+    }
 }
 
 #[cfg(test)]
@@ -181,6 +288,57 @@ mod tests {
         std::fs::remove_file(&path).ok();
         assert_eq!(g.edges(), g2.edges());
         assert_eq!(g.num_vertices(), g2.num_vertices());
+    }
+
+    #[test]
+    fn declared_universe_survives_text_round_trips() {
+        // write_edge_list declares the universe in its header comment;
+        // readers must honour it even when trailing vertices are isolated
+        let g = Graph::new(10, vec![Edge::new(0, 1)]);
+        let path =
+            std::env::temp_dir().join(format!("ease_universe_rt_{}.txt", std::process::id()));
+        write_edge_list(&g, &path).unwrap();
+        let back = read_edge_list(&path).unwrap();
+        assert_eq!(back.num_vertices(), 10);
+        assert_eq!(back.num_edges(), 1);
+        std::fs::remove_file(&path).ok();
+        // the streaming writer's explicit-universe finish does the same
+        let mut w = TextEdgeListWriter::create(&path).unwrap();
+        w.push(Edge::new(0, 1)).unwrap();
+        w.finish_with_vertices(10).unwrap();
+        assert_eq!(read_edge_list(&path).unwrap().num_vertices(), 10);
+        std::fs::remove_file(&path).ok();
+        // a stale/smaller declaration never shrinks the inferred universe
+        assert_eq!(
+            read_edge_list_from(Cursor::new("# vertices 2 edges 1\n0 7\n")).unwrap().num_vertices(),
+            8
+        );
+        // unrelated comments are not declarations
+        assert!(parse_universe_comment("# vertices").is_none());
+        assert!(parse_universe_comment("# verticesish 9").is_none());
+        assert_eq!(parse_universe_comment("  # vertices 42 edges 7"), Some(42));
+        // a declaration outside the u32 id space is a typed error, not an
+        // invitation to allocate petabyte-scale degree tables
+        let err = read_edge_list_from(Cursor::new("# vertices 99999999999999\n0 1\n")).unwrap_err();
+        assert!(matches!(err, GraphIoError::Format(_)), "{err:?}");
+    }
+
+    #[test]
+    fn streaming_text_writer_round_trips() {
+        let path =
+            std::env::temp_dir().join(format!("ease_text_writer_{}.txt", std::process::id()));
+        let mut w = TextEdgeListWriter::create(&path).unwrap();
+        for e in [Edge::new(0, 1), Edge::new(1, 2), Edge::new(2, 0)] {
+            w.push(e).unwrap();
+        }
+        w.finish().unwrap();
+        let g = read_edge_list(&path).unwrap();
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.num_vertices(), 3);
+        // the summary comment is present (and trailing)
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.trim_end().ends_with("# vertices 3 edges 3"), "{text}");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

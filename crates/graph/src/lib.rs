@@ -12,26 +12,35 @@
 //!   Table III of the paper,
 //! * [`PreparedGraph`] — a build-once, share-everywhere analysis context
 //!   that lazily memoizes the CSRs, degree table, triangle counts and a
-//!   stable content fingerprint,
+//!   stable content fingerprint, with sharded (multi-threaded) CSR and
+//!   degree construction,
+//! * [`GraphSource`] — the ingestion seam: in-memory, memory-mapped binary
+//!   (`.bel`, [`bel`]) and streaming text ([`source::TextStreamSource`])
+//!   backends that replay an edge stream without requiring an owned copy,
 //! * [`hash`] — fast seeded mixing functions shared by the hash partitioners.
 //!
 //! Everything is deterministic: no global RNG state, no time-dependent
 //! behaviour. Vertex ids are dense `u32`s in `0..num_vertices`.
 
+pub mod bel;
 pub mod csr;
 pub mod degree;
 pub mod edge_list;
 pub mod hash;
 pub mod io;
+pub mod mmap;
 pub mod prepared;
 pub mod properties;
+pub mod source;
 pub mod triangles;
 pub mod types;
 
+pub use bel::BelSource;
 pub use csr::Csr;
 pub use degree::DegreeTable;
 pub use edge_list::Graph;
 pub use io::GraphIoError;
 pub use prepared::PreparedGraph;
 pub use properties::{GraphProperties, PropertyTier};
+pub use source::{GraphSource, TextStreamSource};
 pub use types::{Edge, VertexId};

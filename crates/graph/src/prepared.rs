@@ -9,20 +9,29 @@
 //! cost of the training pipeline (the HEP paper makes the same observation
 //! about degree/adjacency precomputation across partitioners).
 //!
-//! [`PreparedGraph`] wraps a [`Graph`] and lazily memoizes the expensive
-//! derived structures behind [`OnceLock`]s:
+//! [`PreparedGraph`] wraps any [`GraphSource`] — an in-memory [`Graph`], a
+//! memory-mapped `.bel` file ([`crate::bel::BelSource`]), or a streaming
+//! text reader ([`crate::source::TextStreamSource`]) — and lazily memoizes
+//! the expensive derived structures behind [`OnceLock`]s:
 //!
-//! * out-/in-/undirected-simple CSR adjacency,
-//! * the [`DegreeTable`] (degrees + moments + skewness),
+//! * out-/in-/undirected-simple CSR adjacency, built with counting and
+//!   placement passes **sharded over edge ranges** (scoped `std::thread`
+//!   workers; sequential when one core — or a non-seekable source — is all
+//!   there is),
+//! * the [`DegreeTable`] (degrees + moments + skewness), whose counting
+//!   pass also folds the content fingerprint incrementally,
 //! * per-vertex triangle counts of the undirected simple graph,
 //! * a stable content [fingerprint](PreparedGraph::fingerprint) for
 //!   query-side property caches.
 //!
 //! Nothing is computed until first use, every structure is computed at most
 //! once, and `&PreparedGraph` is `Send + Sync`, so one context can serve a
-//! whole profiling fan-out. The context either borrows the graph
-//! (zero-copy, [`PreparedGraph::of`]) or shares ownership via `Arc`
-//! ([`PreparedGraph::new`] / [`PreparedGraph::from_arc`]).
+//! whole profiling fan-out. Source-backed contexts never materialize an
+//! owned `Vec<Edge>` — derived structure is built straight off the source's
+//! replayable stream. Edge access goes through
+//! [`PreparedGraph::for_each_edge`] (monomorphized slice loop for in-memory
+//! graphs, streaming replay otherwise); [`PreparedGraph::graph`] is only
+//! available on graph-backed contexts.
 //!
 //! ```
 //! use ease_graph::{Graph, PreparedGraph, PropertyTier};
@@ -43,22 +52,28 @@ use std::sync::{Arc, OnceLock};
 use crate::csr::{Csr, Direction};
 use crate::degree::DegreeTable;
 use crate::edge_list::Graph;
-use crate::hash::mix64;
 use crate::properties::{GraphProperties, PropertyTier};
+use crate::source::{each_edge, fingerprint_source_sharded, GraphSource};
 use crate::triangles::{self, TriangleStats};
+use crate::types::Edge;
 
-/// How the context holds its graph: borrowed (zero-copy views over a caller
-/// graph) or shared (`Arc`, for contexts handed across threads or stored).
+/// How the context holds its graph: a borrowed or `Arc`-shared in-memory
+/// [`Graph`], or any other [`GraphSource`] (borrowed or owned).
 enum GraphHandle<'g> {
     Borrowed(&'g Graph),
     Shared(Arc<Graph>),
+    SourceRef(&'g dyn GraphSource),
+    SourceOwned(Box<dyn GraphSource + 'g>),
 }
 
 /// A graph plus lazily built, memoized derived structure. See the module
 /// docs for the motivation; the short version is *build once, share
-/// everywhere*.
+/// everywhere* — now over any ingestion backend.
 pub struct PreparedGraph<'g> {
     handle: GraphHandle<'g>,
+    /// Shard count for the parallel construction passes (`None` = one shard
+    /// per available core at build time).
+    shards: Option<usize>,
     out_csr: OnceLock<Csr>,
     in_csr: OnceLock<Csr>,
     undirected_simple: OnceLock<Csr>,
@@ -73,8 +88,9 @@ pub struct PreparedGraph<'g> {
 impl std::fmt::Debug for PreparedGraph<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PreparedGraph")
-            .field("num_vertices", &self.graph().num_vertices())
-            .field("num_edges", &self.graph().num_edges())
+            .field("num_vertices", &self.num_vertices())
+            .field("num_edges", &self.num_edges())
+            .field("in_memory", &self.try_graph().is_some())
             .field("out_csr", &self.out_csr.get().is_some())
             .field("in_csr", &self.in_csr.get().is_some())
             .field("undirected_simple", &self.undirected_simple.get().is_some())
@@ -104,9 +120,22 @@ impl<'g> PreparedGraph<'g> {
         PreparedGraph::from_handle(GraphHandle::Shared(graph))
     }
 
+    /// Borrow any [`GraphSource`] — the zero-copy ingestion path: a
+    /// memory-mapped `.bel` file or a streaming text reader feeds the
+    /// context directly, and no owned `Vec<Edge>` is ever materialized.
+    pub fn of_source(source: &'g dyn GraphSource) -> PreparedGraph<'g> {
+        Self::from_handle(GraphHandle::SourceRef(source))
+    }
+
+    /// Take ownership of a [`GraphSource`].
+    pub fn from_source(source: Box<dyn GraphSource + 'g>) -> PreparedGraph<'g> {
+        Self::from_handle(GraphHandle::SourceOwned(source))
+    }
+
     fn from_handle(handle: GraphHandle<'g>) -> Self {
         PreparedGraph {
             handle,
+            shards: None,
             out_csr: OnceLock::new(),
             in_csr: OnceLock::new(),
             undirected_simple: OnceLock::new(),
@@ -117,42 +146,107 @@ impl<'g> PreparedGraph<'g> {
         }
     }
 
-    /// The underlying graph.
+    /// Pin the shard count of the parallel construction passes (`1` forces
+    /// the sequential path). Defaults to one shard per available core.
+    /// Derived structures are bit-identical for every shard count; this
+    /// knob exists for benchmarks and for tests that lock that invariant.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = Some(shards.max(1));
+        self
+    }
+
+    fn build_shards(&self) -> usize {
+        self.shards
+            .unwrap_or_else(|| std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1))
+    }
+
+    /// The ingestion source backing this context.
+    #[inline]
+    pub fn source(&self) -> &dyn GraphSource {
+        match &self.handle {
+            GraphHandle::Borrowed(g) => *g,
+            GraphHandle::Shared(g) => g.as_ref(),
+            GraphHandle::SourceRef(s) => *s,
+            GraphHandle::SourceOwned(s) => s.as_ref(),
+        }
+    }
+
+    /// The underlying in-memory graph. Panics on source-backed contexts —
+    /// they exist precisely so no owned edge list is materialized; use
+    /// [`PreparedGraph::for_each_edge`] / [`PreparedGraph::try_graph`].
     #[inline]
     pub fn graph(&self) -> &Graph {
+        self.try_graph().expect(
+            "PreparedGraph::graph() on a source-backed context (mmap/stream); \
+             use for_each_edge or try_graph",
+        )
+    }
+
+    /// The underlying in-memory graph, if this context wraps one.
+    #[inline]
+    pub fn try_graph(&self) -> Option<&Graph> {
         match &self.handle {
-            GraphHandle::Borrowed(g) => g,
-            GraphHandle::Shared(g) => g,
+            GraphHandle::Borrowed(g) => Some(g),
+            GraphHandle::Shared(g) => Some(g),
+            GraphHandle::SourceRef(_) | GraphHandle::SourceOwned(_) => None,
         }
     }
 
     /// A shared handle to the graph, if the context owns one
-    /// (`None` for borrowed contexts — they cannot extend the lifetime).
+    /// (`None` for borrowed or source-backed contexts).
     pub fn shared_graph(&self) -> Option<Arc<Graph>> {
         match &self.handle {
-            GraphHandle::Borrowed(_) => None,
             GraphHandle::Shared(g) => Some(Arc::clone(g)),
+            _ => None,
         }
     }
 
     #[inline]
     pub fn num_vertices(&self) -> usize {
-        self.graph().num_vertices()
+        self.source().num_vertices()
     }
 
     #[inline]
     pub fn num_edges(&self) -> usize {
-        self.graph().num_edges()
+        self.source().edge_count()
     }
 
-    /// Out-neighbor adjacency, built on first use.
+    /// Replay the edge stream in order. In-memory graphs iterate their
+    /// slice (fully monomorphized); other sources replay their stream.
+    #[inline]
+    pub fn for_each_edge<F: FnMut(Edge)>(&self, f: F) {
+        each_edge(self.source(), f);
+    }
+
+    /// [`PreparedGraph::for_each_edge`] with the 0-based stream index —
+    /// the index every [`crate::Edge`]-indexed structure (partition
+    /// assignments, eligibility masks) is keyed by.
+    #[inline]
+    pub fn for_each_edge_indexed<F: FnMut(usize, Edge)>(&self, mut f: F) {
+        let mut i = 0usize;
+        each_edge(self.source(), |e| {
+            f(i, e);
+            i += 1;
+        });
+    }
+
+    /// The edges as a contiguous slice, when the backend has them in
+    /// memory (`None` for mmap/stream backends).
+    #[inline]
+    pub fn edge_slice(&self) -> Option<&[Edge]> {
+        self.source().edge_slice()
+    }
+
+    /// Out-neighbor adjacency, built on first use (sharded construction).
     pub fn out_csr(&self) -> &Csr {
-        self.out_csr.get_or_init(|| Csr::build(self.graph(), Direction::Out))
+        self.out_csr
+            .get_or_init(|| Csr::build_source(self.source(), Direction::Out, self.build_shards()))
     }
 
-    /// In-neighbor adjacency, built on first use.
+    /// In-neighbor adjacency, built on first use (sharded construction).
     pub fn in_csr(&self) -> &Csr {
-        self.in_csr.get_or_init(|| Csr::build(self.graph(), Direction::In))
+        self.in_csr
+            .get_or_init(|| Csr::build_source(self.source(), Direction::In, self.build_shards()))
     }
 
     /// Undirected *simple* adjacency (sorted lists, no loops/duplicates) —
@@ -161,7 +255,7 @@ impl<'g> PreparedGraph<'g> {
     pub fn undirected_simple(&self) -> &Csr {
         self.undirected_simple.get_or_init(|| {
             self.undirected_builds.fetch_add(1, Ordering::Relaxed);
-            Csr::build_undirected_simple(self.graph())
+            Csr::build_undirected_simple_source(self.source(), self.build_shards())
         })
     }
 
@@ -172,9 +266,19 @@ impl<'g> PreparedGraph<'g> {
         self.undirected_builds.load(Ordering::Relaxed)
     }
 
-    /// Degree tables + moments/skewness, built on first use.
+    /// Degree tables + moments/skewness, built on first use. The sharded
+    /// counting pass folds the content fingerprint as it goes, so a
+    /// context that derives degrees gets [`PreparedGraph::fingerprint`]
+    /// for free — one traversal, two memoized results.
     pub fn degrees(&self) -> &DegreeTable {
-        self.degrees.get_or_init(|| DegreeTable::compute(self.graph()))
+        self.degrees.get_or_init(|| {
+            let (table, fingerprint) =
+                DegreeTable::compute_source(self.source(), self.build_shards());
+            // Opportunistic: a concurrent standalone fingerprint pass may
+            // have won the race — the values are identical either way.
+            let _ = self.fingerprint.set(fingerprint);
+            table
+        })
     }
 
     /// Per-vertex triangle counts of the undirected simple graph, built on
@@ -200,29 +304,45 @@ impl<'g> PreparedGraph<'g> {
     }
 
     /// A stable content fingerprint: equal for identical `(num_vertices,
-    /// edge list)` inputs, different (with overwhelming probability) when
-    /// any edge, the edge order, or the vertex universe changes. Keys the
-    /// query-side property caches.
+    /// edge stream)` inputs — across every ingestion backend and shard
+    /// count — and different (with overwhelming probability) when any edge,
+    /// the edge order, or the vertex universe changes. Keys the query-side
+    /// property caches; see [`crate::source`] for the block construction.
     pub fn fingerprint(&self) -> u64 {
-        *self.fingerprint.get_or_init(|| {
-            let g = self.graph();
-            let mut h = mix64(0xEA5E_F16E ^ (g.num_vertices() as u64));
-            h = mix64(h ^ (g.num_edges() as u64).rotate_left(32));
-            for e in g.edges() {
-                h = mix64(h ^ ((u64::from(e.src) << 32) | u64::from(e.dst)));
-            }
-            h
-        })
+        *self
+            .fingerprint
+            .get_or_init(|| fingerprint_source_sharded(self.source(), self.build_shards()))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::source::collect_source;
     use crate::types::Edge;
+    use std::ops::Range;
 
     fn toy() -> Graph {
         Graph::from_pairs([(0, 1), (1, 2), (2, 0), (2, 3), (3, 0), (1, 3)])
+    }
+
+    /// A source that hides its slice — simulates the mmap/stream backends
+    /// inside this crate's unit tests.
+    struct NoSlice(Graph);
+
+    impl GraphSource for NoSlice {
+        fn num_vertices(&self) -> usize {
+            self.0.num_vertices()
+        }
+        fn edge_count(&self) -> usize {
+            self.0.num_edges()
+        }
+        fn for_each_edge(&self, f: &mut dyn FnMut(Edge)) {
+            GraphSource::for_each_edge(&self.0, f)
+        }
+        fn for_each_edge_in(&self, range: Range<usize>, f: &mut dyn FnMut(Edge)) {
+            self.0.for_each_edge_in(range, f)
+        }
     }
 
     #[test]
@@ -286,6 +406,55 @@ mod tests {
     }
 
     #[test]
+    fn source_backed_context_matches_graph_backed_bit_for_bit() {
+        let g = toy();
+        let via_graph = PreparedGraph::of(&g);
+        let hidden = NoSlice(g.clone());
+        let via_source = PreparedGraph::of_source(&hidden).with_shards(3);
+        assert!(via_source.try_graph().is_none());
+        assert!(via_source.edge_slice().is_none());
+        assert_eq!(via_source.num_vertices(), via_graph.num_vertices());
+        assert_eq!(via_source.num_edges(), via_graph.num_edges());
+        assert_eq!(via_source.fingerprint(), via_graph.fingerprint());
+        assert_eq!(
+            via_source.properties(PropertyTier::Advanced),
+            via_graph.properties(PropertyTier::Advanced)
+        );
+        assert_eq!(via_source.degrees().total, via_graph.degrees().total);
+        for v in 0..g.num_vertices() as u32 {
+            assert_eq!(via_source.out_csr().neighbors(v), via_graph.out_csr().neighbors(v));
+        }
+        // indexed replay sees the same stream
+        let mut seen = Vec::new();
+        via_source.for_each_edge_indexed(|i, e| seen.push((i, e)));
+        assert_eq!(seen.len(), 6);
+        assert_eq!(seen[4], (4, g.edges()[4]));
+        // owned-source construction works too
+        let owned = PreparedGraph::from_source(Box::new(NoSlice(g.clone())));
+        assert_eq!(owned.fingerprint(), via_graph.fingerprint());
+        assert_eq!(collect_source(owned.source()), g);
+    }
+
+    #[test]
+    #[should_panic(expected = "source-backed context")]
+    fn graph_accessor_panics_on_source_backed_contexts() {
+        let hidden = NoSlice(toy());
+        let prepared = PreparedGraph::of_source(&hidden);
+        let _ = prepared.graph();
+    }
+
+    #[test]
+    fn degrees_fold_the_fingerprint_in_the_same_pass() {
+        let g = toy();
+        let reference = PreparedGraph::of(&g).fingerprint();
+        let prepared = PreparedGraph::of(&g);
+        let _ = prepared.degrees();
+        // the fused pass already populated the fingerprint cache
+        assert_eq!(prepared.fingerprint.get().copied(), Some(reference));
+        assert_eq!(prepared.fingerprint(), reference);
+    }
+
+    #[test]
     fn fingerprint_is_stable_and_content_sensitive() {
         let g = toy();
         let a = PreparedGraph::of(&g).fingerprint();
@@ -302,6 +471,22 @@ mod tests {
         // grow the vertex universe without touching edges
         let padded = Graph::new(g.num_vertices() + 1, g.edges().to_vec());
         assert_ne!(a, PreparedGraph::of(&padded).fingerprint());
+    }
+
+    #[test]
+    fn shard_counts_do_not_change_any_derived_structure() {
+        let g = crate::Graph::from_pairs((0..500u32).map(|i| (i % 37, (i * 13) % 41)));
+        let reference = PreparedGraph::of(&g).with_shards(1);
+        for shards in [2, 4, 16] {
+            let sharded = PreparedGraph::of(&g).with_shards(shards);
+            assert_eq!(sharded.fingerprint(), reference.fingerprint(), "x{shards}");
+            assert_eq!(
+                sharded.properties(PropertyTier::Advanced),
+                reference.properties(PropertyTier::Advanced),
+                "x{shards}"
+            );
+            assert_eq!(sharded.degrees().out, reference.degrees().out, "x{shards}");
+        }
     }
 
     #[test]

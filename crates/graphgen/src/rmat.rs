@@ -66,14 +66,24 @@ impl Rmat {
     /// Generate the directed multigraph (self-loops removed, parallel edges
     /// kept — streaming partitioners consume raw edge streams).
     pub fn generate(&self) -> Graph {
+        let mut edges = Vec::with_capacity(self.num_edges);
+        self.generate_into(&mut |e| edges.push(e));
+        Graph::new(self.num_vertices, edges)
+    }
+
+    /// Stream the generated edges into `sink` without materializing the
+    /// edge list — `ease gen` pipes this straight into a file writer, so
+    /// arbitrarily large R-MAT graphs generate in constant memory. Emits
+    /// exactly the edges (and order) of [`Rmat::generate`].
+    pub fn generate_into(&self, sink: &mut dyn FnMut(Edge)) {
         assert!(self.num_vertices >= 2, "R-MAT needs at least 2 vertices");
         let levels = (usize::BITS - (self.num_vertices - 1).leading_zeros()) as usize;
         let levels = levels.max(1);
         let n = self.num_vertices as u64;
         let mut rng = StdRng::seed_from_u64(self.seed);
-        let mut edges = Vec::with_capacity(self.num_edges);
+        let mut emitted = 0usize;
         let RmatParams { a, b, c, d } = self.params;
-        while edges.len() < self.num_edges {
+        while emitted < self.num_edges {
             let (mut row, mut col) = (0u64, 0u64);
             for _ in 0..levels {
                 // Perturb probabilities per level to avoid lattice artefacts.
@@ -99,10 +109,10 @@ impl Rmat {
             let src = (row % n) as u32;
             let dst = (col % n) as u32;
             if src != dst {
-                edges.push(Edge::new(src, dst));
+                sink(Edge::new(src, dst));
+                emitted += 1;
             }
         }
-        Graph::new(self.num_vertices, edges)
     }
 }
 
@@ -130,6 +140,15 @@ mod tests {
         assert_eq!(g.num_edges(), 5_000);
         assert_eq!(g.num_vertices(), 1 << 10);
         assert!(g.edges().iter().all(|e| !e.is_loop()));
+    }
+
+    #[test]
+    fn streamed_generation_is_bit_identical_to_materialized() {
+        let r = Rmat::new(RMAT_COMBOS[4], 1 << 9, 3_000, 11);
+        let materialized = r.generate();
+        let mut streamed = Vec::new();
+        r.generate_into(&mut |e| streamed.push(e));
+        assert_eq!(streamed, materialized.edges());
     }
 
     #[test]

@@ -36,7 +36,10 @@ use std::fmt;
 pub const MAGIC: [u8; 8] = *b"EASEMODL";
 
 /// Current format version. Readers reject anything newer.
-pub const FORMAT_VERSION: u32 = 1;
+///
+/// History: v1 = models + provenance; v2 adds the fingerprint-keyed
+/// graph-property cache trailer to service artifacts (warm restarts).
+pub const FORMAT_VERSION: u32 = 2;
 
 // ---------------------------------------------------------------------
 // Errors

@@ -46,15 +46,14 @@ impl Partitioner for OneD {
     }
 
     fn partition_prepared(&self, prepared: &PreparedGraph<'_>, k: usize) -> EdgePartition {
-        let graph = prepared.graph();
-        let mut assignment = Vec::with_capacity(graph.num_edges());
-        for e in graph.edges() {
+        let mut assignment = Vec::with_capacity(prepared.num_edges());
+        prepared.for_each_edge(|e| {
             let key = match self.endpoint {
                 EndPoint::Source => e.src,
                 EndPoint::Destination => e.dst,
             };
             assignment.push(bucket(hash_vertex(key, self.seed), k) as u16);
-        }
+        });
         EdgePartition::new(k, assignment)
     }
 }
@@ -79,14 +78,13 @@ impl Partitioner for TwoD {
     }
 
     fn partition_prepared(&self, prepared: &PreparedGraph<'_>, k: usize) -> EdgePartition {
-        let graph = prepared.graph();
         let side = (k as f64).sqrt().ceil() as usize;
-        let mut assignment = Vec::with_capacity(graph.num_edges());
-        for e in graph.edges() {
+        let mut assignment = Vec::with_capacity(prepared.num_edges());
+        prepared.for_each_edge(|e| {
             let col = bucket(hash_vertex(e.src, self.seed), side);
             let row = bucket(hash_vertex(e.dst, self.seed ^ 0xABCD_EF01), side);
             assignment.push(((col * side + row) % k) as u16);
-        }
+        });
         EdgePartition::new(k, assignment)
     }
 }
@@ -111,12 +109,11 @@ impl Partitioner for Crvc {
     }
 
     fn partition_prepared(&self, prepared: &PreparedGraph<'_>, k: usize) -> EdgePartition {
-        let graph = prepared.graph();
-        let mut assignment = Vec::with_capacity(graph.num_edges());
-        for e in graph.edges() {
+        let mut assignment = Vec::with_capacity(prepared.num_edges());
+        prepared.for_each_edge(|e| {
             let (a, b) = e.canonical();
             assignment.push(bucket(hash_pair(a, b, self.seed), k) as u16);
-        }
+        });
         EdgePartition::new(k, assignment)
     }
 }
@@ -143,14 +140,13 @@ impl Partitioner for Dbh {
     }
 
     fn partition_prepared(&self, prepared: &PreparedGraph<'_>, k: usize) -> EdgePartition {
-        let graph = prepared.graph();
         let degrees = &prepared.degrees().total;
-        let mut assignment = Vec::with_capacity(graph.num_edges());
-        for e in graph.edges() {
+        let mut assignment = Vec::with_capacity(prepared.num_edges());
+        prepared.for_each_edge(|e| {
             let (ds, dd) = (degrees[e.src as usize], degrees[e.dst as usize]);
             let key = if ds <= dd { e.src } else { e.dst };
             assignment.push(bucket(hash_vertex(key, self.seed), k) as u16);
-        }
+        });
         EdgePartition::new(k, assignment)
     }
 }

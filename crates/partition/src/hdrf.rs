@@ -46,14 +46,13 @@ impl Partitioner for Hdrf {
         assert!((1..=MAX_PARTITIONS).contains(&k));
         // HDRF is degree-agnostic by design: it tracks *partial* degrees as
         // the stream unfolds, so the prepared context only supplies the
-        // edge list.
-        let graph = prepared.graph();
-        let mut state = HdrfState::new(graph.num_vertices(), k, self.lambda, self.seed);
-        let mut assignment = Vec::with_capacity(graph.num_edges());
-        for e in graph.edges() {
+        // edge stream.
+        let mut state = HdrfState::new(prepared.num_vertices(), k, self.lambda, self.seed);
+        let mut assignment = Vec::with_capacity(prepared.num_edges());
+        prepared.for_each_edge(|e| {
             let p = state.place(e.src, e.dst);
             assignment.push(p as u16);
-        }
+        });
         EdgePartition::new(k, assignment)
     }
 }

@@ -47,8 +47,7 @@ impl Partitioner for Hep {
 
     fn partition_prepared(&self, prepared: &PreparedGraph<'_>, k: usize) -> EdgePartition {
         assert!((1..=MAX_PARTITIONS).contains(&k));
-        let graph = prepared.graph();
-        let m = graph.num_edges();
+        let m = prepared.num_edges();
         if m == 0 {
             return EdgePartition::new(k, Vec::new());
         }
@@ -63,35 +62,34 @@ impl Partitioner for Hep {
         // in memory (this is where HEP's memory savings come from — hubs and
         // all their incident edges never enter the in-memory graph). Any
         // edge touching a high-degree vertex is streamed in phase 2.
-        let eligible: Vec<bool> = graph
-            .edges()
-            .iter()
-            .map(|e| {
+        let mut eligible: Vec<bool> = Vec::with_capacity(m);
+        prepared.for_each_edge(|e| {
+            eligible.push(
                 f64::from(degrees[e.src as usize]) <= threshold
-                    && f64::from(degrees[e.dst as usize]) <= threshold
-            })
-            .collect();
+                    && f64::from(degrees[e.dst as usize]) <= threshold,
+            );
+        });
         let capacity = m.div_ceil(k).max(1);
         // ---- phase 1: in-memory neighborhood expansion on the low part ----
-        let ex = neighborhood_expansion(graph, k, capacity, Some(&eligible), false, self.seed);
+        let ex = neighborhood_expansion(prepared, k, capacity, Some(&eligible), false, self.seed);
         let mut assignment = ex.assignment;
         // ---- phase 2: stream the high-degree core with placement-aware HDRF
-        let mut state = HdrfState::new(graph.num_vertices(), k, 1.1, self.seed ^ 0x48E5);
+        let mut state = HdrfState::new(prepared.num_vertices(), k, 1.1, self.seed ^ 0x48E5);
         for (p, &count) in ex.sizes.iter().enumerate() {
             state.seed_size(p, count);
         }
-        for (i, e) in graph.edges().iter().enumerate() {
+        prepared.for_each_edge_indexed(|i, e| {
             if ex.assigned[i] {
                 let p = assignment[i] as usize;
                 state.seed_replica(e.src, p);
                 state.seed_replica(e.dst, p);
             }
-        }
-        for (i, e) in graph.edges().iter().enumerate() {
+        });
+        prepared.for_each_edge_indexed(|i, e| {
             if !ex.assigned[i] {
                 assignment[i] = state.place(e.src, e.dst) as u16;
             }
-        }
+        });
         EdgePartition::new(k, assignment)
     }
 }

@@ -32,7 +32,7 @@ pub use runner::{
     run_partitioner_with, PartitionRun, TimingMode,
 };
 
-use ease_graph::{Graph, PreparedGraph};
+use ease_graph::{Graph, GraphSource, PreparedGraph};
 
 /// Taxonomy of partitioner categories (paper Sec. I).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -151,8 +151,11 @@ impl PartitionerId {
 /// a [`PreparedGraph`] analysis context so degree-hungry partitioners (DBH,
 /// HEP) reuse the memoized degree table instead of re-deriving it per run —
 /// profiling executes 11 partitioners × K on the same graph, and the shared
-/// context pays for the derivation once. [`Partitioner::partition`] is the
-/// edge-list adapter for one-shot callers.
+/// context pays for the derivation once. Every implementation consumes the
+/// context's replayable edge *stream* (never an owned slice), so all 11
+/// partitioners run unchanged over any ingestion backend — in-memory,
+/// memory-mapped `.bel`, or streamed text. [`Partitioner::partition`] and
+/// [`Partitioner::partition_source`] are the one-shot adapters.
 pub trait Partitioner: Send + Sync {
     fn id(&self) -> PartitionerId;
 
@@ -160,11 +163,18 @@ pub trait Partitioner: Send + Sync {
     /// (`1 ≤ k ≤ 128`), reusing the context's memoized derived structure.
     fn partition_prepared(&self, prepared: &PreparedGraph<'_>, k: usize) -> EdgePartition;
 
-    /// Edge-list adapter: wraps `graph` in a throwaway context. Prefer
-    /// [`Partitioner::partition_prepared`] when running several
+    /// Edge-list adapter: routes `graph` through the [`GraphSource`] seam
+    /// (an in-memory graph is its own source) into a throwaway context.
+    /// Prefer [`Partitioner::partition_prepared`] when running several
     /// partitioners (or several `k`) on the same graph.
     fn partition(&self, graph: &Graph, k: usize) -> EdgePartition {
-        self.partition_prepared(&PreparedGraph::of(graph), k)
+        self.partition_source(graph, k)
+    }
+
+    /// Ingestion adapter: partition any [`GraphSource`] — a memory-mapped
+    /// `.bel` file partitions without an owned `Vec<Edge>` ever existing.
+    fn partition_source(&self, source: &dyn GraphSource, k: usize) -> EdgePartition {
+        self.partition_prepared(&PreparedGraph::of_source(source), k)
     }
 }
 

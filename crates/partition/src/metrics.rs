@@ -14,7 +14,7 @@
 //! partitions × |V| bits is at most a few MB and one pass over the edges.
 
 use crate::assignment::EdgePartition;
-use ease_graph::Graph;
+use ease_graph::{Graph, PreparedGraph};
 
 /// The five quality metrics predicted by EASE's
 /// PartitioningQualityPredictor.
@@ -60,9 +60,16 @@ impl QualityTarget {
 impl QualityMetrics {
     /// Compute all five metrics in a single edge pass plus bitset popcounts.
     pub fn compute(graph: &Graph, partition: &EdgePartition) -> Self {
-        assert_eq!(graph.num_edges(), partition.num_edges());
+        Self::compute_prepared(&PreparedGraph::of(graph), partition)
+    }
+
+    /// [`QualityMetrics::compute`] over a shared analysis context — works
+    /// for any ingestion backend (in-memory, mmap `.bel`, streamed text):
+    /// the pass replays the context's edge stream, never a slice.
+    pub fn compute_prepared(prepared: &PreparedGraph<'_>, partition: &EdgePartition) -> Self {
+        assert_eq!(prepared.num_edges(), partition.num_edges());
         let k = partition.num_partitions();
-        let n = graph.num_vertices();
+        let n = prepared.num_vertices();
         let words = n.div_ceil(64);
         // three bitset families: covered, covered-as-source, covered-as-dest
         let mut cover = vec![0u64; k * words];
@@ -70,7 +77,7 @@ impl QualityMetrics {
         let mut cover_dst = vec![0u64; k * words];
         let mut edge_counts = vec![0usize; k];
         let mut touched = vec![0u64; words];
-        for (i, e) in graph.edges().iter().enumerate() {
+        prepared.for_each_edge_indexed(|i, e| {
             let p = partition.partition_of(i);
             edge_counts[p] += 1;
             let (s, d) = (e.src as usize, e.dst as usize);
@@ -81,7 +88,7 @@ impl QualityMetrics {
             cover_dst[base + d / 64] |= 1 << (d % 64);
             touched[s / 64] |= 1 << (s % 64);
             touched[d / 64] |= 1 << (d % 64);
-        }
+        });
         let popcount = |bits: &[u64], p: usize| -> usize {
             bits[p * words..(p + 1) * words].iter().map(|w| w.count_ones() as usize).sum()
         };

@@ -17,7 +17,7 @@
 use crate::assignment::EdgePartition;
 use crate::{Partitioner, PartitionerId, MAX_PARTITIONS};
 use ease_graph::hash::SplitMix64;
-use ease_graph::{Graph, PreparedGraph};
+use ease_graph::PreparedGraph;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -41,10 +41,9 @@ impl Partitioner for Ne {
         assert!((1..=MAX_PARTITIONS).contains(&k));
         // NE needs *edge-index-carrying* incidence (so allocation can flip
         // per-edge flags), which no other consumer shares — it builds its
-        // own and takes only the edge list from the context.
-        let graph = prepared.graph();
-        let capacity = graph.num_edges().div_ceil(k).max(1);
-        let r = neighborhood_expansion(graph, k, capacity, None, true, self.seed);
+        // own and takes only the edge stream from the context.
+        let capacity = prepared.num_edges().div_ceil(k).max(1);
+        let r = neighborhood_expansion(prepared, k, capacity, None, true, self.seed);
         EdgePartition::new(k, r.assignment)
     }
 }
@@ -68,16 +67,16 @@ struct Incidence {
 }
 
 impl Incidence {
-    fn build(graph: &Graph, eligible: Option<&[bool]>) -> Self {
-        let n = graph.num_vertices();
+    fn build(prepared: &PreparedGraph<'_>, eligible: Option<&[bool]>) -> Self {
+        let n = prepared.num_vertices();
         let mut counts = vec![0usize; n + 1];
-        for (i, e) in graph.edges().iter().enumerate() {
+        prepared.for_each_edge_indexed(|i, e| {
             if eligible.is_some_and(|m| !m[i]) {
-                continue;
+                return;
             }
             counts[e.src as usize + 1] += 1;
             counts[e.dst as usize + 1] += 1;
-        }
+        });
         for i in 0..n {
             counts[i + 1] += counts[i];
         }
@@ -86,9 +85,9 @@ impl Incidence {
         let total = offsets[n];
         let mut neighbor = vec![0u32; total];
         let mut edge_idx = vec![0u32; total];
-        for (i, e) in graph.edges().iter().enumerate() {
+        prepared.for_each_edge_indexed(|i, e| {
             if eligible.is_some_and(|m| !m[i]) {
-                continue;
+                return;
             }
             let c = &mut cursor[e.src as usize];
             neighbor[*c] = e.dst;
@@ -98,7 +97,7 @@ impl Incidence {
             neighbor[*c] = e.src;
             edge_idx[*c] = i as u32;
             *c += 1;
-        }
+        });
         Incidence { offsets, neighbor, edge_idx }
     }
 
@@ -113,15 +112,15 @@ impl Incidence {
 /// (HEP's in-memory phase); `fill_last` dumps the remaining eligible edges
 /// into partition `k−1` (plain NE behaviour).
 pub(crate) fn neighborhood_expansion(
-    graph: &Graph,
+    prepared: &PreparedGraph<'_>,
     k: usize,
     capacity: usize,
     eligible: Option<&[bool]>,
     fill_last: bool,
     seed: u64,
 ) -> ExpansionResult {
-    let m = graph.num_edges();
-    let n = graph.num_vertices();
+    let m = prepared.num_edges();
+    let n = prepared.num_vertices();
     let mut assignment = vec![0u16; m];
     let mut assigned = vec![false; m];
     let mut sizes = vec![0usize; k];
@@ -133,7 +132,7 @@ pub(crate) fn neighborhood_expansion(
     if remaining == 0 {
         return ExpansionResult { assignment, assigned, sizes };
     }
-    let inc = Incidence::build(graph, eligible);
+    let inc = Incidence::build(prepared, eligible);
     let mut rng = SplitMix64::new(seed);
     // epoch-stamped membership: value == p + 1 means "in set for partition p"
     let mut in_s = vec![0u32; n];
@@ -180,7 +179,7 @@ pub(crate) fn neighborhood_expansion(
                     None => {
                         // boundary exhausted: random restart (paper: random
                         // seed vertex -> vertex-balance instability)
-                        match pick_seed(graph, &inc, &assigned, &mut rng, &mut seed_cursor) {
+                        match pick_seed(n, &inc, &assigned, &mut rng, &mut seed_cursor) {
                             Some(v) => {
                                 add_to_boundary!(v);
                                 continue;
@@ -246,13 +245,12 @@ pub(crate) fn neighborhood_expansion(
 /// measurably degrades replication factors on power-law graphs. Falls back
 /// to a linear cursor scan so the routine always terminates.
 fn pick_seed(
-    graph: &Graph,
+    n: usize,
     inc: &Incidence,
     assigned: &[bool],
     rng: &mut SplitMix64,
     cursor: &mut usize,
 ) -> Option<u32> {
-    let n = graph.num_vertices();
     let has_work = |v: u32| inc.incident(v).any(|(_, ei)| !assigned[ei as usize]);
     for _ in 0..64 {
         let v = rng.next_below(n) as u32;
@@ -341,7 +339,7 @@ mod tests {
     fn expansion_with_mask_only_touches_eligible() {
         let g = Rmat::new(RMAT_COMBOS[3], 256, 2_000, 4).generate();
         let mask: Vec<bool> = (0..2_000).map(|i| i % 2 == 0).collect();
-        let r = neighborhood_expansion(&g, 4, 250, Some(&mask), false, 1);
+        let r = neighborhood_expansion(&PreparedGraph::of(&g), 4, 250, Some(&mask), false, 1);
         for i in 0..2_000 {
             if !mask[i] {
                 assert!(!r.assigned[i], "ineligible edge {i} was assigned");

@@ -132,7 +132,7 @@ pub fn run_partitioner_prepared(
             (partition, deterministic_partitioning_secs(partitioner, prepared.num_edges(), k))
         }
     };
-    let metrics = QualityMetrics::compute(prepared.graph(), &partition);
+    let metrics = QualityMetrics::compute_prepared(prepared, &partition);
     PartitionRun { partitioner, k, metrics, partition, partitioning_secs }
 }
 

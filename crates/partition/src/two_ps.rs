@@ -125,19 +125,18 @@ impl Partitioner for TwoPs {
     fn partition_prepared(&self, prepared: &PreparedGraph<'_>, k: usize) -> EdgePartition {
         assert!((1..=MAX_PARTITIONS).contains(&k));
         // 2PS streams edges twice and maintains its own *partial* degrees
-        // (streaming semantics) — the context only supplies the edge list.
-        let graph = prepared.graph();
-        let n = graph.num_vertices();
-        let m = graph.num_edges();
+        // (streaming semantics) — the context only supplies the edge stream.
+        let n = prepared.num_vertices();
+        let m = prepared.num_edges();
         if m == 0 {
             return EdgePartition::new(k, Vec::new());
         }
         // ---- phase 1: streaming clustering under a volume cap ----
         let volume_cap = ((2 * m) as u64).div_ceil(k as u64).max(2);
         let mut clustering = Clustering::new(n);
-        for e in graph.edges() {
+        prepared.for_each_edge(|e| {
             clustering.observe(e.src, e.dst, volume_cap);
-        }
+        });
         // ---- cluster -> partition mapping, largest volume first ----
         let mut clusters: Vec<u32> =
             (0..clustering.next_cluster).filter(|&c| clustering.volume[c as usize] > 0).collect();
@@ -162,7 +161,7 @@ impl Partitioner for TwoPs {
         let edge_cap = ((self.alpha * m as f64 / k as f64).ceil() as usize).max(1);
         let mut sizes = vec![0usize; k];
         let mut assignment = Vec::with_capacity(m);
-        for e in graph.edges() {
+        prepared.for_each_edge(|e| {
             let pu = part_of(e.src);
             let pv = part_of(e.dst);
             let preferred = if pu == pv || sizes[pu] <= sizes[pv] { pu } else { pv };
@@ -178,7 +177,7 @@ impl Partitioner for TwoPs {
             };
             sizes[p] += 1;
             assignment.push(p as u16);
-        }
+        });
         EdgePartition::new(k, assignment)
     }
 }

@@ -37,35 +37,36 @@ pub const NO_MASTER: u16 = u16::MAX;
 
 impl DistributedGraph {
     pub fn build(graph: &Graph, partition: &EdgePartition) -> Self {
-        Self::build_inner(graph, partition, None)
+        Self::build_inner(&PreparedGraph::of(graph), partition, false)
     }
 
     /// [`DistributedGraph::build`] from a shared analysis context: the
     /// global degree vectors come from the context's memoized
     /// [`ease_graph::DegreeTable`] instead of being re-derived per
     /// placement — profiling places the same graph once per partitioner.
+    /// Works over any ingestion backend; placement replays the context's
+    /// edge stream, so only the per-partition slices are materialized.
     pub fn build_prepared(prepared: &PreparedGraph<'_>, partition: &EdgePartition) -> Self {
-        let deg = prepared.degrees();
-        Self::build_inner(prepared.graph(), partition, Some((&deg.out, &deg.total)))
+        Self::build_inner(prepared, partition, true)
     }
 
     fn build_inner(
-        graph: &Graph,
+        prepared: &PreparedGraph<'_>,
         partition: &EdgePartition,
-        shared_degrees: Option<(&Vec<u32>, &Vec<u32>)>,
+        shared_degrees: bool,
     ) -> Self {
-        assert_eq!(graph.num_edges(), partition.num_edges());
+        assert_eq!(prepared.num_edges(), partition.num_edges());
         let k = partition.num_partitions();
         assert!(k <= 128, "replica masks are u128");
-        let n = graph.num_vertices();
+        let n = prepared.num_vertices();
         let mut replicas = vec![0u128; n];
         let mut part_edges: Vec<Vec<Edge>> = vec![Vec::new(); k];
-        for (i, e) in graph.edges().iter().enumerate() {
+        prepared.for_each_edge_indexed(|i, e| {
             let p = partition.partition_of(i);
-            part_edges[p].push(*e);
+            part_edges[p].push(e);
             replicas[e.src as usize] |= 1 << p;
             replicas[e.dst as usize] |= 1 << p;
-        }
+        });
         // Master replica: a deterministic hash-spread pick among the
         // covering partitions (GraphX hash-partitions vertex state
         // independently of edges; picking the lowest partition would pile
@@ -96,9 +97,14 @@ impl DistributedGraph {
                 PartitionData { edges, vertices, edge_src_local, edge_dst_local }
             })
             .collect();
-        let (out_degree, total_degree) = match shared_degrees {
-            Some((out, total)) => (out.clone(), total.clone()),
-            None => (graph.out_degrees(), graph.total_degrees()),
+        let (out_degree, total_degree) = if shared_degrees || prepared.try_graph().is_none() {
+            // memoized in the context (and the only option for source-backed
+            // contexts, which have no slice to re-derive from)
+            let deg = prepared.degrees();
+            (deg.out.clone(), deg.total.clone())
+        } else {
+            let graph = prepared.graph();
+            (graph.out_degrees(), graph.total_degrees())
         };
         DistributedGraph { parts, master, replicas, out_degree, total_degree, num_vertices: n }
     }

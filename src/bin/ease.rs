@@ -3,19 +3,27 @@
 //! Drives the full *train once, query cheaply* lifecycle from the shell:
 //!
 //! ```sh
-//! ease gen --out graph.txt --kind soc --scale tiny --seed 7
+//! ease gen --out graph.bel --kind rmat --vertices 1048576 --edges 8000000
+//! ease convert --in graph.bel --out graph.txt
 //! ease train --out ease.model --scale tiny --quick --deterministic
 //! ease inspect --model ease.model
-//! ease recommend --model ease.model --graph graph.txt --workload pr --goal e2e
-//! ease features graph.txt --tier advanced
+//! ease recommend --model ease.model --graph graph.bel --workload pr --goal e2e
+//! ease features graph.bel --tier advanced
 //! ```
 //!
-//! Every failure path is a typed [`EaseError`] rendered as a one-line
-//! message with exit code 1 (2 for usage errors) — no panics on user input.
+//! Graph inputs are format-dispatched by extension: `.bel` files are
+//! memory-mapped (zero-copy, no owned edge list), everything else is read
+//! as a whitespace-separated text edge list. Every failure path is a typed
+//! [`EaseError`] rendered as a one-line message with exit code 1 (2 for
+//! usage errors) — no panics on user input.
 
 use ease_repro::core::profiling::TimingMode;
-use ease_repro::graph::{GraphProperties, PropertyTier};
+use ease_repro::graph::bel::{BelSource, BelWriter};
+use ease_repro::graph::io::TextEdgeListWriter;
+use ease_repro::graph::source::TextStreamSource;
+use ease_repro::graph::{Edge, GraphProperties, GraphSource, PropertyTier};
 use ease_repro::graphgen::realworld::{generate_typed, GraphType};
+use ease_repro::graphgen::rmat::{Rmat, RMAT_COMBOS};
 use ease_repro::graphgen::Scale;
 use ease_repro::procsim::Workload;
 use ease_repro::{EaseError, EaseService, EaseServiceBuilder, OptGoal, PreparedGraph};
@@ -32,7 +40,13 @@ SUBCOMMANDS:
     recommend    Query a saved service for the best partitioner for a graph
     features     Extract a graph's feature vector (with extraction timings)
     inspect      Print a saved service's provenance and chosen models
-    gen          Generate a synthetic edge-list file to experiment with
+    gen          Generate a synthetic graph file to experiment with
+    convert      Convert between text and binary (.bel) edge lists
+
+Graph files ending in `.bel` are memory-mapped binary edge lists (header +
+little-endian u64 pairs); anything else is a whitespace-separated text edge
+list. `.bel` inputs are analyzed zero-copy — no owned edge list is ever
+materialized.
 
 TRAIN OPTIONS:
     --out <path>          Where to save the trained service (required)
@@ -47,7 +61,7 @@ TRAIN OPTIONS:
 
 RECOMMEND OPTIONS:
     --model <path>        Saved service (required)
-    --graph <path>        Whitespace-separated edge list (required)
+    --graph <path>        Edge list, text or .bel (required)
     --workload <w>        pr | cc | sssp | kcores | lp | synthetic-low |
                           synthetic-high                  [default: pr]
     --k <n>               Partition count                 [default: service]
@@ -55,7 +69,7 @@ RECOMMEND OPTIONS:
     --top <n>             How many candidates to print    [default: 5]
 
 FEATURES OPTIONS:
-    <edge-list>           Whitespace-separated edge-list file (positional;
+    <edge-list>           Edge-list file, text or .bel (positional;
                           --graph <path> also accepted)
     --tier <t>            simple | basic | advanced       [default: advanced]
 
@@ -63,12 +77,23 @@ INSPECT OPTIONS:
     --model <path>        Saved service (required)
 
 GEN OPTIONS:
-    --out <path>          Where to write the edge list (required)
-    --kind <k>            soc | web | wiki | citation | collaboration |
-                          interaction | internet | affiliation |
-                          product_network                 [default: soc]
+    --out <path>          Where to write the graph (required)
+    --kind <k>            rmat | soc | web | wiki | citation |
+                          collaboration | interaction | internet |
+                          affiliation | product_network   [default: soc]
+    --format <f>          bel | txt            [default: by .bel extension]
     --scale <s>           tiny | small | medium           [default: tiny]
     --seed <n>            Generator seed                  [default: 42]
+    --vertices <n>        rmat only: vertex count         [default: 65536]
+    --edges <n>           rmat only: edge count           [default: 524288]
+    --combo <c>           rmat only: Table II combo 0..8  [default: 5]
+    Edges stream to the output file as they are generated; `--kind rmat`
+    never materializes the graph at all (constant memory at any size).
+
+CONVERT OPTIONS:
+    --in <path>           Input edge list (format by extension, required)
+    --out <path>          Output edge list (format by extension, required)
+    Conversion streams in both directions and never holds the whole graph.
 ";
 
 fn main() -> ExitCode {
@@ -83,6 +108,7 @@ fn main() -> ExitCode {
         "features" => cmd_features(&args[1..]),
         "inspect" => cmd_inspect(&args[1..]),
         "gen" => cmd_gen(&args[1..]),
+        "convert" => cmd_convert(&args[1..]),
         "--help" | "-h" | "help" => {
             print!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -189,6 +215,111 @@ fn parse_goal(flags: &Flags) -> Result<OptGoal, CliError> {
     })
 }
 
+fn is_bel(path: &Path) -> bool {
+    path.extension().is_some_and(|e| e.eq_ignore_ascii_case("bel"))
+}
+
+/// Open a graph for analysis, format-dispatched by extension: `.bel` files
+/// are memory-mapped zero-copy (no owned edge list); text edge lists are
+/// materialized (analysis makes several passes — re-parsing text per pass
+/// would dominate every timing).
+fn open_graph(path: &Path) -> Result<Box<dyn GraphSource>, CliError> {
+    if is_bel(path) {
+        Ok(Box::new(BelSource::open(path)?))
+    } else {
+        Ok(Box::new(ease_repro::graph::io::read_edge_list(path)?))
+    }
+}
+
+/// A streaming edge writer, format-dispatched like [`open_graph`].
+enum EdgeOut {
+    Text(TextEdgeListWriter),
+    Bel(BelWriter),
+}
+
+impl EdgeOut {
+    fn create(path: &Path, format: Option<&str>) -> Result<EdgeOut, CliError> {
+        let bel = match format {
+            Some("bel") => true,
+            Some("txt") | Some("text") => false,
+            Some(other) => return Err(CliError::Usage(format!("unknown format `{other}`"))),
+            None => is_bel(path),
+        };
+        let out = if bel {
+            EdgeOut::Bel(BelWriter::create(path).map_err(EaseError::Io)?)
+        } else {
+            EdgeOut::Text(TextEdgeListWriter::create(path).map_err(EaseError::Io)?)
+        };
+        Ok(out)
+    }
+
+    fn push(&mut self, e: Edge) -> std::io::Result<()> {
+        match self {
+            EdgeOut::Text(w) => w.push(e),
+            EdgeOut::Bel(w) => w.push(e),
+        }
+    }
+
+    /// Finish the file. `num_vertices` preserves an explicit vertex
+    /// universe in both formats (`.bel` carries it in the header, text in
+    /// the summary comment readers honour), so isolated trailing vertices
+    /// survive every conversion direction.
+    fn finish(self, num_vertices: Option<usize>) -> std::io::Result<()> {
+        match (self, num_vertices) {
+            (EdgeOut::Text(w), Some(n)) => w.finish_with_vertices(n),
+            (EdgeOut::Text(w), None) => w.finish(),
+            (EdgeOut::Bel(w), Some(n)) => w.finish_with_vertices(n),
+            (EdgeOut::Bel(w), None) => w.finish(),
+        }
+    }
+
+    fn format_name(&self) -> &'static str {
+        match self {
+            EdgeOut::Text(_) => "txt",
+            EdgeOut::Bel(_) => "bel",
+        }
+    }
+}
+
+/// Stream edges from `emit` into `sink`, surfacing the first write error
+/// (the emitter drains regardless — generator callbacks cannot be aborted
+/// mid-stream, so errors are captured and rethrown after the pass).
+fn drain_edges(
+    emit: impl FnOnce(&mut dyn FnMut(Edge)),
+    sink: &mut EdgeOut,
+) -> Result<(), CliError> {
+    let mut write_error: Option<std::io::Error> = None;
+    emit(&mut |e| {
+        if write_error.is_none() {
+            if let Err(err) = sink.push(e) {
+                write_error = Some(err);
+            }
+        }
+    });
+    match write_error {
+        Some(err) => Err(CliError::Ease(EaseError::Io(err))),
+        None => Ok(()),
+    }
+}
+
+/// True when two paths refer to the same file. Canonicalization catches
+/// symlinks and relative spellings; on unix the `(dev, ino)` pair also
+/// catches hard links — truncating the output while the input's inode is
+/// mapped or streamed would crash mid-read.
+fn same_file(a: &Path, b: &Path) -> bool {
+    #[cfg(unix)]
+    {
+        use std::os::unix::fs::MetadataExt;
+        if let (Ok(ma), Ok(mb)) = (std::fs::metadata(a), std::fs::metadata(b)) {
+            return ma.dev() == mb.dev() && ma.ino() == mb.ino();
+        }
+    }
+    match (a.canonicalize(), b.canonicalize()) {
+        (Ok(ca), Ok(cb)) => ca == cb,
+        _ => false,
+    }
+}
+
 fn cmd_train(args: &[String]) -> Result<(), CliError> {
     let flags = Flags::parse(args, &["quick", "deterministic"])?;
     let out = PathBuf::from(flags.require("out")?);
@@ -247,19 +378,23 @@ fn cmd_recommend(args: &[String]) -> Result<(), CliError> {
     let top = flags.parse_num::<usize>("top")?.unwrap_or(5);
 
     let service = EaseService::load(&model)?;
-    let graph = ease_repro::graph::io::read_edge_list(&graph_path)?;
-    let n = graph.num_vertices();
+    // format-dispatched ingestion: `.bel` mmaps, text materializes
+    let source = open_graph(&graph_path)?;
+    let n = source.num_vertices();
+    let m = source.edge_count();
     println!(
         "graph {}: |V|={} |E|={} mean-degree {:.2}",
         graph_path.display(),
         n,
-        graph.num_edges(),
-        if n > 0 { 2.0 * graph.num_edges() as f64 / n as f64 } else { 0.0 }
+        m,
+        if n > 0 { 2.0 * m as f64 / n as f64 } else { 0.0 }
     );
     let k = flags.parse_num::<usize>("k")?.unwrap_or(service.meta().default_k);
     // graph-in query: extraction goes through the service's
-    // fingerprint-keyed property cache
-    let selection = service.recommend_graph_with_k(&graph, workload, k, goal)?;
+    // fingerprint-keyed property cache; `.bel` inputs are analyzed
+    // straight off the mapping (no owned edge list)
+    let prepared = PreparedGraph::of_source(source.as_ref());
+    let selection = service.recommend_prepared_with_k(&prepared, workload, k, goal)?;
     println!(
         "recommended partitioner for {} (k={k}, goal {}): {}",
         workload.label(),
@@ -309,15 +444,15 @@ fn cmd_features(args: &[String]) -> Result<(), CliError> {
         Some("simple") => PropertyTier::Simple,
         Some(other) => return Err(CliError::Usage(format!("unknown tier `{other}`"))),
     };
-    let graph = ease_repro::graph::io::read_edge_list(&graph_path)?;
+    let source = open_graph(&graph_path)?;
 
     // cold: throwaway context per extraction (what a naive caller pays)
     let t = std::time::Instant::now();
-    let cold = GraphProperties::compute(&graph, tier);
+    let cold = PreparedGraph::of_source(source.as_ref()).properties(tier);
     let cold_secs = t.elapsed().as_secs_f64();
     // prepared: one shared context; the first extraction builds the caches,
     // the second shows the steady-state cost of a warmed context
-    let prepared = PreparedGraph::of(&graph);
+    let prepared = PreparedGraph::of_source(source.as_ref());
     let t = std::time::Instant::now();
     let first = GraphProperties::compute_prepared(&prepared, tier);
     let first_secs = t.elapsed().as_secs_f64();
@@ -330,8 +465,8 @@ fn cmd_features(args: &[String]) -> Result<(), CliError> {
     println!(
         "graph {} (|V|={} |E|={}): {} tier",
         graph_path.display(),
-        graph.num_vertices(),
-        graph.num_edges(),
+        source.num_vertices(),
+        source.edge_count(),
         tier.name()
     );
     println!("{:<20} {:>18}", "feature", "value");
@@ -385,23 +520,91 @@ fn cmd_gen(args: &[String]) -> Result<(), CliError> {
     let scale = parse_scale(&flags)?;
     let seed = flags.parse_num::<u64>("seed")?.unwrap_or(42);
     let kind_name = flags.get("kind").unwrap_or("soc");
+    let io_err = |e: std::io::Error| CliError::Ease(EaseError::Io(e));
+
+    if kind_name == "rmat" {
+        // pure streaming: edges go from the generator straight into the
+        // file writer — the graph is never materialized, so the size is
+        // bounded by disk, not RAM. Validate every argument *before*
+        // creating the output file, so usage errors leave nothing behind.
+        let num_vertices = flags.parse_num::<usize>("vertices")?.unwrap_or(1 << 16);
+        let num_edges = flags.parse_num::<usize>("edges")?.unwrap_or(1 << 19);
+        let combo = flags.parse_num::<usize>("combo")?.unwrap_or(5);
+        if combo >= RMAT_COMBOS.len() {
+            return Err(CliError::Usage(format!("--combo must be 0..{}", RMAT_COMBOS.len() - 1)));
+        }
+        if num_vertices < 2 {
+            return Err(CliError::Usage("--vertices must be >= 2".into()));
+        }
+        if num_vertices as u64 > u64::from(u32::MAX) + 1 {
+            return Err(CliError::Usage(
+                "--vertices exceeds the u32 vertex id space (max 4294967296)".into(),
+            ));
+        }
+        let rmat = Rmat::new(RMAT_COMBOS[combo], num_vertices, num_edges, seed);
+        let mut sink = EdgeOut::create(&out, flags.get("format"))?;
+        let format = sink.format_name();
+        drain_edges(|f| rmat.generate_into(f), &mut sink)?;
+        sink.finish(Some(num_vertices)).map_err(io_err)?;
+        eprintln!(
+            "wrote {} (rmat C{}: |V|={num_vertices} |E|={num_edges}, {format}, streamed)",
+            out.display(),
+            combo + 1,
+        );
+        return Ok(());
+    }
+
     let kind = GraphType::ALL
         .into_iter()
         .find(|t| t.name() == kind_name)
         .ok_or_else(|| CliError::Usage(format!("unknown graph kind `{kind_name}`")))?;
+    let mut sink = EdgeOut::create(&out, flags.get("format"))?;
+    let format = sink.format_name();
+    // library generators materialize internally (multi-pass models); the
+    // edges still stream into the writer rather than through a second copy
     let tg = generate_typed(kind, 0, scale, seed);
-    write_graph(&tg.graph, &out)?;
+    for &e in tg.graph.edges() {
+        sink.push(e).map_err(io_err)?;
+    }
+    sink.finish(Some(tg.graph.num_vertices())).map_err(io_err)?;
     eprintln!(
-        "wrote {} ({}: |V|={} |E|={})",
+        "wrote {} ({}: |V|={} |E|={}, {format})",
         out.display(),
         tg.name,
         tg.graph.num_vertices(),
-        tg.graph.num_edges()
+        tg.graph.num_edges(),
     );
     Ok(())
 }
 
-fn write_graph(graph: &ease_repro::graph::Graph, path: &Path) -> Result<(), CliError> {
-    ease_repro::graph::io::write_edge_list(graph, path)
-        .map_err(|e| CliError::Ease(EaseError::Io(e)))
+fn cmd_convert(args: &[String]) -> Result<(), CliError> {
+    let flags = Flags::parse(args, &[])?;
+    let input = PathBuf::from(flags.require("in")?);
+    let output = PathBuf::from(flags.require("out")?);
+    let io_err = |e: std::io::Error| CliError::Ease(EaseError::Io(e));
+    // Creating the output truncates it — converting a file onto itself
+    // (same path, symlink, or hard link) would pull the mapped/streamed
+    // input out from under the reader mid-pass.
+    if same_file(&input, &output) {
+        return Err(CliError::Usage("--in and --out must be different files".into()));
+    }
+    // Streaming in both directions: text input goes through the validating
+    // stream reader (never holds the file), `.bel` input through the mmap.
+    let source: Box<dyn GraphSource> = if is_bel(&input) {
+        Box::new(BelSource::open(&input)?)
+    } else {
+        Box::new(TextStreamSource::open(&input)?)
+    };
+    let mut sink = EdgeOut::create(&output, flags.get("format"))?;
+    let format = sink.format_name();
+    drain_edges(|f| source.for_each_edge(f), &mut sink)?;
+    sink.finish(Some(source.num_vertices())).map_err(io_err)?;
+    eprintln!(
+        "converted {} -> {} (|V|={} |E|={}, {format})",
+        input.display(),
+        output.display(),
+        source.num_vertices(),
+        source.edge_count(),
+    );
+    Ok(())
 }

@@ -76,4 +76,4 @@ pub use ease::{
     EaseError, EaseService, EaseServiceBuilder, OptGoal, PropertyCacheStats, RecommendQuery,
     Selection, ServiceInfo, ServiceMeta,
 };
-pub use ease_graph::PreparedGraph;
+pub use ease_graph::{BelSource, GraphSource, PreparedGraph, TextStreamSource};

@@ -1,0 +1,259 @@
+//! Ingestion-backend equivalence tests (PR 4 acceptance locks).
+//!
+//! The `GraphSource` seam promises that *where* a graph comes from — an
+//! in-memory edge list, a memory-mapped `.bel` file, or a streamed text
+//! file — never changes *what* the system computes: properties,
+//! fingerprints and partition assignments must be bit-identical across all
+//! three backends and every shard count. The mmap backend must additionally
+//! never materialize an owned `Vec<Edge>`, which is locked here with a
+//! thread-local allocation counter around the zero-copy analysis path.
+
+use ease_repro::graph::bel::{write_bel, BelSource};
+use ease_repro::graph::io::write_edge_list;
+use ease_repro::graph::source::{collect_source, fingerprint_source};
+use ease_repro::graph::{Graph, GraphSource, PropertyTier, TextStreamSource};
+use ease_repro::graphgen::rmat::{Rmat, RMAT_COMBOS};
+use ease_repro::partition::{PartitionerId, QualityMetrics};
+use ease_repro::PreparedGraph;
+use proptest::prelude::*;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+// ---------------------------------------------------------------------
+// Thread-local allocation counter (only the calling thread is charged, so
+// the lock is immune to the test harness's other threads).
+// ---------------------------------------------------------------------
+
+thread_local! {
+    static TRACKING: Cell<bool> = const { Cell::new(false) };
+    static ALLOCATED: Cell<u64> = const { Cell::new(0) };
+}
+
+struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if TRACKING.with(|t| t.get()) {
+            ALLOCATED.with(|a| a.set(a.get() + layout.size() as u64));
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Run `f`, returning its result and the bytes allocated *by this thread*.
+fn tracked<T>(f: impl FnOnce() -> T) -> (T, u64) {
+    ALLOCATED.with(|a| a.set(0));
+    TRACKING.with(|t| t.set(true));
+    let out = f();
+    TRACKING.with(|t| t.set(false));
+    (out, ALLOCATED.with(|a| a.get()))
+}
+
+// ---------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------
+
+static FILE_TAG: AtomicU64 = AtomicU64::new(0);
+
+fn temp_pair(graph: &Graph) -> (PathBuf, PathBuf) {
+    let tag = FILE_TAG.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir();
+    let txt = dir.join(format!("ease_gs_{}_{tag}.txt", std::process::id()));
+    let bel = dir.join(format!("ease_gs_{}_{tag}.bel", std::process::id()));
+    write_edge_list(graph, &txt).unwrap();
+    write_bel(graph, &bel).unwrap();
+    (txt, bel)
+}
+
+/// Arbitrary R-MAT graph. The universe is fixed at 128 vertices and often
+/// larger than `max endpoint + 1`, which deliberately exercises explicit
+/// universe preservation: `.bel` carries it in the header, text in the
+/// `# vertices N` summary comment both readers honour.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (0usize..9, 40usize..600, 0u64..50)
+        .prop_map(|(combo, edges, seed)| Rmat::new(RMAT_COMBOS[combo], 128, edges, seed).generate())
+}
+
+fn assert_props_bit_identical(
+    a: &ease_repro::graph::GraphProperties,
+    b: &ease_repro::graph::GraphProperties,
+    what: &str,
+) {
+    assert_eq!(a.num_vertices, b.num_vertices, "{what}");
+    assert_eq!(a.num_edges, b.num_edges, "{what}");
+    assert_eq!(a.density.to_bits(), b.density.to_bits(), "{what}");
+    assert_eq!(a.mean_degree.to_bits(), b.mean_degree.to_bits(), "{what}");
+    assert_eq!(a.in_degree_skew.to_bits(), b.in_degree_skew.to_bits(), "{what}");
+    assert_eq!(a.out_degree_skew.to_bits(), b.out_degree_skew.to_bits(), "{what}");
+    assert_eq!(a.avg_triangles.map(f64::to_bits), b.avg_triangles.map(f64::to_bits), "{what}");
+    assert_eq!(a.avg_lcc.map(f64::to_bits), b.avg_lcc.map(f64::to_bits), "{what}");
+}
+
+// ---------------------------------------------------------------------
+// Proptests: the three backends are indistinguishable
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Properties, fingerprints and the raw edge stream agree bit-for-bit
+    /// across in-memory, mmap `.bel` and streamed text — for several shard
+    /// counts.
+    #[test]
+    fn backends_agree_on_properties_and_fingerprints(g in arb_graph()) {
+        let (txt, bel) = temp_pair(&g);
+        let bel_src = BelSource::open(&bel).unwrap();
+        let txt_src = TextStreamSource::open(&txt).unwrap();
+        // identical streams
+        prop_assert_eq!(&collect_source(&bel_src), &g);
+        prop_assert_eq!(&collect_source(&txt_src), &g);
+        // identical fingerprints (raw source pass)
+        let fp = fingerprint_source(&g);
+        prop_assert_eq!(fingerprint_source(&bel_src), fp);
+        prop_assert_eq!(fingerprint_source(&txt_src), fp);
+        // identical extracted features, at every tier and shard count
+        for shards in [1usize, 4] {
+            let reference = PreparedGraph::of(&g).with_shards(shards);
+            let via_bel = PreparedGraph::of_source(&bel_src).with_shards(shards);
+            let via_txt = PreparedGraph::of_source(&txt_src).with_shards(shards);
+            prop_assert_eq!(via_bel.fingerprint(), reference.fingerprint());
+            prop_assert_eq!(via_txt.fingerprint(), reference.fingerprint());
+            for tier in PropertyTier::ALL {
+                let want = reference.properties(tier);
+                assert_props_bit_identical(&via_bel.properties(tier), &want, "bel");
+                assert_props_bit_identical(&via_txt.properties(tier), &want, "txt");
+            }
+        }
+        std::fs::remove_file(&txt).ok();
+        std::fs::remove_file(&bel).ok();
+    }
+
+    /// Every partitioner family produces identical assignments (and hence
+    /// identical quality metrics) no matter which backend feeds it.
+    #[test]
+    fn backends_agree_on_partition_assignments(g in arb_graph(), k in 2usize..9) {
+        let (txt, bel) = temp_pair(&g);
+        let bel_src = BelSource::open(&bel).unwrap();
+        let txt_src = TextStreamSource::open(&txt).unwrap();
+        // one partitioner per category: stateless, stateful, hybrid, in-memory
+        for id in [PartitionerId::Dbh, PartitionerId::Hdrf, PartitionerId::Hep10, PartitionerId::Ne] {
+            let p = id.build(17);
+            let reference = p.partition(&g, k);
+            let via_bel = p.partition_source(&bel_src, k);
+            let via_txt = p.partition_source(&txt_src, k);
+            prop_assert_eq!(&via_bel, &reference, "{:?} via bel", id);
+            prop_assert_eq!(&via_txt, &reference, "{:?} via txt", id);
+            // metrics over a source-backed context match the in-memory path
+            let m_ref = QualityMetrics::compute(&g, &reference);
+            let m_bel = QualityMetrics::compute_prepared(
+                &PreparedGraph::of_source(&bel_src), &via_bel);
+            prop_assert_eq!(
+                m_ref.replication_factor.to_bits(),
+                m_bel.replication_factor.to_bits()
+            );
+            prop_assert_eq!(m_ref.edge_balance.to_bits(), m_bel.edge_balance.to_bits());
+        }
+        std::fs::remove_file(&txt).ok();
+        std::fs::remove_file(&bel).ok();
+    }
+
+    /// `convert`-style round trips (txt -> bel -> txt) preserve the graph.
+    #[test]
+    fn format_round_trips_preserve_the_stream(g in arb_graph()) {
+        let (txt, bel) = temp_pair(&g);
+        // txt -> bel (stream the text reader into a bel writer)
+        let tag = FILE_TAG.fetch_add(1, Ordering::Relaxed);
+        let rebel = std::env::temp_dir()
+            .join(format!("ease_gs_rt_{}_{tag}.bel", std::process::id()));
+        let txt_src = TextStreamSource::open(&txt).unwrap();
+        let mut w = ease_repro::graph::bel::BelWriter::create(&rebel).unwrap();
+        txt_src.for_each_edge(&mut |e| w.push(e).unwrap());
+        w.finish_with_vertices(txt_src.num_vertices()).unwrap();
+        // bel -> graph: same content, same fingerprint
+        let reread = BelSource::open(&rebel).unwrap();
+        prop_assert_eq!(&collect_source(&reread), &g);
+        prop_assert_eq!(fingerprint_source(&reread), fingerprint_source(&g));
+        std::fs::remove_file(&txt).ok();
+        std::fs::remove_file(&bel).ok();
+        std::fs::remove_file(&rebel).ok();
+    }
+}
+
+// ---------------------------------------------------------------------
+// The zero-copy lock: mmap ingestion allocates nothing proportional to |E|
+// ---------------------------------------------------------------------
+
+/// Analyzing a `.bel` file (open + full replay + fingerprint + basic-tier
+/// properties) must never materialize the edge list: an owned `Vec<Edge>`
+/// would cost `8 bytes × |E|`; the whole zero-copy path is held under
+/// `1 byte × |E|` of allocation on a graph whose edge count dwarfs its
+/// vertex count.
+#[test]
+fn mmap_ingestion_never_materializes_an_edge_list() {
+    let m = 200_000usize;
+    let n = 2_048usize;
+    let g = Rmat::new(RMAT_COMBOS[6], n, m, 99).generate();
+    let tag = FILE_TAG.fetch_add(1, Ordering::Relaxed);
+    let bel = std::env::temp_dir().join(format!("ease_gs_zc_{}_{tag}.bel", std::process::id()));
+    write_bel(&g, &bel).unwrap();
+
+    let edge_list_bytes = (m * std::mem::size_of::<ease_repro::graph::Edge>()) as u64;
+    let ((fingerprint, props, streamed), allocated) = tracked(|| {
+        let src = BelSource::open(&bel).expect("open bel");
+        // force the sequential path so every allocation lands on this thread
+        let prepared = PreparedGraph::of_source(&src).with_shards(1);
+        let fingerprint = prepared.fingerprint();
+        let props = prepared.properties(PropertyTier::Basic);
+        let mut streamed = 0usize;
+        prepared.for_each_edge(|_| streamed += 1);
+        (fingerprint, props, streamed)
+    });
+    assert_eq!(streamed, m);
+    assert_eq!(fingerprint, PreparedGraph::of(&g).fingerprint());
+    assert_props_bit_identical(
+        &props,
+        &PreparedGraph::of(&g).properties(PropertyTier::Basic),
+        "zero-copy",
+    );
+    // degree table + moments are O(|V|) ≈ 24 KiB here; an owned edge list
+    // would add 1.6 MiB on top. Lock the whole path at 1/8 of that.
+    assert!(
+        allocated < edge_list_bytes / 8,
+        "zero-copy path allocated {allocated} bytes — more than 1/8 of an owned \
+         edge list ({edge_list_bytes} bytes); something is materializing edges"
+    );
+    std::fs::remove_file(&bel).ok();
+}
+
+/// The full recommendation path over a `.bel` mapping stays zero-copy:
+/// `try_graph` is `None` before and after advanced extraction + a
+/// partitioner run, i.e. nothing ever silently builds a `Graph`.
+#[test]
+fn source_backed_analysis_never_builds_a_graph() {
+    let g = Rmat::new(RMAT_COMBOS[2], 512, 4_000, 5).generate();
+    let tag = FILE_TAG.fetch_add(1, Ordering::Relaxed);
+    let bel = std::env::temp_dir().join(format!("ease_gs_ng_{}_{tag}.bel", std::process::id()));
+    write_bel(&g, &bel).unwrap();
+    let src = BelSource::open(&bel).unwrap();
+    let prepared = PreparedGraph::of_source(&src);
+    assert!(prepared.try_graph().is_none());
+    let advanced = prepared.properties(PropertyTier::Advanced);
+    let partition = PartitionerId::Hdrf.build(3).partition_prepared(&prepared, 4);
+    assert_eq!(partition.num_edges(), g.num_edges());
+    assert_props_bit_identical(
+        &advanced,
+        &PreparedGraph::of(&g).properties(PropertyTier::Advanced),
+        "advanced",
+    );
+    assert!(prepared.try_graph().is_none(), "analysis materialized a Graph");
+    std::fs::remove_file(&bel).ok();
+}
