@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Gate benchmark artifacts — every `*_speedup` field in each produced
+# BENCH_pr*.json must meet the `<field>_min` bound recorded in the same
+# file. The bench bins self-assert at run time; this re-checks the JSON
+# that actually lands in the repo (and fails on bounds that were never
+# recorded), so a stale or hand-edited artifact cannot sneak past CI.
+#
+# Usage: ci/bench_check.sh [BENCH files...]   (default: BENCH_pr*.json)
+set -euo pipefail
+
+if [[ $# -eq 0 ]]; then
+    set -- BENCH_pr*.json
+fi
+
+python3 - "$@" <<'PY'
+import json
+import sys
+
+failed = False
+for path in sys.argv[1:]:
+    with open(path) as f:
+        data = json.load(f)
+    checked = 0
+    for key in sorted(data):
+        if not (key == "speedup" or key.endswith("_speedup")):
+            continue
+        value = data[key]
+        bound = data.get(f"{key}_min")
+        if bound is None:
+            print(f"FAIL {path}: {key}={value} has no recorded {key}_min bound")
+            failed = True
+        elif float(value) < float(bound):
+            print(f"FAIL {path}: {key}={value} fell below its recorded bound {bound}")
+            failed = True
+        else:
+            print(f"ok   {path}: {key}={value} >= {bound}")
+            checked += 1
+    if checked == 0 and not failed:
+        print(f"note {path}: no *_speedup fields to check")
+sys.exit(1 if failed else 0)
+PY

@@ -1,0 +1,105 @@
+#!/usr/bin/env bash
+# `ease serve` smoke — start the daemon in the background, hammer it with
+# concurrent `ease client recommend` calls plus a `--daemon`-proxied
+# recommend, diff every answer against the one-shot CLI output, then
+# exercise graceful shutdown and assert a zero exit.
+#
+# Usage: ci/serve_smoke.sh [path-to-ease-binary] [num-concurrent-clients]
+# Runs locally and in CI (shellcheck-clean).
+set -euo pipefail
+
+EASE_BIN="${1:-target/release/ease}"
+CLIENTS="${2:-8}"
+if [[ ! -x "$EASE_BIN" ]]; then
+    echo "ease binary not found at $EASE_BIN (build with: cargo build --release)" >&2
+    exit 1
+fi
+
+smoke="$(mktemp -d)"
+serve_pid=""
+cleanup() {
+    if [[ -n "$serve_pid" ]] && kill -0 "$serve_pid" 2>/dev/null; then
+        kill "$serve_pid" 2>/dev/null || true
+    fi
+    rm -rf "$smoke"
+}
+trap cleanup EXIT
+
+# fixtures: one graph in both ingestion formats, one trained model
+"$EASE_BIN" gen --out "$smoke/graph.txt" --kind soc --scale tiny --seed 11
+"$EASE_BIN" convert --in "$smoke/graph.txt" --out "$smoke/graph.bel"
+"$EASE_BIN" train --out "$smoke/ease.model" --scale tiny --quick --deterministic \
+    --folds 2 --max-small 8 --max-large 4
+
+# one-shot reference answers (fresh process per query — the cold path)
+"$EASE_BIN" recommend --model "$smoke/ease.model" --graph "$smoke/graph.txt" \
+    --workload pr --goal e2e > "$smoke/oneshot_txt.out"
+"$EASE_BIN" recommend --model "$smoke/ease.model" --graph "$smoke/graph.bel" \
+    --workload pr --goal e2e > "$smoke/oneshot_bel.out"
+
+sock="$smoke/ease.sock"
+"$EASE_BIN" serve --model "$smoke/ease.model" --socket "$sock" &
+serve_pid=$!
+
+# wait for the daemon to accept
+ready=0
+for _ in $(seq 1 100); do
+    if "$EASE_BIN" client ping --socket "$sock" >/dev/null 2>&1; then
+        ready=1
+        break
+    fi
+    sleep 0.1
+done
+if [[ "$ready" -ne 1 ]]; then
+    echo "daemon did not become ready" >&2
+    exit 1
+fi
+
+# N concurrent clients, alternating text and mmap'd .bel ingestion
+pids=()
+for i in $(seq 1 "$CLIENTS"); do
+    if (( i % 2 == 0 )); then
+        graph="$smoke/graph.txt"
+        ref="txt"
+    else
+        graph="$smoke/graph.bel"
+        ref="bel"
+    fi
+    printf '%s' "$ref" > "$smoke/client_$i.ref"
+    "$EASE_BIN" client recommend --socket "$sock" --graph "$graph" \
+        --workload pr --goal e2e > "$smoke/client_$i.out" &
+    pids+=("$!")
+done
+for pid in "${pids[@]}"; do
+    wait "$pid"
+done
+# every concurrent answer must be bit-identical to the one-shot CLI
+for i in $(seq 1 "$CLIENTS"); do
+    diff "$smoke/oneshot_$(cat "$smoke/client_$i.ref").out" "$smoke/client_$i.out"
+done
+echo "all $CLIENTS concurrent client answers are bit-identical to the one-shot CLI"
+
+# the --daemon proxy flag answers identically too (no --model needed)
+"$EASE_BIN" recommend --daemon "$sock" --graph "$smoke/graph.txt" \
+    --workload pr --goal e2e > "$smoke/proxy.out"
+diff "$smoke/oneshot_txt.out" "$smoke/proxy.out"
+
+# proxied feature extraction matches one-shot (wall-clock timing line stripped)
+"$EASE_BIN" features "$smoke/graph.bel" --tier advanced \
+    | head -n -1 > "$smoke/features_oneshot.out"
+"$EASE_BIN" features "$smoke/graph.bel" --tier advanced --daemon "$sock" \
+    | head -n -1 > "$smoke/features_proxy.out"
+diff "$smoke/features_oneshot.out" "$smoke/features_proxy.out"
+
+# warm-cache observability over the socket
+"$EASE_BIN" client cache-stats --socket "$sock"
+
+# graceful shutdown: daemon drains, removes its socket and exits 0
+"$EASE_BIN" client shutdown --socket "$sock"
+wait "$serve_pid"
+serve_pid=""
+if [[ -e "$sock" ]]; then
+    echo "socket file still present after shutdown" >&2
+    exit 1
+fi
+echo "serve smoke passed"

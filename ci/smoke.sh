@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Service lifecycle smoke — train in one process, persist, reload in fresh
+# processes, answer identically; exercise zero-copy .bel ingestion, format
+# round trips, streaming generation and typed error paths, all through the
+# `ease` CLI.
+#
+# Usage: ci/smoke.sh [path-to-ease-binary]
+# Runs locally and in CI (shellcheck-clean).
+set -euo pipefail
+
+EASE_BIN="${1:-target/release/ease}"
+if [[ ! -x "$EASE_BIN" ]]; then
+    echo "ease binary not found at $EASE_BIN (build with: cargo build --release)" >&2
+    exit 1
+fi
+
+smoke="$(mktemp -d)"
+trap 'rm -rf "$smoke"' EXIT
+
+"$EASE_BIN" gen --out "$smoke/graph.txt" --kind soc --scale tiny --seed 7
+"$EASE_BIN" train --out "$smoke/ease.model" --scale tiny --quick --deterministic \
+    --folds 2 --max-small 8 --max-large 4
+"$EASE_BIN" inspect --model "$smoke/ease.model"
+"$EASE_BIN" recommend --model "$smoke/ease.model" --graph "$smoke/graph.txt" \
+    --workload pr --goal e2e | tee "$smoke/first.out"
+"$EASE_BIN" recommend --model "$smoke/ease.model" --graph "$smoke/graph.txt" \
+    --workload pr --goal e2e | tee "$smoke/second.out"
+# a reloaded service must answer identically across processes
+diff "$smoke/first.out" "$smoke/second.out"
+
+# feature extraction with cold-vs-prepared timings
+"$EASE_BIN" features "$smoke/graph.txt" --tier advanced
+
+# zero-copy ingestion: convert to the binary format, mmap it, and require
+# bit-identical answers to the text path (PR 4 acceptance)
+"$EASE_BIN" convert --in "$smoke/graph.txt" --out "$smoke/graph.bel"
+"$EASE_BIN" recommend --model "$smoke/ease.model" --graph "$smoke/graph.bel" \
+    --workload pr --goal e2e | tee "$smoke/bel.out"
+diff <(tail -n +2 "$smoke/first.out") <(tail -n +2 "$smoke/bel.out")
+"$EASE_BIN" features "$smoke/graph.bel" --tier advanced | head -n -1 > "$smoke/f_bel.out"
+"$EASE_BIN" features "$smoke/graph.txt" --tier advanced | head -n -1 > "$smoke/f_txt.out"
+diff <(tail -n +2 "$smoke/f_txt.out") <(tail -n +2 "$smoke/f_bel.out")
+
+# binary round trip preserves the stream
+"$EASE_BIN" convert --in "$smoke/graph.bel" --out "$smoke/back.txt"
+diff <(grep -v '^#' "$smoke/graph.txt") <(grep -v '^#' "$smoke/back.txt")
+
+# streaming generation straight to .bel (never materializes)
+"$EASE_BIN" gen --out "$smoke/big.bel" --kind rmat --vertices 65536 --edges 500000 --seed 9
+"$EASE_BIN" features "$smoke/big.bel" --tier basic
+
+# typed errors, not panics: malformed graph input reports the line
+printf '0 1\nbroken token\n' > "$smoke/bad.txt"
+if "$EASE_BIN" recommend --model "$smoke/ease.model" --graph "$smoke/bad.txt"; then
+    echo "expected a parse failure" >&2
+    exit 1
+fi
+# ...and corrupt binary input is a typed format error
+printf 'NOTABEL!' > "$smoke/bad.bel"
+if "$EASE_BIN" features "$smoke/bad.bel"; then
+    echo "expected a format failure" >&2
+    exit 1
+fi
+
+echo "lifecycle smoke passed"

@@ -97,15 +97,25 @@ fn main() {
     } else {
         "min-of-reps wall-clock over identical query sets"
     };
+    // Bound recorded into the JSON and gated by ci/bench_check.sh: batch
+    // must at least degrade gracefully (no more than modest overhead vs
+    // sequential), whatever the core count.
+    let speedup_min = 0.75;
     let json = format!(
         "{{\n  \"benchmark\": \"recommend_batch_vs_sequential\",\n  \"pr\": 2,\n  \
          \"n_queries\": {N_GRAPHS},\n  \"reps\": {REPS},\n  \"threads\": {threads},\n  \
          \"train_secs\": {train_secs:.4},\n  \"sequential_secs\": {sequential_secs:.6},\n  \
          \"batch_secs\": {batch_secs:.6},\n  \"sequential_qps\": {:.2},\n  \
-         \"batch_qps\": {:.2},\n  \"speedup\": {speedup:.3},\n  \"note\": \"{note}\"\n}}\n",
+         \"batch_qps\": {:.2},\n  \"speedup\": {speedup:.3},\n  \
+         \"speedup_min\": {speedup_min},\n  \"note\": \"{note}\"\n}}\n",
         N_GRAPHS as f64 / sequential_secs,
         N_GRAPHS as f64 / batch_secs,
     );
     std::fs::write("BENCH_pr2.json", &json).expect("write BENCH_pr2.json");
     println!("wrote BENCH_pr2.json");
+
+    assert!(
+        speedup >= speedup_min,
+        "acceptance: batch must not regress below {speedup_min}x of sequential, got {speedup:.2}x"
+    );
 }

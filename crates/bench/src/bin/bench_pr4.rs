@@ -205,6 +205,7 @@ fn main() {
          \"text_parse_secs\": {text_parse_secs:.6},\n  \
          \"mmap_ingest_secs\": {mmap_ingest_secs:.6},\n  \
          \"ingest_speedup\": {ingest_speedup:.3},\n  \
+         \"ingest_speedup_min\": 3.0,\n  \
          \"text_parse_medges_per_sec\": {text_meps:.3},\n  \
          \"mmap_medges_per_sec\": {mmap_meps:.3},\n  \
          \"text_alloc_bytes\": {txt_alloc},\n  \"text_peak_bytes\": {txt_peak},\n  \

@@ -1,0 +1,232 @@
+//! PR 5 benchmark — the serving economics of `ease serve`:
+//!
+//! 1. **Cold per-process QPS**: what repeated `ease recommend` invocations
+//!    pay today — process startup, model deserialization, graph open and a
+//!    cold property cache, per query (measured by actually spawning the
+//!    sibling `ease` binary; falls back to an in-process cold path when
+//!    the binary is not built).
+//! 2. **Warm daemon QPS**: the same query against a resident `ease serve`
+//!    daemon over its unix socket — the model loads once, the
+//!    fingerprint-keyed property cache stays warm, and a repeated query
+//!    pays one content hash plus prediction.
+//! 3. **Answer fidelity**: the daemon's answer must be bit-identical to
+//!    the cold process's stdout.
+//!
+//! Acceptance (self-asserted here and gated again by `ci/bench_check.sh`
+//! from the recorded `warm_daemon_speedup_min` bound): the warm daemon
+//! serves repeated same-graph queries ≥ 10x faster than cold processes.
+//!
+//! Writes `BENCH_pr5.json`.
+//!
+//! ```sh
+//! cargo run --release -p ease-bench --bin bench_pr5
+//! ```
+
+use ease::profiling::TimingMode;
+use ease::selector::OptGoal;
+use ease::serve::{self, Request, ServeConfig};
+use ease::{EaseService, EaseServiceBuilder};
+use ease_graph::bel::BelWriter;
+use ease_graph::open_path;
+use ease_graphgen::rmat::{Rmat, RMAT_COMBOS};
+use ease_graphgen::Scale;
+use ease_procsim::Workload;
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+const NUM_VERTICES: usize = 1 << 16;
+const NUM_EDGES: usize = 400_000;
+const COLD_REPS: usize = 3;
+const WARM_REPS: usize = 200;
+const SPEEDUP_MIN: f64 = 10.0;
+
+/// The sibling `ease` binary in the same target directory as this bench
+/// bin (CI builds all bins before the bench step).
+fn ease_binary() -> Option<PathBuf> {
+    let exe = std::env::current_exe().ok()?;
+    let candidate = exe.parent()?.join("ease");
+    candidate.is_file().then_some(candidate)
+}
+
+fn main() {
+    println!("### BENCH_pr5 — ease serve: warm daemon vs cold per-process serving");
+    let dir = std::env::temp_dir().join(format!("bench_pr5_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create bench dir");
+    let bel_path = dir.join("graph.bel");
+    let model_path = dir.join("ease.model");
+    let socket = dir.join("ease.sock");
+
+    // ---- 0. stream-generate the query graph, train + persist a service --
+    let rmat = Rmat::new(RMAT_COMBOS[6], NUM_VERTICES, NUM_EDGES, 0xEA5E);
+    {
+        let mut bel = BelWriter::create(&bel_path).expect("create bel");
+        let mut write_error = None;
+        rmat.generate_into(&mut |e| {
+            if write_error.is_none() {
+                write_error = bel.push(e).err();
+            }
+        });
+        assert!(write_error.is_none(), "write bel: {write_error:?}");
+        bel.finish_with_vertices(NUM_VERTICES).expect("finish bel");
+    }
+    println!("graph: |V|={NUM_VERTICES} |E|={NUM_EDGES} ({})", bel_path.display());
+    let t = Instant::now();
+    let service = EaseServiceBuilder::at_scale(Scale::Tiny)
+        .quick_grid()
+        .timing(TimingMode::Deterministic)
+        .seed(42)
+        .train()
+        .expect("valid config");
+    let train_secs = t.elapsed().as_secs_f64();
+    service.save(&model_path).expect("save model");
+    println!("trained in {train_secs:.2}s, saved {}", model_path.display());
+
+    let graph_str = bel_path.to_str().expect("utf8 path");
+
+    // ---- 1. cold per-process QPS ---------------------------------------
+    // Every invocation pays what a one-shot CLI run pays. Preferred
+    // measurement: actually spawn the sibling `ease` binary.
+    let (cold_secs, cold_mode, cold_stdout) = match ease_binary() {
+        Some(bin) => {
+            let mut best = f64::INFINITY;
+            let mut stdout = String::new();
+            for _ in 0..COLD_REPS {
+                let t = Instant::now();
+                let out = std::process::Command::new(&bin)
+                    .args([
+                        "recommend",
+                        "--model",
+                        model_path.to_str().unwrap(),
+                        "--graph",
+                        graph_str,
+                        "--workload",
+                        "pr",
+                        "--goal",
+                        "e2e",
+                    ])
+                    .output()
+                    .expect("spawn ease");
+                let secs = t.elapsed().as_secs_f64();
+                assert!(
+                    out.status.success(),
+                    "cold ease run failed: {}",
+                    String::from_utf8_lossy(&out.stderr)
+                );
+                best = best.min(secs);
+                stdout = String::from_utf8(out.stdout).expect("utf8 stdout");
+            }
+            (best, "process", Some(stdout))
+        }
+        None => {
+            // fallback (e.g. `cargo run --bin bench_pr5` without the CLI
+            // built): the in-process cold path — model load + open +
+            // extract + predict — which *under*states cold cost (no
+            // process startup), so the asserted bound only gets harder
+            let mut best = f64::INFINITY;
+            for _ in 0..COLD_REPS {
+                let t = Instant::now();
+                let svc = EaseService::load(&model_path).expect("load model");
+                let source = open_path(&bel_path).expect("open bel");
+                let wl = Workload::from_name("pr").expect("pr");
+                let text = serve::render_recommendation(
+                    &svc,
+                    graph_str,
+                    source.as_ref(),
+                    wl,
+                    svc.meta().default_k,
+                    OptGoal::EndToEnd,
+                    serve::DEFAULT_TOP,
+                )
+                .expect("cold render");
+                black_box(text);
+                best = best.min(t.elapsed().as_secs_f64());
+            }
+            (best, "in-process", None)
+        }
+    };
+    let cold_qps = 1.0 / cold_secs;
+    println!("cold ({cold_mode}): {cold_secs:.4}s per query ({cold_qps:.2} q/s)");
+
+    // ---- 2. warm daemon QPS --------------------------------------------
+    // One resident service; repeated same-graph queries over the socket.
+    let daemon_service = Arc::new(EaseService::load(&model_path).expect("load model"));
+    let handle = serve::serve(Arc::clone(&daemon_service), ServeConfig::at(&socket).workers(2))
+        .expect("bind daemon");
+    let request = Request::Recommend {
+        graph: graph_str.to_string(),
+        workload: "pr".to_string(),
+        k: None,
+        goal: OptGoal::EndToEnd,
+        top: serve::DEFAULT_TOP,
+        cwd: None,
+    };
+    // warmup: populates the fingerprint-keyed property cache
+    let warm_answer =
+        serve::expect_answer(serve::call(&socket, &request).expect("warmup call")).expect("answer");
+    let t = Instant::now();
+    for _ in 0..WARM_REPS {
+        let response = serve::call(&socket, &request).expect("warm call");
+        black_box(serve::expect_answer(response).expect("answer"));
+    }
+    let warm_total = t.elapsed().as_secs_f64();
+    let warm_secs = warm_total / WARM_REPS as f64;
+    let warm_qps = WARM_REPS as f64 / warm_total;
+    let stats = daemon_service.property_cache_stats();
+    println!(
+        "warm daemon: {:.2} ms per query ({warm_qps:.0} q/s) over {WARM_REPS} queries \
+         (cache {} hits / {} misses)",
+        warm_secs * 1e3,
+        stats.hits,
+        stats.misses,
+    );
+    assert_eq!(stats.misses, 1, "repeated same-graph queries must hit the warm cache");
+
+    // ---- 3. answer fidelity --------------------------------------------
+    if let Some(cold_stdout) = &cold_stdout {
+        assert_eq!(
+            &warm_answer, cold_stdout,
+            "daemon answers must be bit-identical to cold-process stdout"
+        );
+        println!("fidelity: daemon answer bit-identical to cold-process stdout");
+    }
+    handle.trigger_shutdown();
+    let summary = handle.join().expect("clean daemon join");
+    let speedup = warm_qps / cold_qps;
+    println!(
+        "warm-daemon speedup: {speedup:.1}x (bound {SPEEDUP_MIN}x), daemon served {} requests",
+        summary.requests_served
+    );
+
+    let fidelity = cold_stdout.is_some();
+    let json = format!(
+        "{{\n  \"benchmark\": \"serve_warm_vs_cold\",\n  \"pr\": 5,\n  \
+         \"num_vertices\": {NUM_VERTICES},\n  \"num_edges\": {NUM_EDGES},\n  \
+         \"train_secs\": {train_secs:.4},\n  \
+         \"cold_mode\": \"{cold_mode}\",\n  \
+         \"cold_reps\": {COLD_REPS},\n  \
+         \"cold_query_secs\": {cold_secs:.6},\n  \
+         \"cold_qps\": {cold_qps:.3},\n  \
+         \"warm_reps\": {WARM_REPS},\n  \
+         \"warm_query_secs\": {warm_secs:.6},\n  \
+         \"warm_qps\": {warm_qps:.2},\n  \
+         \"warm_daemon_speedup\": {speedup:.3},\n  \
+         \"warm_daemon_speedup_min\": {SPEEDUP_MIN},\n  \
+         \"answers_bit_identical\": {fidelity},\n  \
+         \"cache_hits\": {},\n  \"cache_misses\": {},\n  \
+         \"note\": \"cold = full per-process query ({cold_mode} mode: spawn + model load + \
+         mmap open + advanced extraction + predict); warm = resident daemon with the \
+         fingerprint-keyed property cache, one request per unix-socket connection\"\n}}\n",
+        stats.hits, stats.misses,
+    );
+    std::fs::write("BENCH_pr5.json", &json).expect("write BENCH_pr5.json");
+    println!("wrote BENCH_pr5.json");
+    std::fs::remove_dir_all(&dir).ok();
+
+    assert!(
+        speedup >= SPEEDUP_MIN,
+        "acceptance: warm daemon must serve repeated same-graph queries >= {SPEEDUP_MIN}x \
+         faster than cold processes, got {speedup:.2}x"
+    );
+}

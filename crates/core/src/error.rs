@@ -30,6 +30,53 @@ pub enum EaseError {
     UnsupportedWorkload { requested: String, supported: Vec<String> },
     /// The service's partitioner catalog is empty — nothing to rank.
     EmptyCatalog,
+    /// The `ease serve` daemon or its socket protocol failed (see
+    /// [`ServeError`] for the cases).
+    Serve(ServeError),
+}
+
+/// Everything that can go wrong on the `ease serve` socket surface, on
+/// either side of the connection.
+#[derive(Debug)]
+pub enum ServeError {
+    /// A frame or payload violated the wire protocol (bad magic, version
+    /// skew, unknown tag, truncation, oversized frame).
+    Protocol(String),
+    /// The peer closed the connection before a complete frame arrived.
+    Disconnected,
+    /// The daemon answered a request with an error (the message is the
+    /// server-rendered [`EaseError`] text, printed verbatim by clients so
+    /// failure output matches the one-shot CLI).
+    Remote(String),
+    /// The daemon could not take the socket address (already served, or
+    /// the path is not bindable).
+    Bind { socket: String, message: String },
+    /// Unix-domain sockets are unavailable on this platform.
+    Unsupported,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            ServeError::Disconnected => write!(f, "peer disconnected mid-frame"),
+            ServeError::Remote(msg) => write!(f, "{msg}"),
+            ServeError::Bind { socket, message } => {
+                write!(f, "cannot serve on `{socket}`: {message}")
+            }
+            ServeError::Unsupported => {
+                write!(f, "unix-domain sockets are not available on this platform")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<ServeError> for EaseError {
+    fn from(e: ServeError) -> Self {
+        EaseError::Serve(e)
+    }
 }
 
 impl fmt::Display for EaseError {
@@ -48,6 +95,11 @@ impl fmt::Display for EaseError {
                 supported.join(", ")
             ),
             EaseError::EmptyCatalog => write!(f, "partitioner catalog is empty"),
+            // a remote error is an already-rendered EaseError from the
+            // daemon: print it verbatim so `--daemon` failures read exactly
+            // like one-shot failures
+            EaseError::Serve(ServeError::Remote(msg)) => write!(f, "{msg}"),
+            EaseError::Serve(e) => write!(f, "serve error: {e}"),
         }
     }
 }
@@ -57,6 +109,7 @@ impl std::error::Error for EaseError {
         match self {
             EaseError::Io(e) => Some(e),
             EaseError::Persist(e) => Some(e),
+            EaseError::Serve(e) => Some(e),
             _ => None,
         }
     }

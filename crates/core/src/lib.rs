@@ -22,7 +22,10 @@
 //! cheaply*: [`EaseServiceBuilder`] trains a persistable [`EaseService`]
 //! whose `recommend`/`recommend_batch` answer selection queries with typed
 //! [`EaseError`]s, and whose `save`/`load` round-trip the trained models
-//! bit-exactly through a versioned binary codec.
+//! bit-exactly through a versioned binary codec. The [`serve`] module
+//! turns a persisted service into a long-running daemon behind a
+//! unix-domain socket — one warm model + property cache answering
+//! concurrent clients, bit-identically to the one-shot CLI.
 //!
 //! ```no_run
 //! use ease::{EaseServiceBuilder, OptGoal};
@@ -46,9 +49,10 @@ pub mod predictors;
 pub mod profiling;
 pub mod report;
 pub mod selector;
+pub mod serve;
 pub mod service;
 
-pub use error::EaseError;
+pub use error::{EaseError, ServeError};
 pub use predictors::{PartitioningTimePredictor, ProcessingTimePredictor, QualityPredictor};
 pub use selector::{Ease, OptGoal, Selection};
 pub use service::{

@@ -565,7 +565,7 @@ mod tests {
         // borrowed in place: the prepared context points at the input's own
         // edge storage, not at a per-worker deep copy
         let GraphInput::Materialized(inner) = &gi else { unreachable!() };
-        assert!(std::ptr::eq(prepared.graph(), &inner.graph));
+        assert!(std::ptr::eq(prepared.graph().expect("graph-backed"), &inner.graph));
         assert!(prepared.shared_graph().is_none());
         // R-MAT specs generate fresh and hand the context ownership
         let spec = tiny_inputs(1).remove(0);

@@ -1,0 +1,1016 @@
+//! `ease serve` — a long-running recommendation daemon behind a unix socket.
+//!
+//! The paper's economics (Sec. I) are *profile once, recommend cheaply
+//! forever* — but a one-shot `ease recommend` process pays startup, model
+//! deserialization and a cold property cache on every invocation, throwing
+//! away exactly the amortization the trained service exists to provide.
+//! This module keeps one [`EaseService`] warm in a resident process and
+//! serves concurrent clients over a unix-domain socket:
+//!
+//! * **Protocol** — length-prefixed frames (`[0xEA 0x5E][u32 LE len][payload]`,
+//!   capped at [`MAX_FRAME_BYTES`]); payloads are versioned binary
+//!   [`Request`]/[`Response`] values encoded with the same `Writer`/`Reader`
+//!   codec the model persistence uses. One request per connection.
+//! * **Server** — [`serve`] binds the socket and fans accepted connections
+//!   out over a bounded pool of worker threads sharing the
+//!   `Arc<EaseService>`; the fingerprint-keyed property cache stays warm
+//!   across requests and clients. [`Request::Shutdown`] drains the pool
+//!   gracefully and removes the socket file.
+//! * **Clients** — [`call`] performs one request/response exchange;
+//!   `ease client …` and the `--daemon` proxy flags on `ease
+//!   recommend`/`ease features` are thin wrappers over it.
+//! * **Rendering** — [`render_recommendation`] / [`render_features`] build
+//!   the exact text the one-shot CLI prints. The daemon answers with the
+//!   same renderer over the same extraction path, so a proxied answer is
+//!   *bit-identical* to the one-shot answer by construction (and diffed in
+//!   CI and `tests/serve.rs` to keep it that way).
+//!
+//! Failures never kill the daemon: graph files that do not exist, malformed
+//! edge lists, unknown workloads, protocol garbage and mmap'd `.bel` inputs
+//! reaching graph-only accessors are all typed [`EaseError`]s routed back to
+//! the offending client as [`Response::Error`].
+
+use crate::error::{EaseError, ServeError};
+use crate::selector::OptGoal;
+use crate::service::EaseService;
+use ease_graph::{open_path, GraphProperties, GraphSource, PreparedGraph, PropertyTier};
+use ease_ml::persist::{Reader, Writer};
+use ease_procsim::Workload;
+use std::fmt::Write as _;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Version byte leading every payload; bumped on any wire-format change.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Two magic bytes opening every frame — rejects non-protocol peers before
+/// a length is trusted.
+pub const FRAME_MAGIC: [u8; 2] = [0xEA, 0x5E];
+
+/// Upper bound on a frame payload. Requests carry paths and responses carry
+/// rendered tables — a megabyte is generous, and the cap keeps a garbage
+/// length prefix from asking a worker to allocate gigabytes.
+pub const MAX_FRAME_BYTES: usize = 1 << 20;
+
+/// How many candidate rows a recommendation renders by default (the CLI's
+/// `--top` default).
+pub const DEFAULT_TOP: usize = 5;
+
+// ---------------------------------------------------------------------
+// Requests and responses
+// ---------------------------------------------------------------------
+
+/// One client request. Graph inputs travel *by path* (daemon and client
+/// share a filesystem by construction — the transport is a unix socket);
+/// the server opens text or mmap'd `.bel` inputs through the same
+/// format-dispatched [`open_path`] seam as the one-shot CLI.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness probe; answered with [`Response::Pong`].
+    Ping,
+    /// Recommend a partitioner for the graph at `graph`. `workload` is the
+    /// CLI workload name (`pr`, `cc`, …), validated server-side; `k` of
+    /// `None` means the service's default partition count. `cwd` is the
+    /// *client's* working directory: the server resolves a relative
+    /// `graph` against it (daemon and client share a filesystem but not a
+    /// cwd), while the answer always displays `graph` as the client wrote
+    /// it — keeping daemon output bit-identical to the one-shot CLI.
+    Recommend {
+        graph: String,
+        workload: String,
+        k: Option<usize>,
+        goal: OptGoal,
+        top: usize,
+        cwd: Option<String>,
+    },
+    /// Extract and render the feature vector of the graph at `graph`
+    /// (`cwd` as in [`Request::Recommend`]).
+    Features { graph: String, tier: PropertyTier, cwd: Option<String> },
+    /// Snapshot the warm property cache and serving counters.
+    CacheStats,
+    /// Stop accepting connections, drain in-flight work, remove the socket.
+    Shutdown,
+}
+
+/// Observability snapshot answered to [`Request::CacheStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+    pub len: usize,
+    pub capacity: usize,
+    /// Requests answered so far (all kinds, including this one).
+    pub requests_served: u64,
+}
+
+impl ServeStats {
+    /// The `ease client cache-stats` rendering.
+    pub fn render(&self) -> String {
+        format!(
+            "property cache: hits={} misses={} evictions={} len={}/{}\nrequests served: {}\n",
+            self.hits, self.misses, self.evictions, self.len, self.capacity, self.requests_served
+        )
+    }
+}
+
+/// One server response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Liveness answer carrying the server's protocol version.
+    Pong { version: u8 },
+    /// Rendered answer text, printed verbatim by clients — bit-identical
+    /// to the one-shot CLI output for the same query.
+    Answer(String),
+    /// Cache and serving counters.
+    CacheStats(ServeStats),
+    /// The request failed; the message is the rendered [`EaseError`].
+    Error(String),
+    /// Shutdown acknowledged; the daemon drains and exits.
+    ShuttingDown,
+}
+
+// ---------------------------------------------------------------------
+// Payload codec
+// ---------------------------------------------------------------------
+
+fn proto_err(msg: impl Into<String>) -> EaseError {
+    ServeError::Protocol(msg.into()).into()
+}
+
+fn goal_tag(goal: OptGoal) -> u8 {
+    match goal {
+        OptGoal::EndToEnd => 0,
+        OptGoal::ProcessingOnly => 1,
+    }
+}
+
+fn goal_from_tag(tag: u8) -> Result<OptGoal, EaseError> {
+    match tag {
+        0 => Ok(OptGoal::EndToEnd),
+        1 => Ok(OptGoal::ProcessingOnly),
+        other => Err(proto_err(format!("unknown goal tag {other}"))),
+    }
+}
+
+fn tier_tag(tier: PropertyTier) -> u8 {
+    match tier {
+        PropertyTier::Simple => 0,
+        PropertyTier::Basic => 1,
+        PropertyTier::Advanced => 2,
+    }
+}
+
+fn tier_from_tag(tag: u8) -> Result<PropertyTier, EaseError> {
+    match tag {
+        0 => Ok(PropertyTier::Simple),
+        1 => Ok(PropertyTier::Basic),
+        2 => Ok(PropertyTier::Advanced),
+        other => Err(proto_err(format!("unknown tier tag {other}"))),
+    }
+}
+
+fn put_opt_str(w: &mut Writer, v: &Option<String>) {
+    match v {
+        Some(s) => {
+            w.put_u8(1);
+            w.put_str(s);
+        }
+        None => w.put_u8(0),
+    }
+}
+
+fn take_opt_str(r: &mut Reader) -> Result<Option<String>, ease_ml::PersistError> {
+    match r.take_u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(r.take_str()?)),
+        other => Err(ease_ml::PersistError::Corrupt(format!("unknown option tag {other}"))),
+    }
+}
+
+/// Resolve a request's graph path: relative paths are joined to the
+/// *client's* working directory when it travelled with the request —
+/// the daemon's own cwd is an accident of where it was launched and must
+/// never influence which file a client's query answers for.
+pub fn resolve_graph_path(graph: &str, cwd: Option<&str>) -> PathBuf {
+    let path = Path::new(graph);
+    match cwd {
+        Some(cwd) if path.is_relative() => Path::new(cwd).join(path),
+        _ => path.to_path_buf(),
+    }
+}
+
+/// Serialize a request payload (framing is separate; see [`write_frame`]).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u8(PROTOCOL_VERSION);
+    match req {
+        Request::Ping => w.put_u8(0),
+        Request::Recommend { graph, workload, k, goal, top, cwd } => {
+            w.put_u8(1);
+            w.put_str(graph);
+            w.put_str(workload);
+            w.put_opt_usize(*k);
+            w.put_u8(goal_tag(*goal));
+            w.put_usize(*top);
+            put_opt_str(&mut w, cwd);
+        }
+        Request::Features { graph, tier, cwd } => {
+            w.put_u8(2);
+            w.put_str(graph);
+            w.put_u8(tier_tag(*tier));
+            put_opt_str(&mut w, cwd);
+        }
+        Request::CacheStats => w.put_u8(3),
+        Request::Shutdown => w.put_u8(4),
+    }
+    w.into_bytes()
+}
+
+/// Deserialize a request payload. Every malformation is a typed
+/// [`ServeError::Protocol`] — never a panic in a server worker.
+pub fn decode_request(bytes: &[u8]) -> Result<Request, EaseError> {
+    let mut r = Reader::new(bytes);
+    let p = |e: ease_ml::PersistError| proto_err(format!("truncated request: {e}"));
+    let version = r.take_u8().map_err(p)?;
+    if version != PROTOCOL_VERSION {
+        return Err(proto_err(format!(
+            "protocol version skew: peer speaks v{version}, this build v{PROTOCOL_VERSION}"
+        )));
+    }
+    let req = match r.take_u8().map_err(p)? {
+        0 => Request::Ping,
+        1 => Request::Recommend {
+            graph: r.take_str().map_err(p)?,
+            workload: r.take_str().map_err(p)?,
+            k: r.take_opt_usize().map_err(p)?,
+            goal: goal_from_tag(r.take_u8().map_err(p)?)?,
+            top: r.take_usize().map_err(p)?,
+            cwd: take_opt_str(&mut r).map_err(p)?,
+        },
+        2 => Request::Features {
+            graph: r.take_str().map_err(p)?,
+            tier: tier_from_tag(r.take_u8().map_err(p)?)?,
+            cwd: take_opt_str(&mut r).map_err(p)?,
+        },
+        3 => Request::CacheStats,
+        4 => Request::Shutdown,
+        other => return Err(proto_err(format!("unknown request tag {other}"))),
+    };
+    if r.remaining() != 0 {
+        return Err(proto_err(format!("{} trailing bytes after request", r.remaining())));
+    }
+    Ok(req)
+}
+
+/// Serialize a response payload.
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u8(PROTOCOL_VERSION);
+    match resp {
+        Response::Pong { version } => {
+            w.put_u8(0);
+            w.put_u8(*version);
+        }
+        Response::Answer(text) => {
+            w.put_u8(1);
+            w.put_str(text);
+        }
+        Response::CacheStats(s) => {
+            w.put_u8(2);
+            w.put_u64(s.hits);
+            w.put_u64(s.misses);
+            w.put_u64(s.evictions);
+            w.put_usize(s.len);
+            w.put_usize(s.capacity);
+            w.put_u64(s.requests_served);
+        }
+        Response::Error(msg) => {
+            w.put_u8(3);
+            w.put_str(msg);
+        }
+        Response::ShuttingDown => w.put_u8(4),
+    }
+    w.into_bytes()
+}
+
+/// Deserialize a response payload.
+pub fn decode_response(bytes: &[u8]) -> Result<Response, EaseError> {
+    let mut r = Reader::new(bytes);
+    let p = |e: ease_ml::PersistError| proto_err(format!("truncated response: {e}"));
+    let version = r.take_u8().map_err(p)?;
+    if version != PROTOCOL_VERSION {
+        return Err(proto_err(format!(
+            "protocol version skew: peer speaks v{version}, this build v{PROTOCOL_VERSION}"
+        )));
+    }
+    let resp = match r.take_u8().map_err(p)? {
+        0 => Response::Pong { version: r.take_u8().map_err(p)? },
+        1 => Response::Answer(r.take_str().map_err(p)?),
+        2 => Response::CacheStats(ServeStats {
+            hits: r.take_u64().map_err(p)?,
+            misses: r.take_u64().map_err(p)?,
+            evictions: r.take_u64().map_err(p)?,
+            len: r.take_usize().map_err(p)?,
+            capacity: r.take_usize().map_err(p)?,
+            requests_served: r.take_u64().map_err(p)?,
+        }),
+        3 => Response::Error(r.take_str().map_err(p)?),
+        4 => Response::ShuttingDown,
+        other => return Err(proto_err(format!("unknown response tag {other}"))),
+    };
+    if r.remaining() != 0 {
+        return Err(proto_err(format!("{} trailing bytes after response", r.remaining())));
+    }
+    Ok(resp)
+}
+
+// ---------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------
+
+/// Write one `[magic][u32 LE len][payload]` frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), EaseError> {
+    if payload.len() > MAX_FRAME_BYTES {
+        return Err(proto_err(format!(
+            "frame of {} bytes exceeds the {MAX_FRAME_BYTES}-byte cap",
+            payload.len()
+        )));
+    }
+    w.write_all(&FRAME_MAGIC)?;
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one frame, validating magic and the length cap. A peer that closes
+/// before a complete frame is a typed [`ServeError::Disconnected`].
+pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, EaseError> {
+    let mut head = [0u8; 6];
+    read_exact_framed(r, &mut head)?;
+    if head[..2] != FRAME_MAGIC {
+        return Err(proto_err(format!(
+            "bad frame magic {:02x}{:02x} (expected {:02x}{:02x})",
+            head[0], head[1], FRAME_MAGIC[0], FRAME_MAGIC[1]
+        )));
+    }
+    let len = u32::from_le_bytes([head[2], head[3], head[4], head[5]]) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(proto_err(format!(
+            "declared frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    read_exact_framed(r, &mut payload)?;
+    Ok(payload)
+}
+
+fn read_exact_framed(r: &mut impl Read, buf: &mut [u8]) -> Result<(), EaseError> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            ServeError::Disconnected.into()
+        } else {
+            EaseError::Io(e)
+        }
+    })
+}
+
+// ---------------------------------------------------------------------
+// Rendering — the single source of truth for CLI-visible answer text
+// ---------------------------------------------------------------------
+
+/// Render a recommendation answer exactly as the one-shot
+/// `ease recommend` prints it. Both the one-shot CLI and the daemon call
+/// this function, which is what makes `--daemon` answers bit-identical to
+/// per-process answers: same extraction path (the service's
+/// fingerprint-keyed property cache over a [`PreparedGraph`]), same
+/// formatting, same bytes.
+pub fn render_recommendation(
+    service: &EaseService,
+    display_path: &str,
+    source: &dyn GraphSource,
+    workload: Workload,
+    k: usize,
+    goal: OptGoal,
+    top: usize,
+) -> Result<String, EaseError> {
+    let n = source.num_vertices();
+    let m = source.edge_count();
+    let mut out = String::new();
+    let w = &mut out;
+    writeln!(
+        w,
+        "graph {display_path}: |V|={n} |E|={m} mean-degree {:.2}",
+        if n > 0 { 2.0 * m as f64 / n as f64 } else { 0.0 }
+    )
+    .expect("write to String");
+    let prepared = PreparedGraph::of_source(source);
+    let selection = service.recommend_prepared_with_k(&prepared, workload, k, goal)?;
+    writeln!(
+        w,
+        "recommended partitioner for {} (k={k}, goal {}): {}",
+        workload.label(),
+        selection.goal.name(),
+        selection.best.name()
+    )
+    .expect("write to String");
+    let mut ranked = selection.candidates;
+    // total_cmp: non-finite predictions must not panic a daemon worker
+    ranked.sort_by(|a, b| {
+        let cost = |c: &crate::selector::PredictedCosts| match goal {
+            OptGoal::EndToEnd => c.end_to_end_secs,
+            OptGoal::ProcessingOnly => c.processing_secs,
+        };
+        cost(a).total_cmp(&cost(b))
+    });
+    writeln!(
+        w,
+        "{:<10} {:>12} {:>12} {:>12} {:>8}",
+        "candidate", "pred-part", "pred-proc", "pred-e2e", "rf"
+    )
+    .expect("write to String");
+    for c in ranked.iter().take(top) {
+        writeln!(
+            w,
+            "{:<10} {:>11.4}s {:>11.4}s {:>11.4}s {:>8.2}",
+            c.partitioner.name(),
+            c.partitioning_secs,
+            c.processing_secs,
+            c.end_to_end_secs,
+            c.quality.replication_factor
+        )
+        .expect("write to String");
+    }
+    Ok(out)
+}
+
+/// Render a feature-extraction answer exactly as the one-shot
+/// `ease features` prints it. The final line carries wall-clock extraction
+/// timings (cold vs prepared) and is the only run-dependent line — CI and
+/// tests strip it before diffing daemon output against one-shot output.
+pub fn render_features(
+    display_path: &str,
+    source: &dyn GraphSource,
+    tier: PropertyTier,
+) -> Result<String, EaseError> {
+    // cold: throwaway context per extraction (what a naive caller pays)
+    let t = std::time::Instant::now();
+    let cold = PreparedGraph::of_source(source).properties(tier);
+    let cold_secs = t.elapsed().as_secs_f64();
+    // prepared: one shared context; the first extraction builds the caches,
+    // the second shows the steady-state cost of a warmed context
+    let prepared = PreparedGraph::of_source(source);
+    let t = std::time::Instant::now();
+    let first = GraphProperties::compute_prepared(&prepared, tier);
+    let first_secs = t.elapsed().as_secs_f64();
+    let t = std::time::Instant::now();
+    let warm = GraphProperties::compute_prepared(&prepared, tier);
+    let warm_secs = t.elapsed().as_secs_f64();
+    // extraction determinism is locked by the graph_source/prepared_graph
+    // suites; a debug_assert keeps test builds honest without giving the
+    // daemon a panic path
+    debug_assert_eq!(cold, first, "prepared extraction must match the cold path");
+    debug_assert_eq!(first, warm);
+
+    let mut out = String::new();
+    let w = &mut out;
+    writeln!(
+        w,
+        "graph {display_path} (|V|={} |E|={}): {} tier",
+        source.num_vertices(),
+        source.edge_count(),
+        tier.name()
+    )
+    .expect("write to String");
+    writeln!(w, "{:<20} {:>18}", "feature", "value").expect("write to String");
+    for (name, value) in GraphProperties::feature_names(tier).iter().zip(cold.feature_vector(tier))
+    {
+        writeln!(w, "{name:<20} {value:>18.6}").expect("write to String");
+    }
+    writeln!(w, "fingerprint          0x{:016x}", prepared.fingerprint()).expect("write to String");
+    let speedup = if warm_secs > 0.0 { cold_secs / warm_secs } else { f64::INFINITY };
+    writeln!(
+        w,
+        "extraction: cold {:.3} ms | prepared first {:.3} ms | prepared warm {:.3} ms ({speedup:.0}x)",
+        cold_secs * 1e3,
+        first_secs * 1e3,
+        warm_secs * 1e3,
+    )
+    .expect("write to String");
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------
+
+/// Per-connection socket read/write timeout default (see
+/// [`ServeConfig::io_timeout`]).
+pub const DEFAULT_IO_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(30);
+
+/// Server configuration: the socket path and the worker-pool bound.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    pub socket: PathBuf,
+    /// Concurrent request handlers (≥ 1; clamped to ≥ 2 internally so a
+    /// shutdown request can always be processed while a long extraction is
+    /// in flight).
+    pub workers: usize,
+    /// Read/write timeout applied to every accepted connection. A peer
+    /// that connects and then stalls mid-frame would otherwise pin a
+    /// worker thread forever — enough such peers would exhaust the pool
+    /// and make even graceful shutdown hang. `None` disables (tests only).
+    pub io_timeout: Option<std::time::Duration>,
+}
+
+impl ServeConfig {
+    /// Default worker count: one per available core, at least 2 (see
+    /// [`ServeConfig::workers`]), at most 8 — selection is CPU-bound, so
+    /// more workers than cores only adds contention.
+    pub fn default_workers() -> usize {
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(2).clamp(2, 8)
+    }
+
+    pub fn at(socket: impl Into<PathBuf>) -> Self {
+        ServeConfig {
+            socket: socket.into(),
+            workers: Self::default_workers(),
+            io_timeout: Some(DEFAULT_IO_TIMEOUT),
+        }
+    }
+
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    pub fn io_timeout(mut self, timeout: Option<std::time::Duration>) -> Self {
+        self.io_timeout = timeout;
+        self
+    }
+}
+
+/// Final serving counters returned by [`ServerHandle::join`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Requests answered over the daemon's lifetime (all request kinds).
+    pub requests_served: u64,
+}
+
+#[cfg(unix)]
+pub use unix_server::{call, serve, ServerHandle};
+
+#[cfg(unix)]
+mod unix_server {
+    use super::*;
+    use std::os::unix::net::{UnixListener, UnixStream};
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::{mpsc, Mutex};
+    use std::thread::JoinHandle;
+
+    struct Shared {
+        service: Arc<EaseService>,
+        socket: PathBuf,
+        shutdown: AtomicBool,
+        served: AtomicU64,
+        io_timeout: Option<std::time::Duration>,
+    }
+
+    /// A running daemon: the accept loop plus its bounded worker pool.
+    /// Keep the handle and [`ServerHandle::join`] it; dropping the handle
+    /// leaves the threads serving detached.
+    pub struct ServerHandle {
+        shared: Arc<Shared>,
+        accept: JoinHandle<()>,
+        workers: Vec<JoinHandle<()>>,
+    }
+
+    impl ServerHandle {
+        pub fn socket_path(&self) -> &Path {
+            &self.shared.socket
+        }
+
+        /// Requests answered so far.
+        pub fn requests_served(&self) -> u64 {
+            self.shared.served.load(Ordering::Relaxed)
+        }
+
+        /// Whether a shutdown has been requested (by a client or locally).
+        pub fn is_shutting_down(&self) -> bool {
+            self.shared.shutdown.load(Ordering::Relaxed)
+        }
+
+        /// Request shutdown from the owning process (equivalent to a client
+        /// sending [`Request::Shutdown`]).
+        pub fn trigger_shutdown(&self) {
+            request_shutdown(&self.shared);
+        }
+
+        /// Wait for the daemon to drain (a shutdown must have been
+        /// requested, or this blocks until one is), then remove the socket
+        /// file and return the final counters.
+        pub fn join(self) -> Result<ServeSummary, EaseError> {
+            let mut panicked = false;
+            panicked |= self.accept.join().is_err();
+            for worker in self.workers {
+                panicked |= worker.join().is_err();
+            }
+            std::fs::remove_file(&self.shared.socket).ok();
+            if panicked {
+                return Err(ServeError::Protocol("a server thread panicked".into()).into());
+            }
+            Ok(ServeSummary { requests_served: self.shared.served.load(Ordering::Relaxed) })
+        }
+    }
+
+    /// Flag the shutdown and poke the accept loop awake with a throwaway
+    /// connection (idempotent; errors ignored — the listener may already
+    /// be gone).
+    fn request_shutdown(shared: &Shared) {
+        shared.shutdown.store(true, Ordering::SeqCst);
+        UnixStream::connect(&shared.socket).ok();
+    }
+
+    /// Bind `config.socket` and start serving `service`. Returns once the
+    /// daemon is accepting (a client connecting after this call will be
+    /// served). A stale socket file from a dead daemon is replaced; a
+    /// *live* daemon on the same path is a typed [`ServeError::Bind`].
+    pub fn serve(
+        service: Arc<EaseService>,
+        config: ServeConfig,
+    ) -> Result<ServerHandle, EaseError> {
+        let socket = config.socket.clone();
+        if socket.exists() {
+            if UnixStream::connect(&socket).is_ok() {
+                return Err(ServeError::Bind {
+                    socket: socket.display().to_string(),
+                    message: "another daemon is already serving this socket".into(),
+                }
+                .into());
+            }
+            std::fs::remove_file(&socket).map_err(|e| ServeError::Bind {
+                socket: socket.display().to_string(),
+                message: format!("cannot replace stale socket file: {e}"),
+            })?;
+        }
+        let listener = UnixListener::bind(&socket).map_err(|e| ServeError::Bind {
+            socket: socket.display().to_string(),
+            message: e.to_string(),
+        })?;
+        let workers = config.workers.max(2);
+        let shared = Arc::new(Shared {
+            service,
+            socket,
+            shutdown: AtomicBool::new(false),
+            served: AtomicU64::new(0),
+            io_timeout: config.io_timeout,
+        });
+        // Bounded hand-off: accept blocks once every worker is busy and the
+        // small buffer is full, so a flood of clients queues in the listen
+        // backlog instead of ballooning daemon memory.
+        let (tx, rx) = mpsc::sync_channel::<UnixStream>(workers * 2);
+        let rx = Arc::new(Mutex::new(rx));
+        let mut worker_handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let rx = Arc::clone(&rx);
+            let shared = Arc::clone(&shared);
+            worker_handles.push(std::thread::spawn(move || loop {
+                let next = rx.lock().expect("worker queue lock").recv();
+                match next {
+                    Ok(stream) => handle_connection(stream, &shared),
+                    Err(_) => break, // accept loop gone: drained, exit
+                }
+            }));
+        }
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if accept_shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let stream = match stream {
+                    Ok(stream) => stream,
+                    Err(_) => {
+                        // accept can fail persistently (fd exhaustion:
+                        // EMFILE/ENFILE); back off briefly instead of
+                        // spinning a core until descriptors free up
+                        std::thread::sleep(std::time::Duration::from_millis(10));
+                        continue;
+                    }
+                };
+                if tx.send(stream).is_err() {
+                    break;
+                }
+            }
+            // dropping `tx` (and the listener) lets workers drain and exit
+        });
+        Ok(ServerHandle { shared, accept, workers: worker_handles })
+    }
+
+    /// One connection: read a request frame, answer it, close. Protocol
+    /// violations get a best-effort [`Response::Error`]; nothing in here
+    /// can panic the worker on user input, and the I/O timeout guarantees
+    /// a stalled peer cannot pin the worker (or block shutdown) forever.
+    fn handle_connection(mut stream: UnixStream, shared: &Shared) {
+        stream.set_read_timeout(shared.io_timeout).ok();
+        stream.set_write_timeout(shared.io_timeout).ok();
+        let response = match read_frame(&mut stream).and_then(|bytes| decode_request(&bytes)) {
+            Ok(request) => {
+                shared.served.fetch_add(1, Ordering::Relaxed);
+                answer(request, shared)
+            }
+            // a bare connect/close (e.g. the shutdown wake-up, or a port
+            // probe) is not worth an error frame
+            Err(EaseError::Serve(ServeError::Disconnected)) => return,
+            Err(e) => Response::Error(e.to_string()),
+        };
+        let payload = encode_response(&response);
+        // the peer may already be gone; that is its problem, not the pool's
+        write_frame(&mut stream, &payload).ok();
+    }
+
+    fn answer(request: Request, shared: &Shared) -> Response {
+        match request {
+            Request::Ping => Response::Pong { version: PROTOCOL_VERSION },
+            Request::Recommend { graph, workload, k, goal, top, cwd } => {
+                match recommend_answer(&shared.service, &graph, &workload, k, goal, top, &cwd) {
+                    Ok(text) => Response::Answer(text),
+                    Err(e) => Response::Error(e.to_string()),
+                }
+            }
+            Request::Features { graph, tier, cwd } => match features_answer(&graph, tier, &cwd) {
+                Ok(text) => Response::Answer(text),
+                Err(e) => Response::Error(e.to_string()),
+            },
+            Request::CacheStats => {
+                let cache = shared.service.property_cache_stats();
+                Response::CacheStats(ServeStats {
+                    hits: cache.hits,
+                    misses: cache.misses,
+                    evictions: cache.evictions,
+                    len: cache.len,
+                    capacity: cache.capacity,
+                    requests_served: shared.served.load(Ordering::Relaxed),
+                })
+            }
+            Request::Shutdown => {
+                request_shutdown(shared);
+                Response::ShuttingDown
+            }
+        }
+    }
+
+    fn recommend_answer(
+        service: &EaseService,
+        graph: &str,
+        workload: &str,
+        k: Option<usize>,
+        goal: OptGoal,
+        top: usize,
+        cwd: &Option<String>,
+    ) -> Result<String, EaseError> {
+        let workload = Workload::from_name(workload)
+            .ok_or_else(|| EaseError::InvalidConfig(format!("unknown workload `{workload}`")))?;
+        // open the client-resolved path, display the path as the client
+        // wrote it (one-shot answer parity)
+        let source = open_path(&resolve_graph_path(graph, cwd.as_deref()))?;
+        let k = k.unwrap_or(service.meta().default_k);
+        render_recommendation(service, graph, source.as_ref(), workload, k, goal, top)
+    }
+
+    fn features_answer(
+        graph: &str,
+        tier: PropertyTier,
+        cwd: &Option<String>,
+    ) -> Result<String, EaseError> {
+        let source = open_path(&resolve_graph_path(graph, cwd.as_deref()))?;
+        render_features(graph, source.as_ref(), tier)
+    }
+
+    /// One request/response exchange with a daemon at `socket`.
+    pub fn call(socket: &Path, request: &Request) -> Result<Response, EaseError> {
+        let mut stream = UnixStream::connect(socket)?;
+        write_frame(&mut stream, &encode_request(request))?;
+        stream.shutdown(std::net::Shutdown::Write).ok();
+        let payload = read_frame(&mut stream)?;
+        decode_response(&payload)
+    }
+}
+
+#[cfg(not(unix))]
+mod portable_stubs {
+    use super::*;
+
+    /// Handle stub on platforms without unix sockets. [`serve`] always
+    /// fails there, so no value of this type can ever exist — the
+    /// `Infallible` field makes that a type-level fact, and every method
+    /// body is the empty match. Callers (`ease serve`, `bench_pr5`,
+    /// `tests/serve.rs`) compile unchanged on every platform.
+    pub struct ServerHandle {
+        never: std::convert::Infallible,
+    }
+
+    impl ServerHandle {
+        pub fn socket_path(&self) -> &Path {
+            match self.never {}
+        }
+
+        pub fn requests_served(&self) -> u64 {
+            match self.never {}
+        }
+
+        pub fn is_shutting_down(&self) -> bool {
+            match self.never {}
+        }
+
+        pub fn trigger_shutdown(&self) {
+            match self.never {}
+        }
+
+        pub fn join(self) -> Result<ServeSummary, EaseError> {
+            match self.never {}
+        }
+    }
+
+    /// Unix-domain sockets are unavailable on this platform; the protocol
+    /// codec above still compiles and round-trips for tests.
+    pub fn serve(
+        _service: Arc<EaseService>,
+        _config: ServeConfig,
+    ) -> Result<ServerHandle, EaseError> {
+        Err(ServeError::Unsupported.into())
+    }
+
+    pub fn call(_socket: &Path, _request: &Request) -> Result<Response, EaseError> {
+        Err(ServeError::Unsupported.into())
+    }
+}
+
+#[cfg(not(unix))]
+pub use portable_stubs::{call, serve, ServerHandle};
+
+/// Unwrap an [`Response::Answer`], mapping a server-side
+/// [`Response::Error`] to the typed [`ServeError::Remote`] (clients print
+/// it exactly as the one-shot CLI prints the same failure).
+pub fn expect_answer(response: Response) -> Result<String, EaseError> {
+    match response {
+        Response::Answer(text) => Ok(text),
+        Response::Error(msg) => Err(ServeError::Remote(msg).into()),
+        other => Err(proto_err(format!("expected an answer, got {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_request(req: Request) {
+        let bytes = encode_request(&req);
+        assert_eq!(decode_request(&bytes).unwrap(), req);
+    }
+
+    fn round_trip_response(resp: Response) {
+        let bytes = encode_response(&resp);
+        assert_eq!(decode_response(&bytes).unwrap(), resp);
+    }
+
+    #[test]
+    fn request_codec_round_trips_every_variant() {
+        round_trip_request(Request::Ping);
+        round_trip_request(Request::Recommend {
+            graph: "/tmp/graph.bel".into(),
+            workload: "pr".into(),
+            k: Some(8),
+            goal: OptGoal::ProcessingOnly,
+            top: 11,
+            cwd: None,
+        });
+        round_trip_request(Request::Recommend {
+            graph: "rel/path with spaces.txt".into(),
+            workload: "cc".into(),
+            k: None,
+            goal: OptGoal::EndToEnd,
+            top: DEFAULT_TOP,
+            cwd: Some("/home/someone".into()),
+        });
+        round_trip_request(Request::Features {
+            graph: "g.txt".into(),
+            tier: PropertyTier::Basic,
+            cwd: Some("/srv".into()),
+        });
+        round_trip_request(Request::CacheStats);
+        round_trip_request(Request::Shutdown);
+    }
+
+    #[test]
+    fn graph_paths_resolve_against_the_client_cwd() {
+        // relative path + client cwd: the daemon must answer for the
+        // client's file, wherever the daemon itself was started
+        assert_eq!(resolve_graph_path("data.txt", Some("/home/u")), Path::new("/home/u/data.txt"));
+        assert_eq!(resolve_graph_path("a/b.bel", Some("/srv")), Path::new("/srv/a/b.bel"));
+        // absolute paths ignore the cwd; a missing cwd resolves as-is
+        assert_eq!(resolve_graph_path("/abs/g.txt", Some("/srv")), Path::new("/abs/g.txt"));
+        assert_eq!(resolve_graph_path("rel.txt", None), Path::new("rel.txt"));
+    }
+
+    #[test]
+    fn response_codec_round_trips_every_variant() {
+        round_trip_response(Response::Pong { version: PROTOCOL_VERSION });
+        round_trip_response(Response::Answer("two\nlines\n".into()));
+        round_trip_response(Response::CacheStats(ServeStats {
+            hits: 10,
+            misses: 3,
+            evictions: 1,
+            len: 2,
+            capacity: 64,
+            requests_served: 14,
+        }));
+        round_trip_response(Response::Error("no model trained for workload `x`".into()));
+        round_trip_response(Response::ShuttingDown);
+    }
+
+    #[test]
+    fn malformed_payloads_are_typed_protocol_errors() {
+        let is_protocol = |e: EaseError| {
+            assert!(
+                matches!(e, EaseError::Serve(ServeError::Protocol(_))),
+                "expected a protocol error, got {e:?}"
+            );
+        };
+        // empty, version skew, unknown tag, truncation, trailing bytes
+        is_protocol(decode_request(&[]).unwrap_err());
+        is_protocol(decode_request(&[PROTOCOL_VERSION + 1, 0]).unwrap_err());
+        is_protocol(decode_request(&[PROTOCOL_VERSION, 99]).unwrap_err());
+        let mut truncated = encode_request(&Request::Features {
+            graph: "abcdef.txt".into(),
+            tier: PropertyTier::Advanced,
+            cwd: None,
+        });
+        truncated.truncate(truncated.len() - 3);
+        is_protocol(decode_request(&truncated).unwrap_err());
+        let mut trailing = encode_request(&Request::Ping);
+        trailing.push(0);
+        is_protocol(decode_request(&trailing).unwrap_err());
+        is_protocol(decode_response(&[PROTOCOL_VERSION, 77]).unwrap_err());
+    }
+
+    #[test]
+    fn frames_round_trip_and_reject_garbage() {
+        let payload = encode_request(&Request::CacheStats);
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload).unwrap();
+        assert_eq!(&wire[..2], &FRAME_MAGIC);
+        let back = read_frame(&mut wire.as_slice()).unwrap();
+        assert_eq!(back, payload);
+        // wrong magic
+        let mut bad = wire.clone();
+        bad[0] = b'G';
+        assert!(matches!(
+            read_frame(&mut bad.as_slice()).unwrap_err(),
+            EaseError::Serve(ServeError::Protocol(_))
+        ));
+        // a length prefix past the cap must be refused before allocation
+        let mut oversized = Vec::new();
+        oversized.extend_from_slice(&FRAME_MAGIC);
+        oversized.extend_from_slice(&(MAX_FRAME_BYTES as u32 + 1).to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut oversized.as_slice()).unwrap_err(),
+            EaseError::Serve(ServeError::Protocol(_))
+        ));
+        // peer vanishing mid-frame is Disconnected, not a parse panic
+        assert!(matches!(
+            read_frame(&mut wire[..3].to_vec().as_slice()).unwrap_err(),
+            EaseError::Serve(ServeError::Disconnected)
+        ));
+        // writers refuse to emit an oversized frame
+        let huge = vec![0u8; MAX_FRAME_BYTES + 1];
+        assert!(write_frame(&mut Vec::new(), &huge).is_err());
+    }
+
+    #[test]
+    fn expect_answer_maps_remote_errors() {
+        assert_eq!(expect_answer(Response::Answer("ok".into())).unwrap(), "ok");
+        match expect_answer(Response::Error("boom".into())).unwrap_err() {
+            EaseError::Serve(ServeError::Remote(msg)) => assert_eq!(msg, "boom"),
+            other => panic!("expected Remote, got {other:?}"),
+        }
+        assert!(expect_answer(Response::ShuttingDown).is_err());
+    }
+
+    #[test]
+    fn stats_render_is_stable() {
+        let s = ServeStats {
+            hits: 5,
+            misses: 2,
+            evictions: 0,
+            len: 2,
+            capacity: 64,
+            requests_served: 9,
+        };
+        let text = s.render();
+        assert!(text.contains("hits=5 misses=2 evictions=0 len=2/64"));
+        assert!(text.contains("requests served: 9"));
+    }
+}

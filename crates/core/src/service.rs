@@ -269,11 +269,12 @@ struct PropertyCache {
     entries: Vec<(u64, GraphProperties)>,
     hits: u64,
     misses: u64,
+    evictions: u64,
 }
 
 impl PropertyCache {
     fn new(capacity: usize) -> Self {
-        PropertyCache { capacity, entries: Vec::new(), hits: 0, misses: 0 }
+        PropertyCache { capacity, entries: Vec::new(), hits: 0, misses: 0, evictions: 0 }
     }
 
     fn get(&mut self, key: u64) -> Option<GraphProperties> {
@@ -297,6 +298,7 @@ impl PropertyCache {
             self.entries.remove(pos);
         } else if self.entries.len() >= self.capacity {
             self.entries.remove(0);
+            self.evictions += 1;
         }
         self.entries.push((key, props));
     }
@@ -307,6 +309,9 @@ impl PropertyCache {
 pub struct PropertyCacheStats {
     pub hits: u64,
     pub misses: u64,
+    /// LRU entries displaced by capacity pressure since the service was
+    /// constructed (re-inserting an existing key never evicts).
+    pub evictions: u64,
     pub len: usize,
     pub capacity: usize,
 }
@@ -466,6 +471,7 @@ impl EaseService {
         PropertyCacheStats {
             hits: cache.hits,
             misses: cache.misses,
+            evictions: cache.evictions,
             len: cache.entries.len(),
             capacity: cache.capacity,
         }
@@ -1003,15 +1009,71 @@ mod tests {
         let props = GraphProperties::compute_advanced(&socfb_analogue(Scale::Tiny, 1).graph);
         cache.insert(1, props.clone());
         cache.insert(2, props.clone());
+        assert_eq!(cache.evictions, 0, "filling to capacity evicts nothing");
         assert!(cache.get(1).is_some()); // 1 becomes most recent
         cache.insert(3, props.clone()); // evicts 2
+        assert_eq!(cache.evictions, 1);
         assert!(cache.get(2).is_none());
         assert!(cache.get(1).is_some());
         assert!(cache.get(3).is_some());
         // re-inserting an existing key must not evict anyone
-        cache.insert(1, props);
+        cache.insert(1, props.clone());
         assert!(cache.get(3).is_some());
         assert_eq!(cache.entries.len(), 2);
+        assert_eq!(cache.evictions, 1, "refresh of a resident key is not an eviction");
+        // every further displacement is counted
+        cache.insert(4, props.clone());
+        cache.insert(5, props);
+        assert_eq!(cache.evictions, 3);
+    }
+
+    #[test]
+    fn concurrent_recommend_prepared_keeps_cache_stats_coherent() {
+        let service = tiny_builder().train().unwrap();
+        let graphs: Vec<_> = (0..3).map(|i| socfb_analogue(Scale::Tiny, 60 + i).graph).collect();
+        let wl = Workload::PageRank { iterations: 3 };
+        const CLIENTS: usize = 8;
+        const REQS_PER_CLIENT: usize = 6;
+        let baseline: Vec<Selection> = graphs
+            .iter()
+            .map(|g| {
+                service
+                    .recommend(&GraphProperties::compute_advanced(g), wl, OptGoal::EndToEnd)
+                    .unwrap()
+            })
+            .collect();
+        // reset point: stats after the baseline queries (which bypassed the cache)
+        let before = service.property_cache_stats();
+        assert_eq!((before.hits, before.misses), (0, 0));
+        std::thread::scope(|scope| {
+            for c in 0..CLIENTS {
+                let service = &service;
+                let graphs = &graphs;
+                let baseline = &baseline;
+                scope.spawn(move || {
+                    for r in 0..REQS_PER_CLIENT {
+                        let which = (c + r) % graphs.len();
+                        let prepared = ease_graph::PreparedGraph::of(&graphs[which]);
+                        let sel =
+                            service.recommend_prepared(&prepared, wl, OptGoal::EndToEnd).unwrap();
+                        assert_eq!(sel.best, baseline[which].best, "client {c} req {r}");
+                        for (a, b) in sel.candidates.iter().zip(&baseline[which].candidates) {
+                            assert_eq!(a.end_to_end_secs.to_bits(), b.end_to_end_secs.to_bits());
+                        }
+                    }
+                });
+            }
+        });
+        let stats = service.property_cache_stats();
+        let total = (CLIENTS * REQS_PER_CLIENT) as u64;
+        // exactly one cache lookup per query; a first query per graph misses,
+        // and concurrent first queries may race to a redundant (but
+        // identical) extraction — misses is bounded by the client count
+        assert_eq!(stats.hits + stats.misses, total);
+        assert!(stats.misses >= graphs.len() as u64, "each distinct graph misses at least once");
+        assert!(stats.misses <= CLIENTS as u64 * graphs.len() as u64);
+        assert_eq!(stats.len, graphs.len(), "one resident entry per distinct fingerprint");
+        assert_eq!(stats.evictions, 0, "far below capacity: nothing displaced");
     }
 
     #[test]

@@ -40,7 +40,7 @@ pub use csr::Csr;
 pub use degree::DegreeTable;
 pub use edge_list::Graph;
 pub use io::GraphIoError;
-pub use prepared::PreparedGraph;
+pub use prepared::{PreparedGraph, SourceBackedGraph};
 pub use properties::{GraphProperties, PropertyTier};
-pub use source::{GraphSource, TextStreamSource};
+pub use source::{is_bel_path, open_path, GraphSource, TextStreamSource};
 pub use types::{Edge, VertexId};

@@ -30,8 +30,10 @@
 //! owned `Vec<Edge>` — derived structure is built straight off the source's
 //! replayable stream. Edge access goes through
 //! [`PreparedGraph::for_each_edge`] (monomorphized slice loop for in-memory
-//! graphs, streaming replay otherwise); [`PreparedGraph::graph`] is only
-//! available on graph-backed contexts.
+//! graphs, streaming replay otherwise); [`PreparedGraph::graph`] returns a
+//! typed [`SourceBackedGraph`] error on source-backed contexts, so even a
+//! long-running daemon can never be crashed by an accessor that assumes an
+//! in-memory edge list.
 //!
 //! ```
 //! use ease_graph::{Graph, PreparedGraph, PropertyTier};
@@ -56,6 +58,27 @@ use crate::properties::{GraphProperties, PropertyTier};
 use crate::source::{each_edge, fingerprint_source_sharded, GraphSource};
 use crate::triangles::{self, TriangleStats};
 use crate::types::Edge;
+
+/// Typed error of [`PreparedGraph::graph`]: the context is backed by a
+/// replayable [`GraphSource`] (mmap'd `.bel`, streamed text, …) and holds
+/// no in-memory [`Graph`] to hand out. Materializing one would defeat the
+/// zero-copy ingestion path, so the accessor refuses instead — with an
+/// error a server loop can route, not a panic that would take the process
+/// down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SourceBackedGraph;
+
+impl std::fmt::Display for SourceBackedGraph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "graph context is source-backed (mmap/stream): no in-memory edge list \
+             is materialized; use for_each_edge or try_graph"
+        )
+    }
+}
+
+impl std::error::Error for SourceBackedGraph {}
 
 /// How the context holds its graph: a borrowed or `Arc`-shared in-memory
 /// [`Graph`], or any other [`GraphSource`] (borrowed or owned).
@@ -171,15 +194,16 @@ impl<'g> PreparedGraph<'g> {
         }
     }
 
-    /// The underlying in-memory graph. Panics on source-backed contexts —
-    /// they exist precisely so no owned edge list is materialized; use
-    /// [`PreparedGraph::for_each_edge`] / [`PreparedGraph::try_graph`].
+    /// The underlying in-memory graph. Source-backed contexts (mmap /
+    /// stream) exist precisely so no owned edge list is materialized, so
+    /// for them this is a typed [`SourceBackedGraph`] error — never a
+    /// panic. Long-running callers (the `ease serve` daemon) must stay
+    /// alive no matter which ingestion backend a request arrives on; use
+    /// [`PreparedGraph::for_each_edge`] for backend-agnostic edge access
+    /// or [`PreparedGraph::try_graph`] when `Option` is more convenient.
     #[inline]
-    pub fn graph(&self) -> &Graph {
-        self.try_graph().expect(
-            "PreparedGraph::graph() on a source-backed context (mmap/stream); \
-             use for_each_edge or try_graph",
-        )
+    pub fn graph(&self) -> Result<&Graph, SourceBackedGraph> {
+        self.try_graph().ok_or(SourceBackedGraph)
     }
 
     /// The underlying in-memory graph, if this context wraps one.
@@ -436,11 +460,16 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "source-backed context")]
-    fn graph_accessor_panics_on_source_backed_contexts() {
+    fn graph_accessor_is_a_typed_error_on_source_backed_contexts() {
         let hidden = NoSlice(toy());
         let prepared = PreparedGraph::of_source(&hidden);
-        let _ = prepared.graph();
+        // never a panic: a daemon serving mmap'd inputs must survive any
+        // caller that assumed an in-memory edge list
+        assert_eq!(prepared.graph().unwrap_err(), SourceBackedGraph);
+        assert!(prepared.graph().unwrap_err().to_string().contains("source-backed"));
+        let g = toy();
+        let in_memory = PreparedGraph::of(&g);
+        assert_eq!(in_memory.graph().expect("graph-backed").num_edges(), g.num_edges());
     }
 
     #[test]

@@ -102,6 +102,29 @@ pub fn each_edge_in<F: FnMut(Edge)>(source: &dyn GraphSource, range: Range<usize
     }
 }
 
+/// True when `path` names a binary edge list by extension
+/// (`.bel`, case-insensitive).
+pub fn is_bel_path(path: &Path) -> bool {
+    path.extension().is_some_and(|e| e.eq_ignore_ascii_case("bel"))
+}
+
+/// Open a graph file for analysis, format-dispatched by extension: `.bel`
+/// files are memory-mapped zero-copy (no owned edge list, validation at
+/// open); everything else is parsed as a whitespace-separated text edge
+/// list into an owned [`Graph`] — analysis makes several passes, and
+/// re-parsing text per pass would dominate every downstream timing.
+///
+/// The handle is `Send + Sync` ([`GraphSource`] supertraits), so one
+/// opened graph can be analyzed from any thread — the `ease serve` daemon
+/// opens request paths on its worker threads through exactly this seam.
+pub fn open_path(path: &Path) -> Result<Box<dyn GraphSource>, GraphIoError> {
+    if is_bel_path(path) {
+        Ok(Box::new(crate::bel::BelSource::open(path)?))
+    } else {
+        Ok(Box::new(crate::io::read_edge_list(path)?))
+    }
+}
+
 /// Split `0..m` into at most `n` contiguous ranges whose boundaries are
 /// multiples of [`FINGERPRINT_BLOCK`] (except the final end).
 pub fn aligned_chunks(m: usize, n: usize) -> Vec<Range<usize>> {

@@ -97,14 +97,14 @@ impl DistributedGraph {
                 PartitionData { edges, vertices, edge_src_local, edge_dst_local }
             })
             .collect();
-        let (out_degree, total_degree) = if shared_degrees || prepared.try_graph().is_none() {
+        let (out_degree, total_degree) = match prepared.try_graph() {
+            Some(graph) if !shared_degrees => (graph.out_degrees(), graph.total_degrees()),
             // memoized in the context (and the only option for source-backed
             // contexts, which have no slice to re-derive from)
-            let deg = prepared.degrees();
-            (deg.out.clone(), deg.total.clone())
-        } else {
-            let graph = prepared.graph();
-            (graph.out_degrees(), graph.total_degrees())
+            _ => {
+                let deg = prepared.degrees();
+                (deg.out.clone(), deg.total.clone())
+            }
         };
         DistributedGraph { parts, master, replicas, out_degree, total_degree, num_vertices: n }
     }

@@ -9,6 +9,12 @@
 //! ease inspect --model ease.model
 //! ease recommend --model ease.model --graph graph.bel --workload pr --goal e2e
 //! ease features graph.bel --tier advanced
+//!
+//! # serve the trained model from a resident daemon (warm property cache)
+//! ease serve --model ease.model --socket /tmp/ease.sock &
+//! ease client recommend --socket /tmp/ease.sock --graph graph.bel --workload pr
+//! ease recommend --daemon /tmp/ease.sock --graph graph.bel --workload pr
+//! ease client shutdown --socket /tmp/ease.sock
 //! ```
 //!
 //! Graph inputs are format-dispatched by extension: `.bel` files are
@@ -21,14 +27,16 @@ use ease_repro::core::profiling::TimingMode;
 use ease_repro::graph::bel::{BelSource, BelWriter};
 use ease_repro::graph::io::TextEdgeListWriter;
 use ease_repro::graph::source::TextStreamSource;
-use ease_repro::graph::{Edge, GraphProperties, GraphSource, PropertyTier};
+use ease_repro::graph::{is_bel_path, open_path, Edge, GraphSource, PropertyTier};
 use ease_repro::graphgen::realworld::{generate_typed, GraphType};
 use ease_repro::graphgen::rmat::{Rmat, RMAT_COMBOS};
 use ease_repro::graphgen::Scale;
 use ease_repro::procsim::Workload;
-use ease_repro::{EaseError, EaseService, EaseServiceBuilder, OptGoal, PreparedGraph};
+use ease_repro::serve::{self, Request, ServeConfig};
+use ease_repro::{EaseError, EaseService, EaseServiceBuilder, OptGoal};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 const USAGE: &str = "ease — partitioner selection with EASE (Merkel et al., ICDE 2023)
 
@@ -42,6 +50,9 @@ SUBCOMMANDS:
     inspect      Print a saved service's provenance and chosen models
     gen          Generate a synthetic graph file to experiment with
     convert      Convert between text and binary (.bel) edge lists
+    serve        Run a resident recommendation daemon on a unix socket
+    client       Talk to a running daemon (recommend, features, cache-stats,
+                 ping, shutdown)
 
 Graph files ending in `.bel` are memory-mapped binary edge lists (header +
 little-endian u64 pairs); anything else is a whitespace-separated text edge
@@ -60,18 +71,37 @@ TRAIN OPTIONS:
     --max-large <n>       Cap the time-training corpus
 
 RECOMMEND OPTIONS:
-    --model <path>        Saved service (required)
+    --model <path>        Saved service (required unless --daemon)
     --graph <path>        Edge list, text or .bel (required)
     --workload <w>        pr | cc | sssp | kcores | lp | synthetic-low |
                           synthetic-high                  [default: pr]
     --k <n>               Partition count                 [default: service]
     --goal <g>            e2e | processing                [default: e2e]
     --top <n>             How many candidates to print    [default: 5]
+    --daemon <socket>     Proxy the query to a running `ease serve` daemon
+                          instead of loading a model; the answer is
+                          bit-identical to the one-shot output
 
 FEATURES OPTIONS:
     <edge-list>           Edge-list file, text or .bel (positional;
                           --graph <path> also accepted)
     --tier <t>            simple | basic | advanced       [default: advanced]
+    --daemon <socket>     Proxy the extraction to a running daemon
+
+SERVE OPTIONS:
+    --model <path>        Saved service to load and keep warm (required)
+    --socket <path>       Unix socket path to bind (required)
+    --workers <n>         Request worker threads     [default: cores, 2..8]
+    The daemon loads the model once and keeps the fingerprint-keyed
+    property cache warm across requests and clients. Stop it with
+    `ease client shutdown` (graceful: drains in-flight requests, removes
+    the socket file, exits 0).
+
+CLIENT OPTIONS:
+    ease client <action> --socket <path> [query options]
+    Actions: recommend | features | cache-stats | ping | shutdown
+    recommend and features take the same query options as the one-shot
+    subcommands and print byte-identical answers.
 
 INSPECT OPTIONS:
     --model <path>        Saved service (required)
@@ -109,6 +139,8 @@ fn main() -> ExitCode {
         "inspect" => cmd_inspect(&args[1..]),
         "gen" => cmd_gen(&args[1..]),
         "convert" => cmd_convert(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
+        "client" => cmd_client(&args[1..]),
         "--help" | "-h" | "help" => {
             print!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -215,20 +247,13 @@ fn parse_goal(flags: &Flags) -> Result<OptGoal, CliError> {
     })
 }
 
-fn is_bel(path: &Path) -> bool {
-    path.extension().is_some_and(|e| e.eq_ignore_ascii_case("bel"))
-}
-
-/// Open a graph for analysis, format-dispatched by extension: `.bel` files
-/// are memory-mapped zero-copy (no owned edge list); text edge lists are
-/// materialized (analysis makes several passes — re-parsing text per pass
-/// would dominate every timing).
-fn open_graph(path: &Path) -> Result<Box<dyn GraphSource>, CliError> {
-    if is_bel(path) {
-        Ok(Box::new(BelSource::open(path)?))
-    } else {
-        Ok(Box::new(ease_repro::graph::io::read_edge_list(path)?))
-    }
+fn parse_tier(flags: &Flags) -> Result<PropertyTier, CliError> {
+    Ok(match flags.get("tier") {
+        None | Some("advanced") => PropertyTier::Advanced,
+        Some("basic") => PropertyTier::Basic,
+        Some("simple") => PropertyTier::Simple,
+        Some(other) => return Err(CliError::Usage(format!("unknown tier `{other}`"))),
+    })
 }
 
 /// A streaming edge writer, format-dispatched like [`open_graph`].
@@ -243,7 +268,7 @@ impl EdgeOut {
             Some("bel") => true,
             Some("txt") | Some("text") => false,
             Some(other) => return Err(CliError::Usage(format!("unknown format `{other}`"))),
-            None => is_bel(path),
+            None => is_bel_path(path),
         };
         let out = if bel {
             EdgeOut::Bel(BelWriter::create(path).map_err(EaseError::Io)?)
@@ -369,120 +394,209 @@ fn cmd_train(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
-fn cmd_recommend(args: &[String]) -> Result<(), CliError> {
-    let flags = Flags::parse(args, &[])?;
-    let model = PathBuf::from(flags.require("model")?);
-    let graph_path = PathBuf::from(flags.require("graph")?);
-    let workload = parse_workload(flags.get("workload").unwrap_or("pr"))?;
-    let goal = parse_goal(&flags)?;
-    let top = flags.parse_num::<usize>("top")?.unwrap_or(5);
+/// The recommend query shared by the one-shot path, the `--daemon` proxy
+/// and `ease client recommend` — all three parse the same flags.
+struct RecommendArgs {
+    graph: String,
+    workload_name: String,
+    k: Option<usize>,
+    goal: OptGoal,
+    top: usize,
+}
 
-    let service = EaseService::load(&model)?;
-    // format-dispatched ingestion: `.bel` mmaps, text materializes
-    let source = open_graph(&graph_path)?;
-    let n = source.num_vertices();
-    let m = source.edge_count();
-    println!(
-        "graph {}: |V|={} |E|={} mean-degree {:.2}",
-        graph_path.display(),
-        n,
-        m,
-        if n > 0 { 2.0 * m as f64 / n as f64 } else { 0.0 }
-    );
-    let k = flags.parse_num::<usize>("k")?.unwrap_or(service.meta().default_k);
-    // graph-in query: extraction goes through the service's
-    // fingerprint-keyed property cache; `.bel` inputs are analyzed
-    // straight off the mapping (no owned edge list)
-    let prepared = PreparedGraph::of_source(source.as_ref());
-    let selection = service.recommend_prepared_with_k(&prepared, workload, k, goal)?;
-    println!(
-        "recommended partitioner for {} (k={k}, goal {}): {}",
-        workload.label(),
-        selection.goal.name(),
-        selection.best.name()
-    );
-    let mut ranked = selection.candidates.clone();
-    ranked.sort_by(|a, b| {
-        let cost = |c: &ease_repro::core::selector::PredictedCosts| match goal {
-            OptGoal::EndToEnd => c.end_to_end_secs,
-            OptGoal::ProcessingOnly => c.processing_secs,
-        };
-        cost(a).partial_cmp(&cost(b)).expect("finite predictions")
-    });
-    println!(
-        "{:<10} {:>12} {:>12} {:>12} {:>8}",
-        "candidate", "pred-part", "pred-proc", "pred-e2e", "rf"
-    );
-    for c in ranked.iter().take(top) {
-        println!(
-            "{:<10} {:>11.4}s {:>11.4}s {:>11.4}s {:>8.2}",
-            c.partitioner.name(),
-            c.partitioning_secs,
-            c.processing_secs,
-            c.end_to_end_secs,
-            c.quality.replication_factor
-        );
+impl RecommendArgs {
+    fn from_flags(flags: &Flags) -> Result<RecommendArgs, CliError> {
+        let workload_name = flags.get("workload").unwrap_or("pr").to_string();
+        // validate client-side so a typo is a usage error (exit 2) before
+        // any socket or model is touched — identical to one-shot behaviour
+        parse_workload(&workload_name)?;
+        Ok(RecommendArgs {
+            graph: flags.require("graph")?.to_string(),
+            workload_name,
+            k: flags.parse_num::<usize>("k")?,
+            goal: parse_goal(flags)?,
+            top: flags.parse_num::<usize>("top")?.unwrap_or(serve::DEFAULT_TOP),
+        })
     }
+
+    fn into_request(self) -> Request {
+        Request::Recommend {
+            graph: self.graph,
+            workload: self.workload_name,
+            k: self.k,
+            goal: self.goal,
+            top: self.top,
+            cwd: client_cwd(),
+        }
+    }
+}
+
+/// The client's working directory, sent with daemon-bound requests so the
+/// server resolves relative graph paths against *this* process's cwd, not
+/// the daemon's.
+fn client_cwd() -> Option<String> {
+    std::env::current_dir().ok().and_then(|d| d.to_str().map(String::from))
+}
+
+/// Answer a recommend query locally from a saved model — the one-shot path.
+/// Rendering and extraction go through [`serve::render_recommendation`],
+/// the same function the daemon answers with, so both paths emit identical
+/// bytes for identical queries.
+fn recommend_one_shot(model: &Path, q: RecommendArgs) -> Result<(), CliError> {
+    let service = EaseService::load(model)?;
+    let workload = parse_workload(&q.workload_name)?;
+    // format-dispatched ingestion: `.bel` mmaps, text materializes
+    let source = open_path(Path::new(&q.graph)).map_err(EaseError::from)?;
+    let k = q.k.unwrap_or(service.meta().default_k);
+    let text = serve::render_recommendation(
+        &service,
+        &q.graph,
+        source.as_ref(),
+        workload,
+        k,
+        q.goal,
+        q.top,
+    )?;
+    print!("{text}");
     Ok(())
 }
 
-fn cmd_features(args: &[String]) -> Result<(), CliError> {
-    // accept the edge list as a positional first argument or via --graph
+/// Send one request to a daemon and print the rendered answer verbatim.
+fn proxy_to_daemon(socket: &Path, request: Request) -> Result<(), CliError> {
+    let response = serve::call(socket, &request)?;
+    print!("{}", serve::expect_answer(response)?);
+    Ok(())
+}
+
+fn cmd_recommend(args: &[String]) -> Result<(), CliError> {
+    let flags = Flags::parse(args, &[])?;
+    let q = RecommendArgs::from_flags(&flags)?;
+    match flags.get("daemon") {
+        // proxy: the daemon's warm service answers; no model load here
+        Some(socket) => proxy_to_daemon(Path::new(socket), q.into_request()),
+        None => recommend_one_shot(Path::new(flags.require("model")?), q),
+    }
+}
+
+/// Parse the `features` argument shape: a positional edge-list path or
+/// `--graph`, plus flags.
+fn features_args(args: &[String]) -> Result<(String, Flags), CliError> {
     let (positional, rest) = match args.first() {
         Some(first) if !first.starts_with("--") => (Some(first.clone()), &args[1..]),
         _ => (None, args),
     };
     let flags = Flags::parse(rest, &[])?;
-    let graph_path = match (&positional, flags.get("graph")) {
-        (Some(p), _) => PathBuf::from(p),
-        (None, Some(p)) => PathBuf::from(p),
+    let graph = match (positional, flags.get("graph")) {
+        (Some(p), _) => p,
+        (None, Some(p)) => p.to_string(),
         (None, None) => return Err(CliError::Usage("features needs an edge-list path".into())),
     };
-    let tier = match flags.get("tier") {
-        None | Some("advanced") => PropertyTier::Advanced,
-        Some("basic") => PropertyTier::Basic,
-        Some("simple") => PropertyTier::Simple,
-        Some(other) => return Err(CliError::Usage(format!("unknown tier `{other}`"))),
-    };
-    let source = open_graph(&graph_path)?;
+    Ok((graph, flags))
+}
 
-    // cold: throwaway context per extraction (what a naive caller pays)
-    let t = std::time::Instant::now();
-    let cold = PreparedGraph::of_source(source.as_ref()).properties(tier);
-    let cold_secs = t.elapsed().as_secs_f64();
-    // prepared: one shared context; the first extraction builds the caches,
-    // the second shows the steady-state cost of a warmed context
-    let prepared = PreparedGraph::of_source(source.as_ref());
-    let t = std::time::Instant::now();
-    let first = GraphProperties::compute_prepared(&prepared, tier);
-    let first_secs = t.elapsed().as_secs_f64();
-    let t = std::time::Instant::now();
-    let warm = GraphProperties::compute_prepared(&prepared, tier);
-    let warm_secs = t.elapsed().as_secs_f64();
-    assert_eq!(cold, first, "prepared extraction must match the cold path");
-    assert_eq!(first, warm);
-
-    println!(
-        "graph {} (|V|={} |E|={}): {} tier",
-        graph_path.display(),
-        source.num_vertices(),
-        source.edge_count(),
-        tier.name()
-    );
-    println!("{:<20} {:>18}", "feature", "value");
-    for (name, value) in GraphProperties::feature_names(tier).iter().zip(cold.feature_vector(tier))
-    {
-        println!("{name:<20} {value:>18.6}");
+fn cmd_features(args: &[String]) -> Result<(), CliError> {
+    let (graph, flags) = features_args(args)?;
+    let tier = parse_tier(&flags)?;
+    if let Some(socket) = flags.get("daemon") {
+        return proxy_to_daemon(
+            Path::new(socket),
+            Request::Features { graph, tier, cwd: client_cwd() },
+        );
     }
-    println!("fingerprint          0x{:016x}", prepared.fingerprint());
-    let speedup = if warm_secs > 0.0 { cold_secs / warm_secs } else { f64::INFINITY };
-    println!(
-        "extraction: cold {:.3} ms | prepared first {:.3} ms | prepared warm {:.3} ms ({speedup:.0}x)",
-        cold_secs * 1e3,
-        first_secs * 1e3,
-        warm_secs * 1e3,
-    );
+    let source = open_path(Path::new(&graph)).map_err(EaseError::from)?;
+    print!("{}", serve::render_features(&graph, source.as_ref(), tier)?);
     Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), CliError> {
+    let flags = Flags::parse(args, &[])?;
+    let model = PathBuf::from(flags.require("model")?);
+    let socket = PathBuf::from(flags.require("socket")?);
+    let workers = flags.parse_num::<usize>("workers")?.unwrap_or_else(ServeConfig::default_workers);
+    if workers == 0 {
+        return Err(CliError::Usage("--workers must be >= 1".into()));
+    }
+    let service = Arc::new(EaseService::load(&model)?);
+    let cache = service.property_cache_stats();
+    let handle = serve::serve(service, ServeConfig::at(&socket).workers(workers))?;
+    eprintln!(
+        "ease serve: model {} on {} ({workers} workers, property cache {} warm / {} capacity)",
+        model.display(),
+        socket.display(),
+        cache.len,
+        cache.capacity,
+    );
+    eprintln!("ease serve: stop with `ease client shutdown --socket {}`", socket.display());
+    let summary = handle.join()?;
+    eprintln!("ease serve: drained after {} requests", summary.requests_served);
+    Ok(())
+}
+
+fn cmd_client(args: &[String]) -> Result<(), CliError> {
+    let Some(action) = args.first() else {
+        return Err(CliError::Usage(
+            "client needs an action: recommend | features | cache-stats | ping | shutdown".into(),
+        ));
+    };
+    let rest = &args[1..];
+    match action.as_str() {
+        "recommend" => {
+            let flags = Flags::parse(rest, &[])?;
+            let socket = PathBuf::from(flags.require("socket")?);
+            let q = RecommendArgs::from_flags(&flags)?;
+            proxy_to_daemon(&socket, q.into_request())
+        }
+        "features" => {
+            let (graph, flags) = features_args(rest)?;
+            let socket = PathBuf::from(flags.require("socket")?);
+            let tier = parse_tier(&flags)?;
+            proxy_to_daemon(&socket, Request::Features { graph, tier, cwd: client_cwd() })
+        }
+        "cache-stats" => {
+            let socket = client_socket(rest)?;
+            match serve::call(&socket, &Request::CacheStats)? {
+                serve::Response::CacheStats(stats) => {
+                    print!("{}", stats.render());
+                    Ok(())
+                }
+                other => Err(unexpected_response(other)),
+            }
+        }
+        "ping" => {
+            let socket = client_socket(rest)?;
+            match serve::call(&socket, &Request::Ping)? {
+                serve::Response::Pong { version } => {
+                    println!("pong (protocol v{version})");
+                    Ok(())
+                }
+                other => Err(unexpected_response(other)),
+            }
+        }
+        "shutdown" => {
+            let socket = client_socket(rest)?;
+            match serve::call(&socket, &Request::Shutdown)? {
+                serve::Response::ShuttingDown => {
+                    eprintln!("daemon on {} is shutting down", socket.display());
+                    Ok(())
+                }
+                other => Err(unexpected_response(other)),
+            }
+        }
+        other => Err(CliError::Usage(format!(
+            "unknown client action `{other}` (recommend | features | cache-stats | ping | shutdown)"
+        ))),
+    }
+}
+
+fn client_socket(args: &[String]) -> Result<PathBuf, CliError> {
+    let flags = Flags::parse(args, &[])?;
+    Ok(PathBuf::from(flags.require("socket")?))
+}
+
+fn unexpected_response(response: serve::Response) -> CliError {
+    CliError::Ease(
+        ease_repro::ServeError::Protocol(format!("unexpected response {response:?}")).into(),
+    )
 }
 
 fn cmd_inspect(args: &[String]) -> Result<(), CliError> {
@@ -590,7 +704,7 @@ fn cmd_convert(args: &[String]) -> Result<(), CliError> {
     }
     // Streaming in both directions: text input goes through the validating
     // stream reader (never holds the file), `.bel` input through the mmap.
-    let source: Box<dyn GraphSource> = if is_bel(&input) {
+    let source: Box<dyn GraphSource> = if is_bel_path(&input) {
         Box::new(BelSource::open(&input)?)
     } else {
         Box::new(TextStreamSource::open(&input)?)

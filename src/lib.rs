@@ -72,8 +72,9 @@ pub use ease_ml as ml;
 pub use ease_partition as partition;
 pub use ease_procsim as procsim;
 
+pub use ease::serve;
 pub use ease::{
     EaseError, EaseService, EaseServiceBuilder, OptGoal, PropertyCacheStats, RecommendQuery,
-    Selection, ServiceInfo, ServiceMeta,
+    Selection, ServeError, ServiceInfo, ServiceMeta,
 };
 pub use ease_graph::{BelSource, GraphSource, PreparedGraph, TextStreamSource};
