@@ -1,15 +1,20 @@
 #!/usr/bin/env bash
-# `ease serve` smoke — start the daemon in the background, hammer it with
-# concurrent `ease client recommend` calls plus a `--daemon`-proxied
-# recommend, diff every answer against the one-shot CLI output, then
-# exercise graceful shutdown and assert a zero exit.
+# `ease serve` smoke — start the daemon in the background on BOTH its unix
+# socket and a TCP listener, hammer it with concurrent
+# `ease client recommend` calls split across the two transports (the TCP
+# clients speak the pipelined v2 framing), plus `--daemon`- and
+# `--daemon-tcp`-proxied recommends, diff every answer against the
+# one-shot CLI output, then exercise graceful shutdown and a zero exit.
 #
 # Usage: ci/serve_smoke.sh [path-to-ease-binary] [num-concurrent-clients]
+# The TCP port defaults to 38471; override with EASE_SMOKE_PORT.
 # Runs locally and in CI (shellcheck-clean).
 set -euo pipefail
 
 EASE_BIN="${1:-target/release/ease}"
 CLIENTS="${2:-8}"
+PORT="${EASE_SMOKE_PORT:-38471}"
+TCP_ADDR="127.0.0.1:$PORT"
 if [[ ! -x "$EASE_BIN" ]]; then
     echo "ease binary not found at $EASE_BIN (build with: cargo build --release)" >&2
     exit 1
@@ -38,24 +43,26 @@ trap cleanup EXIT
     --workload pr --goal e2e > "$smoke/oneshot_bel.out"
 
 sock="$smoke/ease.sock"
-"$EASE_BIN" serve --model "$smoke/ease.model" --socket "$sock" &
+"$EASE_BIN" serve --model "$smoke/ease.model" --socket "$sock" --tcp "$TCP_ADDR" &
 serve_pid=$!
 
-# wait for the daemon to accept
+# wait for the daemon to accept on both transports
 ready=0
 for _ in $(seq 1 100); do
-    if "$EASE_BIN" client ping --socket "$sock" >/dev/null 2>&1; then
+    if "$EASE_BIN" client ping --socket "$sock" >/dev/null 2>&1 &&
+        "$EASE_BIN" client ping --tcp "$TCP_ADDR" >/dev/null 2>&1; then
         ready=1
         break
     fi
     sleep 0.1
 done
 if [[ "$ready" -ne 1 ]]; then
-    echo "daemon did not become ready" >&2
+    echo "daemon did not become ready on $sock + $TCP_ADDR" >&2
     exit 1
 fi
 
-# N concurrent clients, alternating text and mmap'd .bel ingestion
+# N concurrent clients, alternating text and mmap'd .bel ingestion AND
+# alternating transports — the --tcp clients drive the v2 pipelined path
 pids=()
 for i in $(seq 1 "$CLIENTS"); do
     if (( i % 2 == 0 )); then
@@ -65,8 +72,13 @@ for i in $(seq 1 "$CLIENTS"); do
         graph="$smoke/graph.bel"
         ref="bel"
     fi
+    if (( (i / 2) % 2 == 0 )); then
+        endpoint=(--socket "$sock")
+    else
+        endpoint=(--tcp "$TCP_ADDR")
+    fi
     printf '%s' "$ref" > "$smoke/client_$i.ref"
-    "$EASE_BIN" client recommend --socket "$sock" --graph "$graph" \
+    "$EASE_BIN" client recommend "${endpoint[@]}" --graph "$graph" \
         --workload pr --goal e2e > "$smoke/client_$i.out" &
     pids+=("$!")
 done
@@ -77,12 +89,17 @@ done
 for i in $(seq 1 "$CLIENTS"); do
     diff "$smoke/oneshot_$(cat "$smoke/client_$i.ref").out" "$smoke/client_$i.out"
 done
-echo "all $CLIENTS concurrent client answers are bit-identical to the one-shot CLI"
+echo "all $CLIENTS concurrent client answers (unix + tcp) are bit-identical to the one-shot CLI"
 
 # the --daemon proxy flag answers identically too (no --model needed)
 "$EASE_BIN" recommend --daemon "$sock" --graph "$smoke/graph.txt" \
     --workload pr --goal e2e > "$smoke/proxy.out"
 diff "$smoke/oneshot_txt.out" "$smoke/proxy.out"
+
+# and so does the TCP proxy flag, through the pipelined client
+"$EASE_BIN" recommend --daemon-tcp "$TCP_ADDR" --graph "$smoke/graph.txt" \
+    --workload pr --goal e2e > "$smoke/proxy_tcp.out"
+diff "$smoke/oneshot_txt.out" "$smoke/proxy_tcp.out"
 
 # proxied feature extraction matches one-shot (wall-clock timing line stripped)
 "$EASE_BIN" features "$smoke/graph.bel" --tier advanced \
@@ -91,8 +108,9 @@ diff "$smoke/oneshot_txt.out" "$smoke/proxy.out"
     | head -n -1 > "$smoke/features_proxy.out"
 diff "$smoke/features_oneshot.out" "$smoke/features_proxy.out"
 
-# warm-cache observability over the socket
+# warm-cache observability over both transports
 "$EASE_BIN" client cache-stats --socket "$sock"
+"$EASE_BIN" client cache-stats --tcp "$TCP_ADDR"
 
 # graceful shutdown: daemon drains, removes its socket and exits 0
 "$EASE_BIN" client shutdown --socket "$sock"

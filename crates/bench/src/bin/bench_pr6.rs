@@ -1,0 +1,196 @@
+//! PR 6 benchmark — what the pipelined front buys a warm serving path:
+//!
+//! 1. **Baseline** (the PR 5 serving shape, reproduced faithfully): v1
+//!    framing, a fresh unix connection per request, and the daemon's
+//!    fingerprint memo *disabled* — so every warm query still pays
+//!    connect + accept + graph open + the `O(|E|)` content hash that keys
+//!    the property cache. bench_pr5 showed this caps the daemon near
+//!    ~300 q/s while the in-process cached path does thousands.
+//! 2. **Pipelined** (this PR): v2 framing, many requests in flight over
+//!    *one* connection (unix and TCP), and the stat-keyed fingerprint
+//!    memo on (its default) — warm queries cost one frame each way plus a
+//!    `stat` and a model inference.
+//! 3. **Answer fidelity**: pipelined answers over both transports must be
+//!    bit-identical to the v1 one-shot answer (which `tests/serve.rs` pins
+//!    to the CLI's stdout) — the memo fast path renders through the same
+//!    code as the full path.
+//!
+//! Acceptance (self-asserted here and gated again by `ci/bench_check.sh`
+//! from the recorded `pipelined_speedup_min` bound): the pipelined TCP
+//! front sustains ≥ 10x the baseline QPS.
+//!
+//! Writes `BENCH_pr6.json`.
+//!
+//! ```sh
+//! cargo run --release -p ease-bench --bin bench_pr6
+//! ```
+
+use ease::profiling::TimingMode;
+use ease::selector::OptGoal;
+use ease::serve::{self, Endpoint, Request, ServeConfig};
+use ease::{EaseService, EaseServiceBuilder};
+use ease_graph::bel::BelWriter;
+use ease_graphgen::rmat::{Rmat, RMAT_COMBOS};
+use ease_graphgen::Scale;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+const NUM_VERTICES: usize = 1 << 16;
+const NUM_EDGES: usize = 400_000;
+const ONE_SHOT_REPS: usize = 200;
+const PIPELINED_REPS: usize = 2_000;
+const WINDOW: usize = 32;
+const SPEEDUP_MIN: f64 = 10.0;
+
+fn main() {
+    println!("### BENCH_pr6 — ease serve: pipelined v2 + stat memo vs one-shot-per-connection");
+    let dir = std::env::temp_dir().join(format!("bench_pr6_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create bench dir");
+    let bel_path = dir.join("graph.bel");
+    let model_path = dir.join("ease.model");
+
+    // ---- 0. stream-generate the query graph, train + persist a service --
+    // (same graph and scale as bench_pr5, so the baselines line up)
+    let rmat = Rmat::new(RMAT_COMBOS[6], NUM_VERTICES, NUM_EDGES, 0xEA5E);
+    {
+        let mut bel = BelWriter::create(&bel_path).expect("create bel");
+        let mut write_error = None;
+        rmat.generate_into(&mut |e| {
+            if write_error.is_none() {
+                write_error = bel.push(e).err();
+            }
+        });
+        assert!(write_error.is_none(), "write bel: {write_error:?}");
+        bel.finish_with_vertices(NUM_VERTICES).expect("finish bel");
+    }
+    println!("graph: |V|={NUM_VERTICES} |E|={NUM_EDGES} ({})", bel_path.display());
+    let t = Instant::now();
+    let service = EaseServiceBuilder::at_scale(Scale::Tiny)
+        .quick_grid()
+        .timing(TimingMode::Deterministic)
+        .seed(42)
+        .train()
+        .expect("valid config");
+    let train_secs = t.elapsed().as_secs_f64();
+    service.save(&model_path).expect("save model");
+    println!("trained in {train_secs:.2}s, saved {}", model_path.display());
+    let request = Request::Recommend {
+        graph: bel_path.to_str().expect("utf8 path").to_string(),
+        workload: "pr".to_string(),
+        k: None,
+        goal: OptGoal::EndToEnd,
+        top: serve::DEFAULT_TOP,
+        cwd: None,
+    };
+
+    // ---- 1. baseline daemon: the PR 5 serving shape ---------------------
+    // fingerprint_memo(false) reproduces what shipped before this PR: a
+    // warm daemon that still reopens and content-hashes the graph on every
+    // query to key its property cache
+    let baseline_socket = dir.join("baseline.sock");
+    let baseline_service = Arc::new(EaseService::load(&model_path).expect("load model"));
+    let config = ServeConfig::at(&baseline_socket).workers(2).fingerprint_memo(false);
+    let baseline = serve::serve(Arc::clone(&baseline_service), config).expect("bind baseline");
+    let reference =
+        serve::expect_answer(serve::call(&baseline_socket, &request).expect("warmup call"))
+            .expect("answer");
+    let t = Instant::now();
+    for _ in 0..ONE_SHOT_REPS {
+        let response = serve::call(&baseline_socket, &request).expect("one-shot call");
+        black_box(serve::expect_answer(response).expect("answer"));
+    }
+    let one_shot_total = t.elapsed().as_secs_f64();
+    let one_shot_qps = ONE_SHOT_REPS as f64 / one_shot_total;
+    println!(
+        "baseline v1 (connection per request, no memo): {:.2} ms per query ({one_shot_qps:.0} q/s) \
+         over {ONE_SHOT_REPS} queries",
+        one_shot_total / ONE_SHOT_REPS as f64 * 1e3,
+    );
+    let stats = baseline_service.property_cache_stats();
+    assert_eq!(stats.misses, 1, "baseline still hits the warm property cache");
+    baseline.trigger_shutdown();
+    baseline.join().expect("clean baseline join");
+
+    // ---- 2. this PR's daemon: v2 pipelining + stat memo -----------------
+    let socket = dir.join("ease.sock");
+    let daemon_service = Arc::new(EaseService::load(&model_path).expect("load model"));
+    let config = ServeConfig::at(&socket).tcp("127.0.0.1:0").workers(2);
+    let handle = serve::serve(Arc::clone(&daemon_service), config).expect("bind daemon");
+    let tcp = Endpoint::tcp(handle.tcp_addr().expect("tcp bound").to_string());
+    let unix = Endpoint::unix(&socket);
+    // warmup seeds the property cache and the stat memo
+    let warm =
+        serve::expect_answer(serve::call(&socket, &request).expect("warmup call")).expect("answer");
+    assert_eq!(warm, reference, "memo-on daemon must answer identically to the baseline");
+
+    let requests: Vec<Request> = (0..PIPELINED_REPS).map(|_| request.clone()).collect();
+    let measure = |endpoint: &Endpoint, label: &str| -> (f64, String) {
+        let t = Instant::now();
+        let responses =
+            serve::call_pipelined(endpoint, &requests, WINDOW).expect("pipelined batch");
+        let total = t.elapsed().as_secs_f64();
+        assert_eq!(responses.len(), PIPELINED_REPS);
+        let mut answer = String::new();
+        for response in responses {
+            answer = serve::expect_answer(response).expect("answer");
+        }
+        let qps = PIPELINED_REPS as f64 / total;
+        println!(
+            "pipelined v2 over {label}: {:.3} ms per query ({qps:.0} q/s) \
+             over {PIPELINED_REPS} queries, window {WINDOW}",
+            total / PIPELINED_REPS as f64 * 1e3,
+        );
+        (qps, answer)
+    };
+    let (pipelined_unix_qps, unix_answer) = measure(&unix, "unix");
+    let (pipelined_tcp_qps, tcp_answer) = measure(&tcp, "tcp");
+
+    // ---- 3. answer fidelity ---------------------------------------------
+    // tests/serve.rs pins the v1 daemon answer to the one-shot CLI stdout;
+    // chaining to it here makes all paths mutually bit-identical
+    assert_eq!(unix_answer, reference, "pipelined unix answers must match one-shot v1");
+    assert_eq!(tcp_answer, reference, "pipelined tcp answers must match one-shot v1");
+    println!("fidelity: pipelined answers bit-identical over unix and tcp");
+
+    let stats = daemon_service.property_cache_stats();
+    assert_eq!(stats.misses, 1, "warm queries must never re-hash the graph");
+    handle.trigger_shutdown();
+    let summary = handle.join().expect("clean daemon join");
+    let speedup = pipelined_tcp_qps / one_shot_qps;
+    let unix_speedup = pipelined_unix_qps / one_shot_qps;
+    println!(
+        "pipelined speedup: tcp {speedup:.1}x / unix {unix_speedup:.1}x over the PR 5 shape \
+         (bound {SPEEDUP_MIN}x), daemon served {} requests",
+        summary.requests_served
+    );
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"serve_pipelined_vs_one_shot\",\n  \"pr\": 6,\n  \
+         \"num_vertices\": {NUM_VERTICES},\n  \"num_edges\": {NUM_EDGES},\n  \
+         \"train_secs\": {train_secs:.4},\n  \
+         \"one_shot_reps\": {ONE_SHOT_REPS},\n  \
+         \"one_shot_qps\": {one_shot_qps:.2},\n  \
+         \"pipelined_reps\": {PIPELINED_REPS},\n  \
+         \"pipeline_window\": {WINDOW},\n  \
+         \"pipelined_unix_qps\": {pipelined_unix_qps:.2},\n  \
+         \"pipelined_tcp_qps\": {pipelined_tcp_qps:.2},\n  \
+         \"pipelined_speedup\": {speedup:.3},\n  \
+         \"pipelined_speedup_min\": {SPEEDUP_MIN},\n  \
+         \"answers_bit_identical\": true,\n  \
+         \"note\": \"baseline = the PR 5 serving shape reproduced exactly (v1 framing, fresh \
+         unix connection per request, fingerprint memo off, so every warm query reopens and \
+         content-hashes the graph); pipelined = this PR (v2 framing, one connection, {WINDOW} \
+         requests in flight, out-of-order completion, stat-keyed fingerprint memo on); \
+         speedup = pipelined tcp qps / baseline qps\"\n}}\n",
+    );
+    std::fs::write("BENCH_pr6.json", &json).expect("write BENCH_pr6.json");
+    println!("wrote BENCH_pr6.json");
+    std::fs::remove_dir_all(&dir).ok();
+
+    assert!(
+        speedup >= SPEEDUP_MIN,
+        "acceptance: the pipelined tcp front must sustain >= {SPEEDUP_MIN}x the \
+         one-shot-per-connection baseline QPS, got {speedup:.2}x"
+    );
+}

@@ -1,0 +1,201 @@
+//! Client side of the serve protocol: one-shot v1 calls over the unix
+//! socket (the PR 5 shape, unchanged) and pipelined v2 sessions over
+//! either transport.
+//!
+//! A [`PipelinedClient`] keeps one connection open across many requests:
+//! [`PipelinedClient::send`] tags each request with a fresh `u64` id and
+//! returns immediately, responses come back whenever the daemon finishes
+//! them — possibly out of order — and [`PipelinedClient::recv`] matches
+//! them back up, parking any responses that arrive for other ids.
+//! [`call_pipelined`] drives a whole batch through a bounded window,
+//! which matters: a client that wrote an unbounded burst without reading
+//! would deadlock against the daemon's per-connection in-flight cap
+//! (both sides blocked on full buffers). Keeping the window at or below
+//! the server's [`super::ServeConfig::pipeline_in_flight`] keeps the
+//! pipe moving by construction.
+
+use super::protocol::{
+    decode_response, encode_request, proto_err, read_frame, read_frame_v2, write_frame,
+    write_frame_v2, Request, Response,
+};
+use crate::error::EaseError;
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+
+/// Where a daemon lives: a unix socket path or a TCP address.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// Unix-domain socket path (unix platforms only).
+    Unix(PathBuf),
+    /// TCP `host:port` address.
+    Tcp(String),
+}
+
+impl Endpoint {
+    pub fn unix(socket: impl Into<PathBuf>) -> Endpoint {
+        Endpoint::Unix(socket.into())
+    }
+
+    pub fn tcp(addr: impl Into<String>) -> Endpoint {
+        Endpoint::Tcp(addr.into())
+    }
+}
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Endpoint::Unix(path) => write!(f, "unix:{}", path.display()),
+            Endpoint::Tcp(addr) => write!(f, "tcp:{addr}"),
+        }
+    }
+}
+
+/// Object-safe alias for "any byte stream a client can speak over".
+trait ClientStream: Read + Write + Send {}
+impl<T: Read + Write + Send> ClientStream for T {}
+
+fn connect(endpoint: &Endpoint) -> Result<Box<dyn ClientStream>, EaseError> {
+    match endpoint {
+        Endpoint::Unix(socket) => connect_unix(socket),
+        Endpoint::Tcp(addr) => {
+            let stream = TcpStream::connect(addr)?;
+            // frames are small and latency-sensitive; Nagle would delay
+            // every request behind the previous ACK
+            stream.set_nodelay(true).ok();
+            Ok(Box::new(stream))
+        }
+    }
+}
+
+#[cfg(unix)]
+fn connect_unix(socket: &Path) -> Result<Box<dyn ClientStream>, EaseError> {
+    Ok(Box::new(std::os::unix::net::UnixStream::connect(socket)?))
+}
+
+#[cfg(not(unix))]
+fn connect_unix(_socket: &Path) -> Result<Box<dyn ClientStream>, EaseError> {
+    Err(crate::error::ServeError::Unsupported.into())
+}
+
+/// One v1 request/response exchange with a daemon at `socket` — the PR 5
+/// client, byte-for-byte: connect, one frame out, half-close, one frame
+/// back.
+#[cfg(unix)]
+pub fn call(socket: &Path, request: &Request) -> Result<Response, EaseError> {
+    let mut stream = std::os::unix::net::UnixStream::connect(socket)?;
+    write_frame(&mut stream, &encode_request(request))?;
+    stream.shutdown(std::net::Shutdown::Write).ok();
+    let payload = read_frame(&mut stream)?;
+    decode_response(&payload)
+}
+
+/// Unix-domain sockets are unavailable on this platform; use a TCP
+/// endpoint instead.
+#[cfg(not(unix))]
+pub fn call(_socket: &Path, _request: &Request) -> Result<Response, EaseError> {
+    Err(crate::error::ServeError::Unsupported.into())
+}
+
+/// One request/response exchange with a daemon at `endpoint`. Unix
+/// endpoints speak v1 (identical to [`call`]); TCP endpoints speak a
+/// one-request v2 session — same answers either way, the daemon renders
+/// both through the same code.
+pub fn call_endpoint(endpoint: &Endpoint, request: &Request) -> Result<Response, EaseError> {
+    match endpoint {
+        Endpoint::Unix(socket) => call(socket, request),
+        Endpoint::Tcp(_) => PipelinedClient::connect(endpoint)?.call(request),
+    }
+}
+
+/// A v2 session: one connection, many requests in flight, responses
+/// matched back to their ids. Not `Sync` — one session belongs to one
+/// thread; open more sessions for more concurrency.
+pub struct PipelinedClient {
+    stream: Box<dyn ClientStream>,
+    next_id: u64,
+    /// Responses that arrived while [`Self::recv`] was waiting for a
+    /// different id, kept in arrival order.
+    parked: Vec<(u64, Response)>,
+}
+
+impl PipelinedClient {
+    pub fn connect(endpoint: &Endpoint) -> Result<PipelinedClient, EaseError> {
+        Ok(PipelinedClient { stream: connect(endpoint)?, next_id: 0, parked: Vec::new() })
+    }
+
+    /// Write one request frame and return the id its response will carry.
+    /// Does not wait for the answer — that is the point.
+    pub fn send(&mut self, request: &Request) -> Result<u64, EaseError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        write_frame_v2(&mut self.stream, id, &encode_request(request))?;
+        Ok(id)
+    }
+
+    /// Next response in arrival order (parked responses first), whatever
+    /// request it answers.
+    pub fn recv_any(&mut self) -> Result<(u64, Response), EaseError> {
+        if !self.parked.is_empty() {
+            return Ok(self.parked.remove(0));
+        }
+        let (id, payload) = read_frame_v2(&mut self.stream)?;
+        Ok((id, decode_response(&payload)?))
+    }
+
+    /// The response to request `want`, parking any responses that arrive
+    /// for other in-flight requests along the way.
+    pub fn recv(&mut self, want: u64) -> Result<Response, EaseError> {
+        if let Some(at) = self.parked.iter().position(|(id, _)| *id == want) {
+            return Ok(self.parked.remove(at).1);
+        }
+        loop {
+            let (id, payload) = read_frame_v2(&mut self.stream)?;
+            let response = decode_response(&payload)?;
+            if id == want {
+                return Ok(response);
+            }
+            self.parked.push((id, response));
+        }
+    }
+
+    /// Synchronous convenience: send one request, wait for its answer.
+    pub fn call(&mut self, request: &Request) -> Result<Response, EaseError> {
+        let id = self.send(request)?;
+        self.recv(id)
+    }
+}
+
+/// Drive a batch of requests through one pipelined connection, keeping up
+/// to `window` of them in flight, and return the responses in request
+/// order. `window` should not exceed the daemon's per-connection
+/// in-flight cap ([`super::DEFAULT_PIPELINE_IN_FLIGHT`] by default) —
+/// the bounded window is what prevents a write-everything-then-read
+/// deadlock against the daemon's own backpressure.
+pub fn call_pipelined(
+    endpoint: &Endpoint,
+    requests: &[Request],
+    window: usize,
+) -> Result<Vec<Response>, EaseError> {
+    let window = window.max(1);
+    let mut client = PipelinedClient::connect(endpoint)?;
+    let mut responses: Vec<Option<Response>> = requests.iter().map(|_| None).collect();
+    let mut index_of: HashMap<u64, usize> = HashMap::with_capacity(window);
+    let mut sent = 0;
+    let mut done = 0;
+    while done < requests.len() {
+        while sent < requests.len() && sent - done < window {
+            let id = client.send(&requests[sent])?;
+            index_of.insert(id, sent);
+            sent += 1;
+        }
+        let (id, response) = client.recv_any()?;
+        let at = index_of
+            .remove(&id)
+            .ok_or_else(|| proto_err(format!("unexpected response for request id {id}")))?;
+        responses[at] = Some(response);
+        done += 1;
+    }
+    Ok(responses.into_iter().map(|r| r.expect("every request answered")).collect())
+}

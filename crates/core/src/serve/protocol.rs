@@ -1,0 +1,632 @@
+//! Wire protocol for `ease serve` — transport-agnostic framing and the
+//! versioned binary request/response codec.
+//!
+//! Two frame formats share one listener (the server sniffs the leading
+//! magic of each connection's first frame):
+//!
+//! * **v1** (`[0xEA 0x5E][u32 LE len][payload]`): one request per
+//!   connection, answered with a single v1 response frame. This is the
+//!   PR 5 format; `ease client --socket` and the `--daemon` proxy still
+//!   speak it, so old clients keep working unchanged.
+//! * **v2** (`[0xEA 0x5F][u64 LE request-id][u32 LE len][payload]`):
+//!   *pipelined* — many requests per connection, each tagged with a
+//!   client-chosen `u64` id. Responses come back as v2 frames carrying the
+//!   id of the request they answer and may arrive **out of order**: the
+//!   server executes a connection's requests concurrently and writes each
+//!   answer as it completes. Clients match responses to requests by id,
+//!   never by arrival order.
+//!
+//! Payloads are identical in both formats: versioned binary [`Request`] /
+//! [`Response`] values encoded with the same `Writer`/`Reader` codec the
+//! model persistence uses, capped at [`MAX_FRAME_BYTES`].
+
+use crate::error::{EaseError, ServeError};
+use crate::selector::OptGoal;
+use ease_graph::PropertyTier;
+use ease_ml::persist::{Reader, Writer};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Version byte leading every payload; bumped on any payload-format change.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Two magic bytes opening every v1 frame — rejects non-protocol peers
+/// before a length is trusted.
+pub const FRAME_MAGIC: [u8; 2] = [0xEA, 0x5E];
+
+/// Two magic bytes opening every v2 (pipelined) frame. Distinct from
+/// [`FRAME_MAGIC`] so the server can tell a one-shot peer from a
+/// pipelined one on the first two bytes of a connection.
+pub const FRAME_MAGIC_V2: [u8; 2] = [0xEA, 0x5F];
+
+/// Upper bound on a frame payload. Requests carry paths and responses carry
+/// rendered tables — a megabyte is generous, and the cap keeps a garbage
+/// length prefix from asking a worker to allocate gigabytes.
+pub const MAX_FRAME_BYTES: usize = 1 << 20;
+
+/// How many candidate rows a recommendation renders by default (the CLI's
+/// `--top` default).
+pub const DEFAULT_TOP: usize = 5;
+
+// ---------------------------------------------------------------------
+// Requests and responses
+// ---------------------------------------------------------------------
+
+/// One client request. Graph inputs travel *by path* (daemon and client
+/// share a filesystem by construction — the transports are a unix socket
+/// and a loopback-or-LAN TCP listener); the server opens text or mmap'd
+/// `.bel` inputs through the same format-dispatched
+/// [`open_path`](ease_graph::open_path) seam as the one-shot CLI.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness probe; answered with [`Response::Pong`].
+    Ping,
+    /// Recommend a partitioner for the graph at `graph`. `workload` is the
+    /// CLI workload name (`pr`, `cc`, …), validated server-side; `k` of
+    /// `None` means the service's default partition count. `cwd` is the
+    /// *client's* working directory: the server resolves a relative
+    /// `graph` against it (daemon and client share a filesystem but not a
+    /// cwd), while the answer always displays `graph` as the client wrote
+    /// it — keeping daemon output bit-identical to the one-shot CLI.
+    Recommend {
+        graph: String,
+        workload: String,
+        k: Option<usize>,
+        goal: OptGoal,
+        top: usize,
+        cwd: Option<String>,
+    },
+    /// Extract and render the feature vector of the graph at `graph`
+    /// (`cwd` as in [`Request::Recommend`]).
+    Features { graph: String, tier: PropertyTier, cwd: Option<String> },
+    /// Snapshot the warm property cache and serving counters.
+    CacheStats,
+    /// Stop accepting connections, drain in-flight work, remove the socket.
+    Shutdown,
+}
+
+/// Observability snapshot answered to [`Request::CacheStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+    pub len: usize,
+    pub capacity: usize,
+    /// Requests answered so far (all kinds, including this one).
+    pub requests_served: u64,
+}
+
+impl ServeStats {
+    /// The `ease client cache-stats` rendering.
+    pub fn render(&self) -> String {
+        format!(
+            "property cache: hits={} misses={} evictions={} len={}/{}\nrequests served: {}\n",
+            self.hits, self.misses, self.evictions, self.len, self.capacity, self.requests_served
+        )
+    }
+}
+
+/// One server response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Liveness answer carrying the server's protocol version.
+    Pong { version: u8 },
+    /// Rendered answer text, printed verbatim by clients — bit-identical
+    /// to the one-shot CLI output for the same query.
+    Answer(String),
+    /// Cache and serving counters.
+    CacheStats(ServeStats),
+    /// The request failed; the message is the rendered [`EaseError`].
+    Error(String),
+    /// Shutdown acknowledged; the daemon drains and exits.
+    ShuttingDown,
+}
+
+// ---------------------------------------------------------------------
+// Payload codec
+// ---------------------------------------------------------------------
+
+pub(crate) fn proto_err(msg: impl Into<String>) -> EaseError {
+    ServeError::Protocol(msg.into()).into()
+}
+
+fn goal_tag(goal: OptGoal) -> u8 {
+    match goal {
+        OptGoal::EndToEnd => 0,
+        OptGoal::ProcessingOnly => 1,
+    }
+}
+
+fn goal_from_tag(tag: u8) -> Result<OptGoal, EaseError> {
+    match tag {
+        0 => Ok(OptGoal::EndToEnd),
+        1 => Ok(OptGoal::ProcessingOnly),
+        other => Err(proto_err(format!("unknown goal tag {other}"))),
+    }
+}
+
+fn tier_tag(tier: PropertyTier) -> u8 {
+    match tier {
+        PropertyTier::Simple => 0,
+        PropertyTier::Basic => 1,
+        PropertyTier::Advanced => 2,
+    }
+}
+
+fn tier_from_tag(tag: u8) -> Result<PropertyTier, EaseError> {
+    match tag {
+        0 => Ok(PropertyTier::Simple),
+        1 => Ok(PropertyTier::Basic),
+        2 => Ok(PropertyTier::Advanced),
+        other => Err(proto_err(format!("unknown tier tag {other}"))),
+    }
+}
+
+fn put_opt_str(w: &mut Writer, v: &Option<String>) {
+    match v {
+        Some(s) => {
+            w.put_u8(1);
+            w.put_str(s);
+        }
+        None => w.put_u8(0),
+    }
+}
+
+fn take_opt_str(r: &mut Reader) -> Result<Option<String>, ease_ml::PersistError> {
+    match r.take_u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(r.take_str()?)),
+        other => Err(ease_ml::PersistError::Corrupt(format!("unknown option tag {other}"))),
+    }
+}
+
+/// Resolve a request's graph path: relative paths are joined to the
+/// *client's* working directory when it travelled with the request —
+/// the daemon's own cwd is an accident of where it was launched and must
+/// never influence which file a client's query answers for.
+pub fn resolve_graph_path(graph: &str, cwd: Option<&str>) -> PathBuf {
+    let path = Path::new(graph);
+    match cwd {
+        Some(cwd) if path.is_relative() => Path::new(cwd).join(path),
+        _ => path.to_path_buf(),
+    }
+}
+
+/// Serialize a request payload (framing is separate; see [`write_frame`]
+/// and [`write_frame_v2`]).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u8(PROTOCOL_VERSION);
+    match req {
+        Request::Ping => w.put_u8(0),
+        Request::Recommend { graph, workload, k, goal, top, cwd } => {
+            w.put_u8(1);
+            w.put_str(graph);
+            w.put_str(workload);
+            w.put_opt_usize(*k);
+            w.put_u8(goal_tag(*goal));
+            w.put_usize(*top);
+            put_opt_str(&mut w, cwd);
+        }
+        Request::Features { graph, tier, cwd } => {
+            w.put_u8(2);
+            w.put_str(graph);
+            w.put_u8(tier_tag(*tier));
+            put_opt_str(&mut w, cwd);
+        }
+        Request::CacheStats => w.put_u8(3),
+        Request::Shutdown => w.put_u8(4),
+    }
+    w.into_bytes()
+}
+
+/// Deserialize a request payload. Every malformation is a typed
+/// [`ServeError::Protocol`] — never a panic in a server worker.
+pub fn decode_request(bytes: &[u8]) -> Result<Request, EaseError> {
+    let mut r = Reader::new(bytes);
+    let p = |e: ease_ml::PersistError| proto_err(format!("truncated request: {e}"));
+    let version = r.take_u8().map_err(p)?;
+    if version != PROTOCOL_VERSION {
+        return Err(proto_err(format!(
+            "protocol version skew: peer speaks v{version}, this build v{PROTOCOL_VERSION}"
+        )));
+    }
+    let req = match r.take_u8().map_err(p)? {
+        0 => Request::Ping,
+        1 => Request::Recommend {
+            graph: r.take_str().map_err(p)?,
+            workload: r.take_str().map_err(p)?,
+            k: r.take_opt_usize().map_err(p)?,
+            goal: goal_from_tag(r.take_u8().map_err(p)?)?,
+            top: r.take_usize().map_err(p)?,
+            cwd: take_opt_str(&mut r).map_err(p)?,
+        },
+        2 => Request::Features {
+            graph: r.take_str().map_err(p)?,
+            tier: tier_from_tag(r.take_u8().map_err(p)?)?,
+            cwd: take_opt_str(&mut r).map_err(p)?,
+        },
+        3 => Request::CacheStats,
+        4 => Request::Shutdown,
+        other => return Err(proto_err(format!("unknown request tag {other}"))),
+    };
+    if r.remaining() != 0 {
+        return Err(proto_err(format!("{} trailing bytes after request", r.remaining())));
+    }
+    Ok(req)
+}
+
+/// Serialize a response payload.
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u8(PROTOCOL_VERSION);
+    match resp {
+        Response::Pong { version } => {
+            w.put_u8(0);
+            w.put_u8(*version);
+        }
+        Response::Answer(text) => {
+            w.put_u8(1);
+            w.put_str(text);
+        }
+        Response::CacheStats(s) => {
+            w.put_u8(2);
+            w.put_u64(s.hits);
+            w.put_u64(s.misses);
+            w.put_u64(s.evictions);
+            w.put_usize(s.len);
+            w.put_usize(s.capacity);
+            w.put_u64(s.requests_served);
+        }
+        Response::Error(msg) => {
+            w.put_u8(3);
+            w.put_str(msg);
+        }
+        Response::ShuttingDown => w.put_u8(4),
+    }
+    w.into_bytes()
+}
+
+/// Deserialize a response payload.
+pub fn decode_response(bytes: &[u8]) -> Result<Response, EaseError> {
+    let mut r = Reader::new(bytes);
+    let p = |e: ease_ml::PersistError| proto_err(format!("truncated response: {e}"));
+    let version = r.take_u8().map_err(p)?;
+    if version != PROTOCOL_VERSION {
+        return Err(proto_err(format!(
+            "protocol version skew: peer speaks v{version}, this build v{PROTOCOL_VERSION}"
+        )));
+    }
+    let resp = match r.take_u8().map_err(p)? {
+        0 => Response::Pong { version: r.take_u8().map_err(p)? },
+        1 => Response::Answer(r.take_str().map_err(p)?),
+        2 => Response::CacheStats(ServeStats {
+            hits: r.take_u64().map_err(p)?,
+            misses: r.take_u64().map_err(p)?,
+            evictions: r.take_u64().map_err(p)?,
+            len: r.take_usize().map_err(p)?,
+            capacity: r.take_usize().map_err(p)?,
+            requests_served: r.take_u64().map_err(p)?,
+        }),
+        3 => Response::Error(r.take_str().map_err(p)?),
+        4 => Response::ShuttingDown,
+        other => return Err(proto_err(format!("unknown response tag {other}"))),
+    };
+    if r.remaining() != 0 {
+        return Err(proto_err(format!("{} trailing bytes after response", r.remaining())));
+    }
+    Ok(resp)
+}
+
+// ---------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------
+
+/// Write one v1 `[magic][u32 LE len][payload]` frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), EaseError> {
+    check_payload_len(payload)?;
+    w.write_all(&FRAME_MAGIC)?;
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Write one v2 `[magic][u64 LE id][u32 LE len][payload]` frame.
+pub fn write_frame_v2(w: &mut impl Write, id: u64, payload: &[u8]) -> Result<(), EaseError> {
+    check_payload_len(payload)?;
+    let mut head = [0u8; 14];
+    head[..2].copy_from_slice(&FRAME_MAGIC_V2);
+    head[2..10].copy_from_slice(&id.to_le_bytes());
+    head[10..14].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    w.write_all(&head)?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+fn check_payload_len(payload: &[u8]) -> Result<(), EaseError> {
+    if payload.len() > MAX_FRAME_BYTES {
+        return Err(proto_err(format!(
+            "frame of {} bytes exceeds the {MAX_FRAME_BYTES}-byte cap",
+            payload.len()
+        )));
+    }
+    Ok(())
+}
+
+/// Read one v1 frame, validating magic and the length cap. A peer that
+/// closes before a complete frame is a typed [`ServeError::Disconnected`].
+pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, EaseError> {
+    let mut magic = [0u8; 2];
+    read_exact_framed(r, &mut magic)?;
+    if magic != FRAME_MAGIC {
+        return Err(bad_magic(magic, FRAME_MAGIC));
+    }
+    read_frame_after_magic(r)
+}
+
+/// Read the `[u32 LE len][payload]` remainder of a v1 frame whose magic
+/// has already been consumed (the server sniffs the magic to dispatch
+/// between the one-shot and pipelined connection loops).
+pub fn read_frame_after_magic(r: &mut impl Read) -> Result<Vec<u8>, EaseError> {
+    let mut len_bytes = [0u8; 4];
+    read_exact_framed(r, &mut len_bytes)?;
+    read_capped_payload(r, u32::from_le_bytes(len_bytes) as usize)
+}
+
+/// Read one v2 frame, validating magic and the length cap; returns the
+/// request id alongside the payload.
+pub fn read_frame_v2(r: &mut impl Read) -> Result<(u64, Vec<u8>), EaseError> {
+    let mut magic = [0u8; 2];
+    read_exact_framed(r, &mut magic)?;
+    if magic != FRAME_MAGIC_V2 {
+        return Err(bad_magic(magic, FRAME_MAGIC_V2));
+    }
+    read_frame_v2_after_magic(r)
+}
+
+/// Read the `[u64 LE id][u32 LE len][payload]` remainder of a v2 frame
+/// whose magic has already been consumed.
+pub fn read_frame_v2_after_magic(r: &mut impl Read) -> Result<(u64, Vec<u8>), EaseError> {
+    let mut head = [0u8; 12];
+    read_exact_framed(r, &mut head)?;
+    let id = u64::from_le_bytes(head[..8].try_into().expect("8-byte slice"));
+    let len = u32::from_le_bytes(head[8..12].try_into().expect("4-byte slice")) as usize;
+    Ok((id, read_capped_payload(r, len)?))
+}
+
+fn bad_magic(got: [u8; 2], expected: [u8; 2]) -> EaseError {
+    proto_err(format!(
+        "bad frame magic {:02x}{:02x} (expected {:02x}{:02x})",
+        got[0], got[1], expected[0], expected[1]
+    ))
+}
+
+fn read_capped_payload(r: &mut impl Read, len: usize) -> Result<Vec<u8>, EaseError> {
+    if len > MAX_FRAME_BYTES {
+        return Err(proto_err(format!(
+            "declared frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    read_exact_framed(r, &mut payload)?;
+    Ok(payload)
+}
+
+fn read_exact_framed(r: &mut impl Read, buf: &mut [u8]) -> Result<(), EaseError> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            ServeError::Disconnected.into()
+        } else {
+            EaseError::Io(e)
+        }
+    })
+}
+
+/// Unwrap an [`Response::Answer`], mapping a server-side
+/// [`Response::Error`] to the typed [`ServeError::Remote`] (clients print
+/// it exactly as the one-shot CLI prints the same failure).
+pub fn expect_answer(response: Response) -> Result<String, EaseError> {
+    match response {
+        Response::Answer(text) => Ok(text),
+        Response::Error(msg) => Err(ServeError::Remote(msg).into()),
+        other => Err(proto_err(format!("expected an answer, got {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_request(req: Request) {
+        let bytes = encode_request(&req);
+        assert_eq!(decode_request(&bytes).unwrap(), req);
+    }
+
+    fn round_trip_response(resp: Response) {
+        let bytes = encode_response(&resp);
+        assert_eq!(decode_response(&bytes).unwrap(), resp);
+    }
+
+    #[test]
+    fn request_codec_round_trips_every_variant() {
+        round_trip_request(Request::Ping);
+        round_trip_request(Request::Recommend {
+            graph: "/tmp/graph.bel".into(),
+            workload: "pr".into(),
+            k: Some(8),
+            goal: OptGoal::ProcessingOnly,
+            top: 11,
+            cwd: None,
+        });
+        round_trip_request(Request::Recommend {
+            graph: "rel/path with spaces.txt".into(),
+            workload: "cc".into(),
+            k: None,
+            goal: OptGoal::EndToEnd,
+            top: DEFAULT_TOP,
+            cwd: Some("/home/someone".into()),
+        });
+        round_trip_request(Request::Features {
+            graph: "g.txt".into(),
+            tier: PropertyTier::Basic,
+            cwd: Some("/srv".into()),
+        });
+        round_trip_request(Request::CacheStats);
+        round_trip_request(Request::Shutdown);
+    }
+
+    #[test]
+    fn graph_paths_resolve_against_the_client_cwd() {
+        // relative path + client cwd: the daemon must answer for the
+        // client's file, wherever the daemon itself was started
+        assert_eq!(resolve_graph_path("data.txt", Some("/home/u")), Path::new("/home/u/data.txt"));
+        assert_eq!(resolve_graph_path("a/b.bel", Some("/srv")), Path::new("/srv/a/b.bel"));
+        // absolute paths ignore the cwd; a missing cwd resolves as-is
+        assert_eq!(resolve_graph_path("/abs/g.txt", Some("/srv")), Path::new("/abs/g.txt"));
+        assert_eq!(resolve_graph_path("rel.txt", None), Path::new("rel.txt"));
+    }
+
+    #[test]
+    fn response_codec_round_trips_every_variant() {
+        round_trip_response(Response::Pong { version: PROTOCOL_VERSION });
+        round_trip_response(Response::Answer("two\nlines\n".into()));
+        round_trip_response(Response::CacheStats(ServeStats {
+            hits: 10,
+            misses: 3,
+            evictions: 1,
+            len: 2,
+            capacity: 64,
+            requests_served: 14,
+        }));
+        round_trip_response(Response::Error("no model trained for workload `x`".into()));
+        round_trip_response(Response::ShuttingDown);
+    }
+
+    #[test]
+    fn malformed_payloads_are_typed_protocol_errors() {
+        let is_protocol = |e: EaseError| {
+            assert!(
+                matches!(e, EaseError::Serve(ServeError::Protocol(_))),
+                "expected a protocol error, got {e:?}"
+            );
+        };
+        // empty, version skew, unknown tag, truncation, trailing bytes
+        is_protocol(decode_request(&[]).unwrap_err());
+        is_protocol(decode_request(&[PROTOCOL_VERSION + 1, 0]).unwrap_err());
+        is_protocol(decode_request(&[PROTOCOL_VERSION, 99]).unwrap_err());
+        let mut truncated = encode_request(&Request::Features {
+            graph: "abcdef.txt".into(),
+            tier: PropertyTier::Advanced,
+            cwd: None,
+        });
+        truncated.truncate(truncated.len() - 3);
+        is_protocol(decode_request(&truncated).unwrap_err());
+        let mut trailing = encode_request(&Request::Ping);
+        trailing.push(0);
+        is_protocol(decode_request(&trailing).unwrap_err());
+        is_protocol(decode_response(&[PROTOCOL_VERSION, 77]).unwrap_err());
+    }
+
+    #[test]
+    fn frames_round_trip_and_reject_garbage() {
+        let payload = encode_request(&Request::CacheStats);
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload).unwrap();
+        assert_eq!(&wire[..2], &FRAME_MAGIC);
+        let back = read_frame(&mut wire.as_slice()).unwrap();
+        assert_eq!(back, payload);
+        // wrong magic
+        let mut bad = wire.clone();
+        bad[0] = b'G';
+        assert!(matches!(
+            read_frame(&mut bad.as_slice()).unwrap_err(),
+            EaseError::Serve(ServeError::Protocol(_))
+        ));
+        // a length prefix past the cap must be refused before allocation
+        let mut oversized = Vec::new();
+        oversized.extend_from_slice(&FRAME_MAGIC);
+        oversized.extend_from_slice(&(MAX_FRAME_BYTES as u32 + 1).to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut oversized.as_slice()).unwrap_err(),
+            EaseError::Serve(ServeError::Protocol(_))
+        ));
+        // peer vanishing mid-frame is Disconnected, not a parse panic
+        assert!(matches!(
+            read_frame(&mut wire[..3].to_vec().as_slice()).unwrap_err(),
+            EaseError::Serve(ServeError::Disconnected)
+        ));
+        // writers refuse to emit an oversized frame
+        let huge = vec![0u8; MAX_FRAME_BYTES + 1];
+        assert!(write_frame(&mut Vec::new(), &huge).is_err());
+        assert!(write_frame_v2(&mut Vec::new(), 1, &huge).is_err());
+    }
+
+    #[test]
+    fn v2_frames_carry_request_ids_and_reject_garbage() {
+        let payload = encode_request(&Request::Ping);
+        for id in [0u64, 1, 42, u64::MAX] {
+            let mut wire = Vec::new();
+            write_frame_v2(&mut wire, id, &payload).unwrap();
+            assert_eq!(&wire[..2], &FRAME_MAGIC_V2);
+            let (back_id, back) = read_frame_v2(&mut wire.as_slice()).unwrap();
+            assert_eq!(back_id, id);
+            assert_eq!(back, payload);
+        }
+        // v1 magic fed to the v2 reader (and vice versa) is a typed error,
+        // not a misparse: the id bytes would otherwise be read as a length
+        let mut v1 = Vec::new();
+        write_frame(&mut v1, &payload).unwrap();
+        assert!(matches!(
+            read_frame_v2(&mut v1.as_slice()).unwrap_err(),
+            EaseError::Serve(ServeError::Protocol(_))
+        ));
+        let mut v2 = Vec::new();
+        write_frame_v2(&mut v2, 7, &payload).unwrap();
+        assert!(matches!(
+            read_frame(&mut v2.as_slice()).unwrap_err(),
+            EaseError::Serve(ServeError::Protocol(_))
+        ));
+        // oversized declared length refused before allocation
+        let mut oversized = Vec::new();
+        oversized.extend_from_slice(&FRAME_MAGIC_V2);
+        oversized.extend_from_slice(&9u64.to_le_bytes());
+        oversized.extend_from_slice(&(MAX_FRAME_BYTES as u32 + 1).to_le_bytes());
+        assert!(matches!(
+            read_frame_v2(&mut oversized.as_slice()).unwrap_err(),
+            EaseError::Serve(ServeError::Protocol(_))
+        ));
+        // truncation mid-header is Disconnected
+        assert!(matches!(
+            read_frame_v2(&mut v2[..7].to_vec().as_slice()).unwrap_err(),
+            EaseError::Serve(ServeError::Disconnected)
+        ));
+    }
+
+    #[test]
+    fn expect_answer_maps_remote_errors() {
+        assert_eq!(expect_answer(Response::Answer("ok".into())).unwrap(), "ok");
+        match expect_answer(Response::Error("boom".into())).unwrap_err() {
+            EaseError::Serve(ServeError::Remote(msg)) => assert_eq!(msg, "boom"),
+            other => panic!("expected Remote, got {other:?}"),
+        }
+        assert!(expect_answer(Response::ShuttingDown).is_err());
+    }
+
+    #[test]
+    fn stats_render_is_stable() {
+        let s = ServeStats {
+            hits: 5,
+            misses: 2,
+            evictions: 0,
+            len: 2,
+            capacity: 64,
+            requests_served: 9,
+        };
+        let text = s.render();
+        assert!(text.contains("hits=5 misses=2 evictions=0 len=2/64"));
+        assert!(text.contains("requests served: 9"));
+    }
+}

@@ -293,6 +293,20 @@ impl PropertyCache {
         }
     }
 
+    /// [`PropertyCache::get`] minus the miss accounting: a hit counts, a
+    /// miss records nothing. This backs the daemon's stat-memo fast path,
+    /// which falls back to the full open-and-extract lookup on a probe
+    /// miss — *that* lookup records the miss, keeping `hits + misses` at
+    /// exactly one per query either way.
+    fn probe(&mut self, key: u64) -> Option<GraphProperties> {
+        let pos = self.entries.iter().position(|(k, _)| *k == key)?;
+        let entry = self.entries.remove(pos);
+        let props = entry.1.clone();
+        self.entries.push(entry);
+        self.hits += 1;
+        Some(props)
+    }
+
     fn insert(&mut self, key: u64, props: GraphProperties) {
         if let Some(pos) = self.entries.iter().position(|(k, _)| *k == key) {
             self.entries.remove(pos);
@@ -463,6 +477,18 @@ impl EaseService {
         let props = prepared.properties(PropertyTier::Advanced);
         self.props_cache.lock().expect("props cache lock").insert(key, props.clone());
         props
+    }
+
+    /// Probe the property cache by an already-known content fingerprint,
+    /// without touching the graph itself. This is the serve daemon's fast
+    /// path: its stat-keyed memo maps an unchanged graph *file* to the
+    /// fingerprint it hashed last time, and this probe turns that into
+    /// cached properties with zero `O(|E|)` work. Returns `None` (recorded
+    /// as neither hit nor miss) when the entry was evicted — the caller
+    /// re-extracts through [`EaseService::cached_properties_prepared`],
+    /// which records the miss.
+    pub fn try_cached_properties(&self, fingerprint: u64) -> Option<GraphProperties> {
+        self.props_cache.lock().expect("props cache lock").probe(fingerprint)
     }
 
     /// Hit/miss/occupancy counters of the property cache.

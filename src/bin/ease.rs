@@ -11,9 +11,11 @@
 //! ease features graph.bel --tier advanced
 //!
 //! # serve the trained model from a resident daemon (warm property cache)
-//! ease serve --model ease.model --socket /tmp/ease.sock &
+//! ease serve --model ease.model --socket /tmp/ease.sock --tcp 127.0.0.1:7654 &
 //! ease client recommend --socket /tmp/ease.sock --graph graph.bel --workload pr
+//! ease client recommend --tcp 127.0.0.1:7654 --graph graph.bel --workload pr
 //! ease recommend --daemon /tmp/ease.sock --graph graph.bel --workload pr
+//! ease recommend --daemon-tcp 127.0.0.1:7654 --graph graph.bel --workload pr
 //! ease client shutdown --socket /tmp/ease.sock
 //! ```
 //!
@@ -32,7 +34,7 @@ use ease_repro::graphgen::realworld::{generate_typed, GraphType};
 use ease_repro::graphgen::rmat::{Rmat, RMAT_COMBOS};
 use ease_repro::graphgen::Scale;
 use ease_repro::procsim::Workload;
-use ease_repro::serve::{self, Request, ServeConfig};
+use ease_repro::serve::{self, Endpoint, Request, ServeConfig};
 use ease_repro::{EaseError, EaseService, EaseServiceBuilder, OptGoal};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -50,7 +52,8 @@ SUBCOMMANDS:
     inspect      Print a saved service's provenance and chosen models
     gen          Generate a synthetic graph file to experiment with
     convert      Convert between text and binary (.bel) edge lists
-    serve        Run a resident recommendation daemon on a unix socket
+    serve        Run a resident recommendation daemon (unix socket, TCP,
+                 or both)
     client       Talk to a running daemon (recommend, features, cache-stats,
                  ping, shutdown)
 
@@ -81,27 +84,34 @@ RECOMMEND OPTIONS:
     --daemon <socket>     Proxy the query to a running `ease serve` daemon
                           instead of loading a model; the answer is
                           bit-identical to the one-shot output
+    --daemon-tcp <addr>   Same, over the daemon's TCP listener
 
 FEATURES OPTIONS:
     <edge-list>           Edge-list file, text or .bel (positional;
                           --graph <path> also accepted)
     --tier <t>            simple | basic | advanced       [default: advanced]
     --daemon <socket>     Proxy the extraction to a running daemon
+    --daemon-tcp <addr>   Same, over the daemon's TCP listener
 
 SERVE OPTIONS:
     --model <path>        Saved service to load and keep warm (required)
-    --socket <path>       Unix socket path to bind (required)
+    --socket <path>       Unix socket path to bind
+    --tcp <addr>          TCP listen address (host:port; port 0 picks an
+                          ephemeral port and prints it); may be combined
+                          with --socket — at least one is required
     --workers <n>         Request worker threads     [default: cores, 2..8]
+    --in-flight <n>       Pipelining window per TCP connection [default: 32]
     The daemon loads the model once and keeps the fingerprint-keyed
-    property cache warm across requests and clients. Stop it with
-    `ease client shutdown` (graceful: drains in-flight requests, removes
-    the socket file, exits 0).
+    property cache warm across requests and clients. TCP connections speak
+    the pipelined v2 framing: many requests per connection, answered out
+    of order as they complete. Stop the daemon with `ease client shutdown`
+    (graceful: drains in-flight requests, removes the socket file, exits 0).
 
 CLIENT OPTIONS:
-    ease client <action> --socket <path> [query options]
+    ease client <action> (--socket <path> | --tcp <addr>) [query options]
     Actions: recommend | features | cache-stats | ping | shutdown
     recommend and features take the same query options as the one-shot
-    subcommands and print byte-identical answers.
+    subcommands and print byte-identical answers over either transport.
 
 INSPECT OPTIONS:
     --model <path>        Saved service (required)
@@ -462,18 +472,31 @@ fn recommend_one_shot(model: &Path, q: RecommendArgs) -> Result<(), CliError> {
 }
 
 /// Send one request to a daemon and print the rendered answer verbatim.
-fn proxy_to_daemon(socket: &Path, request: Request) -> Result<(), CliError> {
-    let response = serve::call(socket, &request)?;
+fn proxy_to_daemon(endpoint: &Endpoint, request: Request) -> Result<(), CliError> {
+    let response = serve::call_endpoint(endpoint, &request)?;
     print!("{}", serve::expect_answer(response)?);
     Ok(())
+}
+
+/// `--daemon <socket>` / `--daemon-tcp <addr>` on the one-shot
+/// subcommands: where to proxy the query instead of loading a model.
+fn daemon_endpoint(flags: &Flags) -> Result<Option<Endpoint>, CliError> {
+    match (flags.get("daemon"), flags.get("daemon-tcp")) {
+        (Some(_), Some(_)) => {
+            Err(CliError::Usage("--daemon and --daemon-tcp are mutually exclusive".into()))
+        }
+        (Some(socket), None) => Ok(Some(Endpoint::unix(socket))),
+        (None, Some(addr)) => Ok(Some(Endpoint::tcp(addr))),
+        (None, None) => Ok(None),
+    }
 }
 
 fn cmd_recommend(args: &[String]) -> Result<(), CliError> {
     let flags = Flags::parse(args, &[])?;
     let q = RecommendArgs::from_flags(&flags)?;
-    match flags.get("daemon") {
+    match daemon_endpoint(&flags)? {
         // proxy: the daemon's warm service answers; no model load here
-        Some(socket) => proxy_to_daemon(Path::new(socket), q.into_request()),
+        Some(endpoint) => proxy_to_daemon(&endpoint, q.into_request()),
         None => recommend_one_shot(Path::new(flags.require("model")?), q),
     }
 }
@@ -497,11 +520,8 @@ fn features_args(args: &[String]) -> Result<(String, Flags), CliError> {
 fn cmd_features(args: &[String]) -> Result<(), CliError> {
     let (graph, flags) = features_args(args)?;
     let tier = parse_tier(&flags)?;
-    if let Some(socket) = flags.get("daemon") {
-        return proxy_to_daemon(
-            Path::new(socket),
-            Request::Features { graph, tier, cwd: client_cwd() },
-        );
+    if let Some(endpoint) = daemon_endpoint(&flags)? {
+        return proxy_to_daemon(&endpoint, Request::Features { graph, tier, cwd: client_cwd() });
     }
     let source = open_path(Path::new(&graph)).map_err(EaseError::from)?;
     print!("{}", serve::render_features(&graph, source.as_ref(), tier)?);
@@ -511,22 +531,55 @@ fn cmd_features(args: &[String]) -> Result<(), CliError> {
 fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     let flags = Flags::parse(args, &[])?;
     let model = PathBuf::from(flags.require("model")?);
-    let socket = PathBuf::from(flags.require("socket")?);
+    let socket = flags.get("socket").map(PathBuf::from);
+    let tcp = flags.get("tcp").map(String::from);
+    if socket.is_none() && tcp.is_none() {
+        return Err(CliError::Usage("serve needs --socket and/or --tcp".into()));
+    }
     let workers = flags.parse_num::<usize>("workers")?.unwrap_or_else(ServeConfig::default_workers);
     if workers == 0 {
         return Err(CliError::Usage("--workers must be >= 1".into()));
     }
+    let mut config = match &socket {
+        Some(path) => ServeConfig::at(path),
+        None => ServeConfig::tcp_at(tcp.clone().expect("tcp or socket is set")),
+    };
+    if socket.is_some() {
+        if let Some(addr) = tcp {
+            config = config.tcp(addr);
+        }
+    }
+    config = config.workers(workers);
+    if let Some(in_flight) = flags.parse_num::<usize>("in-flight")? {
+        if in_flight == 0 {
+            return Err(CliError::Usage("--in-flight must be >= 1".into()));
+        }
+        config = config.pipeline_in_flight(in_flight);
+    }
     let service = Arc::new(EaseService::load(&model)?);
     let cache = service.property_cache_stats();
-    let handle = serve::serve(service, ServeConfig::at(&socket).workers(workers))?;
+    let handle = serve::serve(service, config)?;
+    let mut endpoints = Vec::new();
+    if let Some(path) = handle.socket_path() {
+        endpoints.push(format!("unix:{}", path.display()));
+    }
+    if let Some(addr) = handle.tcp_addr() {
+        // the *resolved* address: with `--tcp host:0` this is where the
+        // kernel actually put us, and the only place a client can learn it
+        endpoints.push(format!("tcp:{addr}"));
+    }
     eprintln!(
         "ease serve: model {} on {} ({workers} workers, property cache {} warm / {} capacity)",
         model.display(),
-        socket.display(),
+        endpoints.join(" + "),
         cache.len,
         cache.capacity,
     );
-    eprintln!("ease serve: stop with `ease client shutdown --socket {}`", socket.display());
+    let stop = match handle.socket_path() {
+        Some(path) => format!("--socket {}", path.display()),
+        None => format!("--tcp {}", handle.tcp_addr().expect("no socket implies tcp")),
+    };
+    eprintln!("ease serve: stop with `ease client shutdown {stop}`");
     let summary = handle.join()?;
     eprintln!("ease serve: drained after {} requests", summary.requests_served);
     Ok(())
@@ -542,19 +595,19 @@ fn cmd_client(args: &[String]) -> Result<(), CliError> {
     match action.as_str() {
         "recommend" => {
             let flags = Flags::parse(rest, &[])?;
-            let socket = PathBuf::from(flags.require("socket")?);
+            let endpoint = client_endpoint(&flags)?;
             let q = RecommendArgs::from_flags(&flags)?;
-            proxy_to_daemon(&socket, q.into_request())
+            proxy_to_daemon(&endpoint, q.into_request())
         }
         "features" => {
             let (graph, flags) = features_args(rest)?;
-            let socket = PathBuf::from(flags.require("socket")?);
+            let endpoint = client_endpoint(&flags)?;
             let tier = parse_tier(&flags)?;
-            proxy_to_daemon(&socket, Request::Features { graph, tier, cwd: client_cwd() })
+            proxy_to_daemon(&endpoint, Request::Features { graph, tier, cwd: client_cwd() })
         }
         "cache-stats" => {
-            let socket = client_socket(rest)?;
-            match serve::call(&socket, &Request::CacheStats)? {
+            let endpoint = client_endpoint(&Flags::parse(rest, &[])?)?;
+            match serve::call_endpoint(&endpoint, &Request::CacheStats)? {
                 serve::Response::CacheStats(stats) => {
                     print!("{}", stats.render());
                     Ok(())
@@ -563,8 +616,8 @@ fn cmd_client(args: &[String]) -> Result<(), CliError> {
             }
         }
         "ping" => {
-            let socket = client_socket(rest)?;
-            match serve::call(&socket, &Request::Ping)? {
+            let endpoint = client_endpoint(&Flags::parse(rest, &[])?)?;
+            match serve::call_endpoint(&endpoint, &Request::Ping)? {
                 serve::Response::Pong { version } => {
                     println!("pong (protocol v{version})");
                     Ok(())
@@ -573,10 +626,10 @@ fn cmd_client(args: &[String]) -> Result<(), CliError> {
             }
         }
         "shutdown" => {
-            let socket = client_socket(rest)?;
-            match serve::call(&socket, &Request::Shutdown)? {
+            let endpoint = client_endpoint(&Flags::parse(rest, &[])?)?;
+            match serve::call_endpoint(&endpoint, &Request::Shutdown)? {
                 serve::Response::ShuttingDown => {
-                    eprintln!("daemon on {} is shutting down", socket.display());
+                    eprintln!("daemon on {endpoint} is shutting down");
                     Ok(())
                 }
                 other => Err(unexpected_response(other)),
@@ -588,9 +641,16 @@ fn cmd_client(args: &[String]) -> Result<(), CliError> {
     }
 }
 
-fn client_socket(args: &[String]) -> Result<PathBuf, CliError> {
-    let flags = Flags::parse(args, &[])?;
-    Ok(PathBuf::from(flags.require("socket")?))
+/// `--socket <path>` or `--tcp <addr>` on `ease client` — exactly one.
+fn client_endpoint(flags: &Flags) -> Result<Endpoint, CliError> {
+    match (flags.get("socket"), flags.get("tcp")) {
+        (Some(_), Some(_)) => {
+            Err(CliError::Usage("--socket and --tcp are mutually exclusive".into()))
+        }
+        (Some(socket), None) => Ok(Endpoint::unix(socket)),
+        (None, Some(addr)) => Ok(Endpoint::tcp(addr)),
+        (None, None) => Err(CliError::Usage("--socket or --tcp is required".into())),
+    }
 }
 
 fn unexpected_response(response: serve::Response) -> CliError {
