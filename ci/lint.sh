@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Workspace static analysis: run the ease-lint policy checks as a gate.
+#
+# Clippy knows Rust; ease-lint knows this workspace — the atomic-ordering
+# policy, panic-free daemon paths, SAFETY-comment hygiene, locks held
+# across socket I/O, and single-definition protocol magics. Any
+# unannotated finding exits nonzero.
+#
+# Usage: ci/lint.sh [extra ease-lint args, e.g. --only atomic-ordering]
+# Runs locally and in CI (shellcheck-clean). `cargo run -p ease-lint -- --list`
+# enumerates the checks; `--explain <check>` prints the full rule.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+cargo run --quiet -p ease-lint -- --root . "$@"

@@ -167,6 +167,7 @@ impl PreparedPool {
 
     /// `(contexts built, contexts served from the pool)` so far.
     pub fn stats(&self) -> (usize, usize) {
+        // lint: relaxed-ok(monotonic stats counters; readers tolerate stale values)
         (self.builds.load(Ordering::Relaxed), self.reuses.load(Ordering::Relaxed))
     }
 
@@ -201,9 +202,9 @@ impl PreparedPool {
             )
         });
         if built {
-            self.builds.fetch_add(1, Ordering::Relaxed);
+            self.builds.fetch_add(1, Ordering::Relaxed); // lint: relaxed-ok(stats counter only)
         } else {
-            self.reuses.fetch_add(1, Ordering::Relaxed);
+            self.reuses.fetch_add(1, Ordering::Relaxed); // lint: relaxed-ok(stats counter only)
         }
         PooledPrepared::Pooled(Arc::clone(arc))
     }
@@ -281,6 +282,7 @@ where
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
+                // lint: relaxed-ok(work-stealing ticket counter; item handoff is via scope join)
                 let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if idx >= inputs.len() {
                     break;

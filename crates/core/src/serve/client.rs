@@ -186,6 +186,7 @@ pub fn call_pipelined(
     let mut done = 0;
     while done < requests.len() {
         while sent < requests.len() && sent - done < window {
+            // lint: panic-ok(loop condition bounds `sent` below requests.len())
             let id = client.send(&requests[sent])?;
             index_of.insert(id, sent);
             sent += 1;
@@ -194,8 +195,13 @@ pub fn call_pipelined(
         let at = index_of
             .remove(&id)
             .ok_or_else(|| proto_err(format!("unexpected response for request id {id}")))?;
+        // lint: panic-ok(`at` was inserted from `sent`, which indexes `requests`/`responses`)
         responses[at] = Some(response);
         done += 1;
     }
-    Ok(responses.into_iter().map(|r| r.expect("every request answered")).collect())
+    let out: Vec<Response> = responses.into_iter().flatten().collect();
+    if out.len() != requests.len() {
+        return Err(proto_err("pipelined bookkeeping hole: a request went unanswered"));
+    }
+    Ok(out)
 }

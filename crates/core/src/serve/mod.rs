@@ -113,20 +113,18 @@ pub(crate) fn render_selection(
 ) -> String {
     let mut out = String::new();
     let w = &mut out;
-    writeln!(
+    let _ = writeln!(
         w,
         "graph {display_path}: |V|={n} |E|={m} mean-degree {:.2}",
         if n > 0 { 2.0 * m as f64 / n as f64 } else { 0.0 }
-    )
-    .expect("write to String");
-    writeln!(
+    );
+    let _ = writeln!(
         w,
         "recommended partitioner for {} (k={k}, goal {}): {}",
         workload.label(),
         selection.goal.name(),
         selection.best.name()
-    )
-    .expect("write to String");
+    );
     let mut ranked = selection.candidates;
     // total_cmp: non-finite predictions must not panic a daemon worker
     ranked.sort_by(|a, b| {
@@ -136,14 +134,13 @@ pub(crate) fn render_selection(
         };
         cost(a).total_cmp(&cost(b))
     });
-    writeln!(
+    let _ = writeln!(
         w,
         "{:<10} {:>12} {:>12} {:>12} {:>8}",
         "candidate", "pred-part", "pred-proc", "pred-e2e", "rf"
-    )
-    .expect("write to String");
+    );
     for c in ranked.iter().take(top) {
-        writeln!(
+        let _ = writeln!(
             w,
             "{:<10} {:>11.4}s {:>11.4}s {:>11.4}s {:>8.2}",
             c.partitioner.name(),
@@ -151,8 +148,7 @@ pub(crate) fn render_selection(
             c.processing_secs,
             c.end_to_end_secs,
             c.quality.replication_factor
-        )
-        .expect("write to String");
+        );
     }
     out
 }
@@ -187,29 +183,27 @@ pub fn render_features(
 
     let mut out = String::new();
     let w = &mut out;
-    writeln!(
+    let _ = writeln!(
         w,
         "graph {display_path} (|V|={} |E|={}): {} tier",
         source.num_vertices(),
         source.edge_count(),
         tier.name()
-    )
-    .expect("write to String");
-    writeln!(w, "{:<20} {:>18}", "feature", "value").expect("write to String");
+    );
+    let _ = writeln!(w, "{:<20} {:>18}", "feature", "value");
     for (name, value) in GraphProperties::feature_names(tier).iter().zip(cold.feature_vector(tier))
     {
-        writeln!(w, "{name:<20} {value:>18.6}").expect("write to String");
+        let _ = writeln!(w, "{name:<20} {value:>18.6}");
     }
-    writeln!(w, "fingerprint          0x{:016x}", prepared.fingerprint()).expect("write to String");
+    let _ = writeln!(w, "fingerprint          0x{:016x}", prepared.fingerprint());
     let speedup = if warm_secs > 0.0 { cold_secs / warm_secs } else { f64::INFINITY };
-    writeln!(
+    let _ = writeln!(
         w,
         "extraction: cold {:.3} ms | prepared first {:.3} ms | prepared warm {:.3} ms ({speedup:.0}x)",
         cold_secs * 1e3,
         first_secs * 1e3,
         warm_secs * 1e3,
-    )
-    .expect("write to String");
+    );
     Ok(out)
 }
 

@@ -337,9 +337,9 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), EaseError> 
 pub fn write_frame_v2(w: &mut impl Write, id: u64, payload: &[u8]) -> Result<(), EaseError> {
     check_payload_len(payload)?;
     let mut head = [0u8; 14];
-    head[..2].copy_from_slice(&FRAME_MAGIC_V2);
-    head[2..10].copy_from_slice(&id.to_le_bytes());
-    head[10..14].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    head[..2].copy_from_slice(&FRAME_MAGIC_V2); // lint: panic-ok(const ranges of a fixed 14-byte header)
+    head[2..10].copy_from_slice(&id.to_le_bytes()); // lint: panic-ok(const ranges of a fixed 14-byte header)
+    head[10..14].copy_from_slice(&(payload.len() as u32).to_le_bytes()); // lint: panic-ok(const ranges of a fixed 14-byte header)
     w.write_all(&head)?;
     w.write_all(payload)?;
     w.flush()?;
@@ -392,16 +392,16 @@ pub fn read_frame_v2(r: &mut impl Read) -> Result<(u64, Vec<u8>), EaseError> {
 pub fn read_frame_v2_after_magic(r: &mut impl Read) -> Result<(u64, Vec<u8>), EaseError> {
     let mut head = [0u8; 12];
     read_exact_framed(r, &mut head)?;
+    // lint: panic-ok(const split of a fixed 12-byte header; try_into sees exactly 8 and 4 bytes)
     let id = u64::from_le_bytes(head[..8].try_into().expect("8-byte slice"));
+    // lint: panic-ok(const split of a fixed 12-byte header; try_into sees exactly 8 and 4 bytes)
     let len = u32::from_le_bytes(head[8..12].try_into().expect("4-byte slice")) as usize;
     Ok((id, read_capped_payload(r, len)?))
 }
 
 fn bad_magic(got: [u8; 2], expected: [u8; 2]) -> EaseError {
-    proto_err(format!(
-        "bad frame magic {:02x}{:02x} (expected {:02x}{:02x})",
-        got[0], got[1], expected[0], expected[1]
-    ))
+    let ([g0, g1], [e0, e1]) = (got, expected);
+    proto_err(format!("bad frame magic {g0:02x}{g1:02x} (expected {e0:02x}{e1:02x})"))
 }
 
 fn read_capped_payload(r: &mut impl Read, len: usize) -> Result<Vec<u8>, EaseError> {

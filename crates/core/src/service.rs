@@ -56,7 +56,7 @@ use ease_partition::{PartitionerId, QualityTarget};
 use ease_procsim::Workload;
 use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 /// Builder for a trained [`EaseService`].
 ///
@@ -471,11 +471,13 @@ impl EaseService {
     /// but correct — the results are identical.
     pub fn cached_properties_prepared(&self, prepared: &PreparedGraph<'_>) -> GraphProperties {
         let key = prepared.fingerprint();
-        if let Some(props) = self.props_cache.lock().expect("props cache lock").get(key) {
+        if let Some(props) =
+            self.props_cache.lock().unwrap_or_else(PoisonError::into_inner).get(key)
+        {
             return props;
         }
         let props = prepared.properties(PropertyTier::Advanced);
-        self.props_cache.lock().expect("props cache lock").insert(key, props.clone());
+        self.props_cache.lock().unwrap_or_else(PoisonError::into_inner).insert(key, props.clone());
         props
     }
 
@@ -488,12 +490,12 @@ impl EaseService {
     /// re-extracts through [`EaseService::cached_properties_prepared`],
     /// which records the miss.
     pub fn try_cached_properties(&self, fingerprint: u64) -> Option<GraphProperties> {
-        self.props_cache.lock().expect("props cache lock").probe(fingerprint)
+        self.props_cache.lock().unwrap_or_else(PoisonError::into_inner).probe(fingerprint)
     }
 
     /// Hit/miss/occupancy counters of the property cache.
     pub fn property_cache_stats(&self) -> PropertyCacheStats {
-        let cache = self.props_cache.lock().expect("props cache lock");
+        let cache = self.props_cache.lock().unwrap_or_else(PoisonError::into_inner);
         PropertyCacheStats {
             hits: cache.hits,
             misses: cache.misses,
@@ -524,17 +526,19 @@ impl EaseService {
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
+                    // lint: relaxed-ok(work ticket counter; results are ordered after the scope join)
                     let idx = next.fetch_add(1, Ordering::Relaxed);
                     if idx >= queries.len() {
                         break;
                     }
+                    // lint: panic-ok(idx was bounds-checked against queries.len() just above)
                     let q = &queries[idx];
                     let sel = self.recommend_with_k(&q.props, q.workload, q.k, q.goal);
-                    results.lock().expect("results lock").push((idx, sel));
+                    results.lock().unwrap_or_else(PoisonError::into_inner).push((idx, sel));
                 });
             }
         });
-        let mut out = results.into_inner().expect("results lock");
+        let mut out = results.into_inner().unwrap_or_else(PoisonError::into_inner);
         out.sort_by_key(|(idx, _)| *idx);
         out.into_iter().map(|(_, sel)| sel).collect()
     }
@@ -609,7 +613,7 @@ impl EaseService {
         }
         // property-cache trailer (format v2): fingerprint-keyed extracted
         // properties in LRU order, so a reloaded service answers warm
-        let cache = self.props_cache.lock().expect("props cache lock");
+        let cache = self.props_cache.lock().unwrap_or_else(PoisonError::into_inner);
         w.put_usize(cache.entries.len());
         for (key, props) in &cache.entries {
             w.put_u64(*key);
@@ -721,7 +725,7 @@ impl EaseService {
         let meta = ServiceMeta { scale, seed, folds, timing, default_k, default_goal };
         let service = EaseService::from_parts(ease, meta);
         {
-            let mut cache = service.props_cache.lock().expect("props cache lock");
+            let mut cache = service.props_cache.lock().unwrap_or_else(PoisonError::into_inner);
             for (key, props) in warm {
                 cache.insert(key, props);
             }
@@ -775,6 +779,7 @@ fn tier_from_tag(tag: u8) -> Result<PropertyTier, PersistError> {
 }
 
 fn target_tag(target: QualityTarget) -> u8 {
+    // lint: panic-ok(every QualityTarget variant is in ALL by construction)
     QualityTarget::ALL.iter().position(|&t| t == target).expect("target in ALL") as u8
 }
 

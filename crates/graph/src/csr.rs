@@ -283,7 +283,11 @@ struct SharedTargets {
     len: usize,
 }
 
+// SAFETY: concurrent writes go through `write` at provably disjoint indices
+// (see the invariant above), so shared access never aliases a write.
 unsafe impl Sync for SharedTargets {}
+// SAFETY: the struct is just a pointer + length into a buffer the spawning
+// thread owns and outlives; moving it across threads transfers no state.
 unsafe impl Send for SharedTargets {}
 
 impl SharedTargets {
@@ -292,6 +296,9 @@ impl SharedTargets {
     #[inline]
     unsafe fn write(&self, idx: usize, val: VertexId) {
         debug_assert!(idx < self.len);
+        // SAFETY: caller guarantees `idx < len` and exclusive ownership of
+        // this index (type invariant), so the write is in-bounds, aligned
+        // (derived from a Vec allocation) and unaliased.
         unsafe { *self.ptr.add(idx) = val };
     }
 }

@@ -22,6 +22,8 @@
 //! Everything is deterministic: no global RNG state, no time-dependent
 //! behaviour. Vertex ids are dense `u32`s in `0..num_vertices`.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod bel;
 pub mod csr;
 pub mod degree;

@@ -48,6 +48,8 @@ pub struct Mmap {
 // lifetime, so shared references to its bytes are valid from any thread.
 #[cfg(unix)]
 unsafe impl Send for Mmap {}
+// SAFETY: same argument as `Send` — the bytes behind `ptr` never change
+// after `map` returns, so concurrent shared reads are race-free.
 #[cfg(unix)]
 unsafe impl Sync for Mmap {}
 

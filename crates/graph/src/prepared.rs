@@ -278,6 +278,7 @@ impl<'g> PreparedGraph<'g> {
     /// most once per context.
     pub fn undirected_simple(&self) -> &Csr {
         self.undirected_simple.get_or_init(|| {
+            // lint: relaxed-ok(diagnostic build counter; OnceLock publishes the CSR itself)
             self.undirected_builds.fetch_add(1, Ordering::Relaxed);
             Csr::build_undirected_simple_source(self.source(), self.build_shards())
         })
@@ -287,7 +288,7 @@ impl<'g> PreparedGraph<'g> {
     /// (0 before first use, 1 ever after — memoization makes more
     /// impossible).
     pub fn undirected_csr_builds(&self) -> u32 {
-        self.undirected_builds.load(Ordering::Relaxed)
+        self.undirected_builds.load(Ordering::Relaxed) // lint: relaxed-ok(diagnostic counter)
     }
 
     /// Degree tables + moments/skewness, built on first use. The sharded

@@ -1,0 +1,7 @@
+pub fn f() -> (u8, u8) {
+    // lint: panic-ok()
+    let x = 1;
+    // lint: relxed-ok(typo in the kind)
+    let y = 2;
+    (x, y)
+}

@@ -1,0 +1,23 @@
+// Fixture: atomic-ordering conforming code — SeqCst on the policy flag,
+// an annotated weaker ordering, and an annotated Relaxed counter.
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+pub struct S {
+    stop_requested: AtomicBool,
+    served: AtomicU64,
+}
+
+impl S {
+    pub fn policy_flag(&self) -> bool {
+        self.stop_requested.load(Ordering::SeqCst)
+    }
+
+    pub fn annotated_weak(&self) -> bool {
+        // lint: ordering-ok(fixture: pretend a proof lives here)
+        self.stop_requested.load(Ordering::Acquire)
+    }
+
+    pub fn counter(&self) {
+        self.served.fetch_add(1, Ordering::Relaxed); // lint: relaxed-ok(stats counter)
+    }
+}

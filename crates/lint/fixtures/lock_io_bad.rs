@@ -1,0 +1,7 @@
+use std::io::Write;
+use std::sync::Mutex;
+
+pub fn pin(m: &Mutex<u64>, w: &mut impl Write) {
+    let g = m.lock().unwrap();
+    w.write_all(&g.to_le_bytes()).ok();
+}

@@ -1,0 +1,20 @@
+use std::io::Write;
+use std::sync::Mutex;
+
+pub fn tight(q: &Mutex<Vec<u8>>, w: &mut impl Write) {
+    let bytes = q.lock().unwrap().clone();
+    w.write_all(&bytes).ok();
+}
+
+pub fn dropped(m: &Mutex<u64>, w: &mut impl Write) {
+    let g = m.lock().unwrap();
+    let v = *g;
+    drop(g);
+    w.write_all(&v.to_le_bytes()).ok();
+}
+
+pub fn annotated(m: &Mutex<u64>, w: &mut impl Write) {
+    // lint: lock-io-ok(fixture: pretend single-client mode is proven here)
+    let g = m.lock().unwrap();
+    w.write_all(&g.to_le_bytes()).ok();
+}

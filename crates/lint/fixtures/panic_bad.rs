@@ -1,0 +1,9 @@
+pub fn worker(buf: &[u8]) -> u8 {
+    let first = buf[0];
+    let parsed: Result<u8, ()> = Ok(first);
+    parsed.unwrap()
+}
+
+pub fn boom() {
+    panic!("kill the worker");
+}

@@ -1,0 +1,15 @@
+pub fn worker(buf: &[u8]) -> Option<u8> {
+    buf.first().copied()
+}
+
+pub fn head(head: &[u8; 4]) -> u8 {
+    head[0] // lint: panic-ok(const index into a fixed 4-byte array)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        Some(1).unwrap();
+    }
+}

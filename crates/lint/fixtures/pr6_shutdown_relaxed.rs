@@ -1,0 +1,17 @@
+// Fixture: the PR 6 pattern — a Relaxed load on a SeqCst-stored shutdown
+// flag. Linted under the synthetic path crates/core/src/serve/server.rs.
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub struct Shared {
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed)
+    }
+}

@@ -1,0 +1,3 @@
+pub fn naked(p: *const u8) -> u8 {
+    unsafe { *p }
+}

@@ -1,0 +1,12 @@
+pub fn commented(p: *const u8) -> u8 {
+    // SAFETY: fixture — caller passes a valid, aligned pointer.
+    unsafe { *p }
+}
+
+/// An `unsafe fn` declares a caller obligation (documented in a
+/// `# Safety` section); the proof belongs at call sites, so the
+/// declaration itself needs no SAFETY comment.
+pub unsafe fn contract(p: *const u8) -> u8 {
+    // SAFETY: fixture — the contract above promises validity.
+    unsafe { *p }
+}

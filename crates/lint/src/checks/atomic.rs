@@ -1,0 +1,133 @@
+//! Check `atomic-ordering`: the workspace's memory-ordering policy.
+//!
+//! This is the PR 6 shutdown-flag bug turned into a gate. Two rules:
+//!
+//! 1. **Policy atomics are `SeqCst`.** Any `load`/`store`/`swap`/
+//!    `fetch_*`/`compare_exchange*` on an atomic whose field or variable
+//!    name matches the policy list ([`POLICY_NAMES`]: control flags like
+//!    `shutdown`/`stop` that cross the accept/worker boundary) must pass
+//!    `SeqCst` for every ordering argument. Mixed or weaker orderings on
+//!    a control flag are exactly the shipped bug: a `Relaxed` load of a
+//!    `SeqCst`-stored flag gave the accept loop and the workers two
+//!    different views of "are we shutting down". Suppress — when a
+//!    weaker ordering is *proven* fine — with `// lint: ordering-ok(<why>)`.
+//! 2. **`Ordering::Relaxed` is explicit.** Every `Ordering::Relaxed`
+//!    anywhere in the workspace needs an adjacent
+//!    `// lint: relaxed-ok(<why>)` annotation. Relaxed is usually right
+//!    for stats counters and work-stealing indices — the annotation
+//!    forces the author to *say so* where a reviewer will read it.
+
+use super::Ctx;
+use crate::annotations::Kind;
+use crate::{CheckId, Finding};
+use std::collections::BTreeSet;
+
+/// Name fragments identifying control-flag atomics that must be `SeqCst`.
+/// Matched case-insensitively against the receiver identifier, as a
+/// substring (`shutdown`, `shutdown_flag`, `stop_requested` all match).
+pub const POLICY_NAMES: &[&str] = &["shutdown", "stop", "shutting_down"];
+
+/// Atomic operations whose ordering arguments the policy constrains.
+const ATOMIC_METHODS: &[&str] = &[
+    "load",
+    "store",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_nand",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_max",
+    "fetch_min",
+    "fetch_update",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+
+const ORDERINGS: &[&str] = &["SeqCst", "AcqRel", "Acquire", "Release", "Relaxed"];
+
+pub fn check(ctx: &Ctx, out: &mut Vec<Finding>) {
+    let tokens = ctx.tokens;
+    // lines already carrying a policy finding: the Relaxed that caused a
+    // policy violation is one defect, not two findings
+    let mut policy_lines: BTreeSet<u32> = BTreeSet::new();
+
+    for (i, tok) in tokens.iter().enumerate() {
+        if tok.kind != crate::lexer::TokKind::Ident
+            || !ATOMIC_METHODS.contains(&tok.text.as_str())
+            || i == 0
+            || tokens[i - 1].text != "."
+            || tokens.get(i + 1).is_none_or(|t| t.text != "(")
+        {
+            continue;
+        }
+        // receiver: the identifier before the `.` (`self.shutdown.load(…)`
+        // → `shutdown`). Non-identifier receivers (call results, indexed
+        // expressions) have no name to match the policy against.
+        let receiver = match i.checked_sub(2).map(|r| &tokens[r]) {
+            Some(t) if t.kind == crate::lexer::TokKind::Ident => t.text.to_lowercase(),
+            _ => continue,
+        };
+        if !POLICY_NAMES.iter().any(|p| receiver.contains(p)) {
+            continue;
+        }
+        let Some(close) = super::matching_bracket(tokens, i + 1) else { continue };
+        let orderings: Vec<&str> = tokens[i + 1..close]
+            .iter()
+            .filter(|t| {
+                t.kind == crate::lexer::TokKind::Ident && ORDERINGS.contains(&t.text.as_str())
+            })
+            .map(|t| t.text.as_str())
+            .collect();
+        let violation = if orderings.is_empty() {
+            Some("no explicit ordering is visible at the call site".to_string())
+        } else if orderings.iter().any(|&o| o != "SeqCst") {
+            Some(format!("uses Ordering::{}", orderings.join(" / Ordering::")))
+        } else {
+            None
+        };
+        if let Some(why) = violation {
+            if !ctx.annotations.allows(Kind::OrderingOk, tok.line) {
+                policy_lines.insert(tok.line);
+                out.push(Finding {
+                    check: CheckId::AtomicOrdering,
+                    file: ctx.file.to_string(),
+                    line: tok.line,
+                    message: format!(
+                        "`{receiver}.{}` {why}: `{receiver}` matches the control-flag policy \
+                         ({}) and every access must be SeqCst — mixed orderings on a shutdown \
+                         flag are the PR 6 lost-wakeup bug (annotate `// lint: ordering-ok(<why>)` \
+                         only with a proof)",
+                        tok.text,
+                        POLICY_NAMES.join("/"),
+                    ),
+                });
+            }
+        }
+    }
+
+    // rule 2: every Ordering::Relaxed needs a relaxed-ok annotation
+    for (i, tok) in tokens.iter().enumerate() {
+        if tok.text != "Relaxed"
+            || tok.kind != crate::lexer::TokKind::Ident
+            || i < 3
+            || tokens[i - 1].text != ":"
+            || tokens[i - 2].text != ":"
+            || tokens[i - 3].text != "Ordering"
+        {
+            continue;
+        }
+        if policy_lines.contains(&tok.line) || ctx.annotations.allows(Kind::RelaxedOk, tok.line) {
+            continue;
+        }
+        out.push(Finding {
+            check: CheckId::AtomicOrdering,
+            file: ctx.file.to_string(),
+            line: tok.line,
+            message: "Ordering::Relaxed without an adjacent `// lint: relaxed-ok(<why>)` \
+                      annotation — say why no other thread orders its reads against this value"
+                .to_string(),
+        });
+    }
+}

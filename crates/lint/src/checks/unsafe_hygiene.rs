@@ -1,0 +1,87 @@
+//! Check `unsafe-hygiene`: every `unsafe` site carries a `// SAFETY:`
+//! comment.
+//!
+//! `unsafe` is a claim that the author checked an invariant the compiler
+//! cannot; the `SAFETY:` comment is where that invariant is written down
+//! so the next editor can re-check it. The comment must be *adjacent*:
+//! on the same line, the line immediately inside the block, or above the
+//! `unsafe` keyword with only comments, attributes and blank lines in
+//! between (and within [`MAX_LOOKBACK`] lines, so a stale comment at the
+//! top of the function does not cover every `unsafe` below it).
+//!
+//! `unsafe fn` / `unsafe trait` *declarations* are exempt: they state an
+//! obligation the **caller** (or implementor) discharges — that contract
+//! belongs in a `# Safety` doc section, and the proofs live at the call
+//! sites. `unsafe {}` blocks and `unsafe impl`s are where an invariant is
+//! actually claimed, so those must carry the comment.
+//!
+//! There is no annotation escape — the fix *is* writing the comment.
+
+use super::Ctx;
+use crate::lexer::TokKind;
+use crate::{CheckId, Finding};
+use std::collections::BTreeSet;
+
+/// How far above an `unsafe` keyword a `SAFETY:` comment may sit.
+pub const MAX_LOOKBACK: u32 = 8;
+
+pub fn check(ctx: &Ctx, out: &mut Vec<Finding>) {
+    // lines covered by a comment containing "SAFETY:"
+    let mut safety_lines: BTreeSet<u32> = BTreeSet::new();
+    for comment in ctx.comments {
+        if comment.text.contains("SAFETY:") {
+            safety_lines.extend(comment.line..=comment.end_line);
+        }
+    }
+    // lines with real (non-attribute) code on them
+    let code_lines: BTreeSet<u32> =
+        ctx.tokens.iter().filter(|t| !t.in_attr).map(|t| t.line).collect();
+
+    for (i, tok) in ctx.tokens.iter().enumerate() {
+        if tok.kind != TokKind::Ident || tok.text != "unsafe" || tok.in_attr {
+            continue;
+        }
+        // declarations (`unsafe fn`, `unsafe trait`, `unsafe extern`) state a
+        // caller-side contract; only blocks and impls discharge one here
+        if ctx
+            .tokens
+            .get(i + 1)
+            .is_some_and(|t| matches!(t.text.as_str(), "fn" | "trait" | "extern"))
+        {
+            continue;
+        }
+        if has_adjacent_safety(tok.line, &safety_lines, &code_lines) {
+            continue;
+        }
+        out.push(Finding {
+            check: CheckId::UnsafeHygiene,
+            file: ctx.file.to_string(),
+            line: tok.line,
+            message: "`unsafe` without an adjacent `// SAFETY:` comment — write down the \
+                      invariant this block relies on, right where it is relied on"
+                .to_string(),
+        });
+    }
+}
+
+fn has_adjacent_safety(
+    line: u32,
+    safety_lines: &BTreeSet<u32>,
+    code_lines: &BTreeSet<u32>,
+) -> bool {
+    // same line, or first line inside the block (`unsafe {` + comment)
+    if safety_lines.contains(&line) || safety_lines.contains(&(line + 1)) {
+        return true;
+    }
+    // walk upward through comments / attributes / blank lines
+    let stop = line.saturating_sub(MAX_LOOKBACK).max(1);
+    for l in (stop..line).rev() {
+        if safety_lines.contains(&l) {
+            return true;
+        }
+        if code_lines.contains(&l) {
+            return false; // a code line breaks adjacency
+        }
+    }
+    false
+}

@@ -1,0 +1,138 @@
+//! The `ease-lint` binary — run the workspace checks as a CI gate.
+//!
+//! ```text
+//! ease-lint [--root DIR] [--only a,b] [--skip a,b] [--list] [--explain CHECK] [--quiet]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage error.
+
+use ease_lint::{all_checks, lint_workspace, CheckId};
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: PathBuf,
+    enabled: BTreeSet<CheckId>,
+    quiet: bool,
+}
+
+fn usage() -> String {
+    let checks: Vec<&str> = CheckId::ALL.iter().map(|c| c.name()).collect();
+    format!(
+        "usage: ease-lint [--root DIR] [--only CHECKS] [--skip CHECKS] [--list] \
+         [--explain CHECK] [--quiet]\n\
+         \n\
+         CHECKS is a comma-separated subset of: {}\n\
+         --list     print every check with a one-line summary\n\
+         --explain  print the full rule documentation for one check",
+        checks.join(", ")
+    )
+}
+
+fn parse_checks(spec: &str) -> Result<BTreeSet<CheckId>, String> {
+    let mut set = BTreeSet::new();
+    for name in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        let check = CheckId::from_name(name)
+            .ok_or_else(|| format!("unknown check `{name}`\n\n{}", usage()))?;
+        set.insert(check);
+    }
+    if set.is_empty() {
+        return Err(format!("empty check list\n\n{}", usage()));
+    }
+    Ok(set)
+}
+
+fn parse_args() -> Result<Option<Args>, String> {
+    let mut args = std::env::args().skip(1);
+    let mut root = PathBuf::from(".");
+    let mut enabled = all_checks();
+    let mut quiet = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                root = args
+                    .next()
+                    .ok_or_else(|| format!("--root needs a value\n\n{}", usage()))?
+                    .into();
+            }
+            "--only" => {
+                let spec =
+                    args.next().ok_or_else(|| format!("--only needs a value\n\n{}", usage()))?;
+                enabled = parse_checks(&spec)?;
+            }
+            "--skip" => {
+                let spec =
+                    args.next().ok_or_else(|| format!("--skip needs a value\n\n{}", usage()))?;
+                for check in parse_checks(&spec)? {
+                    enabled.remove(&check);
+                }
+            }
+            "--list" => {
+                for check in CheckId::ALL {
+                    println!("{:<20} {}", check.name(), check.summary());
+                }
+                return Ok(None);
+            }
+            "--explain" => {
+                let name = args
+                    .next()
+                    .ok_or_else(|| format!("--explain needs a check name\n\n{}", usage()))?;
+                let check = CheckId::from_name(&name)
+                    .ok_or_else(|| format!("unknown check `{name}`\n\n{}", usage()))?;
+                println!("{}", check.explain());
+                return Ok(None);
+            }
+            "--quiet" => quiet = true,
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return Ok(None);
+            }
+            other => return Err(format!("unknown argument `{other}`\n\n{}", usage())),
+        }
+    }
+    Ok(Some(Args { root, enabled, quiet }))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(Some(args)) => args,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("ease-lint: {message}");
+            return ExitCode::from(2);
+        }
+    };
+    if !args.root.join("Cargo.toml").exists() {
+        eprintln!(
+            "ease-lint: {} does not look like the workspace root (no Cargo.toml) — run from \
+             the repo root or pass --root",
+            args.root.display()
+        );
+        return ExitCode::from(2);
+    }
+    let findings = match lint_workspace(&args.root, &args.enabled) {
+        Ok(findings) => findings,
+        Err(e) => {
+            eprintln!("ease-lint: cannot walk {}: {e}", args.root.display());
+            return ExitCode::from(2);
+        }
+    };
+    for finding in &findings {
+        println!("{finding}");
+    }
+    if findings.is_empty() {
+        if !args.quiet {
+            let names: Vec<&str> = args.enabled.iter().map(|c| c.name()).collect();
+            println!("ease-lint: clean ({} checks: {})", names.len(), names.join(", "));
+        }
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "ease-lint: {} finding{} — fix, or annotate with a reason (see --explain)",
+            findings.len(),
+            if findings.len() == 1 { "" } else { "s" }
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,178 @@
+//! Fixture tests: each check is exercised against a small source file
+//! containing the violation (and a conforming twin), linted under a
+//! synthetic workspace-relative path so the scoping rules apply. The
+//! fixtures live outside `src/` and are skipped by the workspace walk
+//! (`SKIP_DIRS`) — they contain violations *on purpose*.
+
+use ease_lint::{all_checks, lint_source, CheckId, Finding};
+use std::collections::BTreeSet;
+
+const PR6: &str = include_str!("../fixtures/pr6_shutdown_relaxed.rs");
+const ATOMIC_GOOD: &str = include_str!("../fixtures/atomic_good.rs");
+const PANIC_BAD: &str = include_str!("../fixtures/panic_bad.rs");
+const PANIC_GOOD: &str = include_str!("../fixtures/panic_good.rs");
+const UNSAFE_BAD: &str = include_str!("../fixtures/unsafe_bad.rs");
+const UNSAFE_GOOD: &str = include_str!("../fixtures/unsafe_good.rs");
+const LOCK_IO_BAD: &str = include_str!("../fixtures/lock_io_bad.rs");
+const LOCK_IO_GOOD: &str = include_str!("../fixtures/lock_io_good.rs");
+const MAGIC_BAD: &str = include_str!("../fixtures/magic_bad.rs");
+const ANNOTATION_BAD: &str = include_str!("../fixtures/annotation_bad.rs");
+
+fn only(check: CheckId) -> BTreeSet<CheckId> {
+    [check].into_iter().collect()
+}
+
+fn lines(findings: &[Finding]) -> Vec<u32> {
+    findings.iter().map(|f| f.line).collect()
+}
+
+// ---------------------------------------------------------------------
+// atomic-ordering
+// ---------------------------------------------------------------------
+
+/// The acceptance fixture: reintroducing the PR 6 bug (a Relaxed load on
+/// a shutdown-named atomic in a serve module) is flagged, once, with the
+/// exact file:line, and the finding names the bug class.
+#[test]
+fn pr6_shutdown_relaxed_is_flagged_at_the_exact_line() {
+    let findings = lint_source("crates/core/src/serve/server.rs", PR6, &all_checks());
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    let f = &findings[0];
+    assert_eq!(f.check, CheckId::AtomicOrdering);
+    assert_eq!((f.file.as_str(), f.line), ("crates/core/src/serve/server.rs", 15));
+    assert!(f.message.contains("PR 6"), "{}", f.message);
+    assert!(
+        f.to_string().starts_with("crates/core/src/serve/server.rs:15: [atomic-ordering]"),
+        "{f}"
+    );
+}
+
+/// The policy also fires outside serve/ — a control flag is a control
+/// flag wherever it lives.
+#[test]
+fn policy_flag_rule_is_workspace_wide() {
+    let findings = lint_source("crates/ml/src/train.rs", PR6, &only(CheckId::AtomicOrdering));
+    assert_eq!(lines(&findings), [15]);
+}
+
+#[test]
+fn conforming_atomics_are_clean() {
+    let findings = lint_source("crates/ml/src/train.rs", ATOMIC_GOOD, &all_checks());
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+/// Disabling the check (CLI `--skip atomic-ordering`) silences it.
+#[test]
+fn atomic_check_is_toggleable() {
+    let mut enabled = all_checks();
+    enabled.remove(&CheckId::AtomicOrdering);
+    let findings = lint_source("crates/core/src/serve/server.rs", PR6, &enabled);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+// ---------------------------------------------------------------------
+// panic-path
+// ---------------------------------------------------------------------
+
+#[test]
+fn panic_paths_in_daemon_code_are_flagged() {
+    let findings =
+        lint_source("crates/core/src/serve/handler.rs", PANIC_BAD, &only(CheckId::PanicPath));
+    assert_eq!(lines(&findings), [2, 4, 8], "{findings:?}");
+    assert!(findings.iter().all(|f| f.check == CheckId::PanicPath));
+}
+
+/// The same source outside the daemon scope is fine — unwraps in batch
+/// tools are not a fleet-crash vector.
+#[test]
+fn panic_paths_outside_daemon_scope_are_ignored() {
+    let findings = lint_source("crates/ml/src/train.rs", PANIC_BAD, &only(CheckId::PanicPath));
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn annotated_and_test_code_panic_paths_are_clean() {
+    let findings = lint_source("crates/core/src/serve/handler.rs", PANIC_GOOD, &all_checks());
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+// ---------------------------------------------------------------------
+// unsafe-hygiene
+// ---------------------------------------------------------------------
+
+#[test]
+fn unsafe_without_safety_comment_is_flagged() {
+    let findings = lint_source("crates/graph/src/x.rs", UNSAFE_BAD, &only(CheckId::UnsafeHygiene));
+    assert_eq!(lines(&findings), [2], "{findings:?}");
+    assert_eq!(findings[0].check, CheckId::UnsafeHygiene);
+}
+
+#[test]
+fn safety_commented_unsafe_is_clean() {
+    let findings = lint_source("crates/graph/src/x.rs", UNSAFE_GOOD, &all_checks());
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+// ---------------------------------------------------------------------
+// lock-across-io
+// ---------------------------------------------------------------------
+
+#[test]
+fn guard_live_across_io_is_flagged_at_the_io_line() {
+    let findings =
+        lint_source("crates/core/src/serve/conn.rs", LOCK_IO_BAD, &only(CheckId::LockAcrossIo));
+    assert_eq!(lines(&findings), [6], "{findings:?}");
+    assert!(findings[0].message.contains("`g`"), "{}", findings[0].message);
+}
+
+#[test]
+fn tight_scope_drop_and_annotation_are_clean() {
+    let findings =
+        lint_source("crates/core/src/serve/conn.rs", LOCK_IO_GOOD, &only(CheckId::LockAcrossIo));
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+/// The check is scoped to serve/ — a CLI tool may hold locks across
+/// writes to a local file.
+#[test]
+fn lock_across_io_outside_serve_is_ignored() {
+    let findings = lint_source("crates/ml/src/x.rs", LOCK_IO_BAD, &only(CheckId::LockAcrossIo));
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+// ---------------------------------------------------------------------
+// magic-constants
+// ---------------------------------------------------------------------
+
+#[test]
+fn duplicated_magics_are_flagged_in_every_spelling() {
+    let findings =
+        lint_source("crates/graph/src/other.rs", MAGIC_BAD, &only(CheckId::MagicConstants));
+    assert_eq!(lines(&findings), [1, 2, 3], "{findings:?}");
+}
+
+/// The home module may spell its own magic; foreign magics in the same
+/// file are still flagged.
+#[test]
+fn home_module_is_exempt_for_its_own_magic_only() {
+    let findings =
+        lint_source("crates/core/src/serve/protocol.rs", MAGIC_BAD, &only(CheckId::MagicConstants));
+    assert_eq!(lines(&findings), [3], "{findings:?}");
+}
+
+// ---------------------------------------------------------------------
+// annotation-grammar
+// ---------------------------------------------------------------------
+
+#[test]
+fn malformed_annotations_are_findings() {
+    let findings = lint_source("crates/core/src/x.rs", ANNOTATION_BAD, &all_checks());
+    assert_eq!(lines(&findings), [2, 4], "{findings:?}");
+    assert!(findings.iter().all(|f| f.check == CheckId::AnnotationGrammar));
+    assert!(findings[0].message.contains("empty reason"), "{}", findings[0].message);
+    assert!(
+        findings[1].message.contains("unknown lint annotation kind"),
+        "{}",
+        findings[1].message
+    );
+}

@@ -1,0 +1,132 @@
+//! Property tests for the hand-rolled lexer: token soup assembled from
+//! fragments with *known* token content must lex to exactly the
+//! concatenation of the fragments' tokens — so strings, raw strings,
+//! chars and (nested) comments containing scary text can never leak an
+//! identifier or number into what the checks see.
+
+use ease_lint::lexer::{lex, TokKind};
+use proptest::prelude::*;
+
+/// One source fragment and the Ident texts / Number values it lexes to.
+/// Opaque fragments (comments, string/char literals) expect none.
+#[derive(Clone, Debug)]
+struct Frag {
+    src: &'static str,
+    idents: &'static [&'static str],
+    values: &'static [u128],
+}
+
+fn menu() -> Vec<Frag> {
+    vec![
+        // code fragments with known token content
+        Frag { src: "let alpha = 42;", idents: &["let", "alpha"], values: &[42] },
+        Frag { src: "foo.unwrap();", idents: &["foo", "unwrap"], values: &[] },
+        Frag {
+            src: "shutdown.load(Ordering::SeqCst);",
+            idents: &["shutdown", "load", "Ordering", "SeqCst"],
+            values: &[],
+        },
+        Frag { src: "const K: u16 = 0xBEEF;", idents: &["const", "K", "u16"], values: &[0xBEEF] },
+        Frag { src: "vec![1, 2]", idents: &["vec"], values: &[1, 2] },
+        Frag { src: "let r#match = 9;", idents: &["let", "match"], values: &[9] },
+        // opaque fragments: full of keywords, panics and magics that must
+        // never surface as Ident/Number tokens
+        Frag {
+            src: "// unsafe { shutdown.load(Ordering::Relaxed) } panic! 77",
+            idents: &[],
+            values: &[],
+        },
+        Frag {
+            src: "/* unwrap() /* nested unsafe 0xEA5E */ still a comment */",
+            idents: &[],
+            values: &[],
+        },
+        Frag { src: r#""unsafe { boom.unwrap() } 51966""#, idents: &[], values: &[] },
+        Frag { src: r##"r#"raw panic!() with "quotes" inside"#"##, idents: &[], values: &[] },
+        // lint: magic-ok(opaque lexer fragment, not a wire-format use)
+        Frag { src: r#"b"EASEBEL1 unwrap 123""#, idents: &[], values: &[] },
+        Frag { src: "'{'", idents: &[], values: &[] },
+        Frag { src: r#""escaped \" quote keeps going unwrap()""#, idents: &[], values: &[] },
+    ]
+}
+
+/// Bytes for the totality soup: quote/escape/comment starters in every
+/// broken combination the menu above cannot produce.
+fn char_menu() -> Vec<char> {
+    vec![
+        'a', 'Z', '_', '9', '"', '\'', '\\', '/', '*', '#', 'r', 'b', 'c', '0', 'x', '{', '}', '[',
+        ']', '(', ')', '!', '.', ':', ';', '\n', '\t', ' ', 'é', '→',
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Concatenating any mix of fragments lexes to exactly the
+    /// concatenation of their expected tokens: opaque fragments
+    /// contribute nothing, code fragments survive their neighbors.
+    #[test]
+    fn token_soup_never_leaks_idents_or_numbers(
+        picks in prop::collection::vec(prop::sample::select(menu()), 1..32),
+    ) {
+        let src = picks.iter().map(|f| f.src).collect::<Vec<_>>().join("\n");
+        let lexed = lex(&src);
+        let want_idents: Vec<&str> =
+            picks.iter().flat_map(|f| f.idents.iter().copied()).collect();
+        let got_idents: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        prop_assert_eq!(got_idents, want_idents, "source:\n{}", src);
+        let want_values: Vec<u128> =
+            picks.iter().flat_map(|f| f.values.iter().copied()).collect();
+        let got_values: Vec<u128> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Number)
+            .filter_map(|t| t.value)
+            .collect();
+        prop_assert_eq!(got_values, want_values, "source:\n{}", src);
+    }
+
+    /// The lexer is total: arbitrary byte soup (unterminated strings,
+    /// stray escapes, half-open comments, non-ASCII) terminates and
+    /// reports sane line numbers.
+    #[test]
+    fn lexer_is_total_on_arbitrary_soup(
+        cs in prop::collection::vec(prop::sample::select(char_menu()), 0..200),
+    ) {
+        let src: String = cs.into_iter().collect();
+        let lexed = lex(&src);
+        let max_line = src.lines().count().max(1) as u32;
+        prop_assert!(
+            lexed.tokens.iter().all(|t| t.line >= 1 && t.line <= max_line),
+            "token line out of range for source {:?}",
+            src
+        );
+        prop_assert!(
+            lexed.comments.iter().all(|c| c.line >= 1 && c.end_line >= c.line),
+            "comment span out of order for source {:?}",
+            src
+        );
+    }
+
+    /// A raw string delimited with N hashes must not be terminated by a
+    /// quote followed by fewer than N hashes.
+    #[test]
+    fn raw_string_hashes_never_terminate_early(n in 1usize..4) {
+        let h = "#".repeat(n);
+        let lookalike = format!("\"{} almost-closed unsafe ", "#".repeat(n - 1));
+        let src = format!("let s = r{h}\"{lookalike}\"{h}; tail");
+        let lexed = lex(&src);
+        let idents: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        prop_assert_eq!(idents, vec!["let", "s", "tail"], "source: {}", src);
+    }
+}

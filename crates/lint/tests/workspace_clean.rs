@@ -1,0 +1,17 @@
+//! The gate itself, as a test: the workspace must lint clean. This is
+//! what keeps `cargo test` and `ci/lint.sh` telling the same story — a
+//! finding introduced anywhere fails both.
+
+use ease_lint::{all_checks, lint_workspace};
+use std::path::Path;
+
+#[test]
+fn the_workspace_lints_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let findings = lint_workspace(&root, &all_checks()).expect("walk workspace sources");
+    assert!(
+        findings.is_empty(),
+        "unannotated findings (run `cargo run -p ease-lint` for details):\n{}",
+        findings.iter().map(|f| f.to_string()).collect::<Vec<_>>().join("\n")
+    );
+}

@@ -89,6 +89,7 @@ pub fn grid_search(
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
+                    // lint: relaxed-ok(work ticket counter; slot writes publish via the scope join)
                     let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     if i >= candidates.len() {
                         break;

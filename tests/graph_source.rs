@@ -33,15 +33,19 @@ thread_local! {
 
 struct CountingAlloc;
 
+// SAFETY: pure pass-through to `System`; the thread-local counter taps use
+// `Cell`s, never allocate, and cannot re-enter the allocator.
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         if TRACKING.with(|t| t.get()) {
             ALLOCATED.with(|a| a.set(a.get() + layout.size() as u64));
         }
+        // SAFETY: caller upholds GlobalAlloc's contract for `layout`.
         unsafe { System.alloc(layout) }
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr`/`layout` come from the paired `alloc` call above.
         unsafe { System.dealloc(ptr, layout) }
     }
 }
@@ -65,7 +69,7 @@ fn tracked<T>(f: impl FnOnce() -> T) -> (T, u64) {
 static FILE_TAG: AtomicU64 = AtomicU64::new(0);
 
 fn temp_pair(graph: &Graph) -> (PathBuf, PathBuf) {
-    let tag = FILE_TAG.fetch_add(1, Ordering::Relaxed);
+    let tag = FILE_TAG.fetch_add(1, Ordering::Relaxed); // lint: relaxed-ok(unique-name counter)
     let dir = std::env::temp_dir();
     let txt = dir.join(format!("ease_gs_{}_{tag}.txt", std::process::id()));
     let bel = dir.join(format!("ease_gs_{}_{tag}.bel", std::process::id()));
@@ -171,7 +175,7 @@ proptest! {
     fn format_round_trips_preserve_the_stream(g in arb_graph()) {
         let (txt, bel) = temp_pair(&g);
         // txt -> bel (stream the text reader into a bel writer)
-        let tag = FILE_TAG.fetch_add(1, Ordering::Relaxed);
+        let tag = FILE_TAG.fetch_add(1, Ordering::Relaxed); // lint: relaxed-ok(unique-name counter)
         let rebel = std::env::temp_dir()
             .join(format!("ease_gs_rt_{}_{tag}.bel", std::process::id()));
         let txt_src = TextStreamSource::open(&txt).unwrap();
@@ -202,7 +206,7 @@ fn mmap_ingestion_never_materializes_an_edge_list() {
     let m = 200_000usize;
     let n = 2_048usize;
     let g = Rmat::new(RMAT_COMBOS[6], n, m, 99).generate();
-    let tag = FILE_TAG.fetch_add(1, Ordering::Relaxed);
+    let tag = FILE_TAG.fetch_add(1, Ordering::Relaxed); // lint: relaxed-ok(unique-name counter)
     let bel = std::env::temp_dir().join(format!("ease_gs_zc_{}_{tag}.bel", std::process::id()));
     write_bel(&g, &bel).unwrap();
 
@@ -240,7 +244,7 @@ fn mmap_ingestion_never_materializes_an_edge_list() {
 #[test]
 fn source_backed_analysis_never_builds_a_graph() {
     let g = Rmat::new(RMAT_COMBOS[2], 512, 4_000, 5).generate();
-    let tag = FILE_TAG.fetch_add(1, Ordering::Relaxed);
+    let tag = FILE_TAG.fetch_add(1, Ordering::Relaxed); // lint: relaxed-ok(unique-name counter)
     let bel = std::env::temp_dir().join(format!("ease_gs_ng_{}_{tag}.bel", std::process::id()));
     write_bel(&g, &bel).unwrap();
     let src = BelSource::open(&bel).unwrap();
