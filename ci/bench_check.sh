@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # Gate benchmark artifacts — every `*_speedup` field in each produced
 # BENCH_pr*.json must meet the `<field>_min` bound recorded in the same
-# file. The bench bins self-assert at run time; this re-checks the JSON
-# that actually lands in the repo (and fails on bounds that were never
-# recorded), so a stale or hand-edited artifact cannot sneak past CI.
+# file, and every `*_ratio` field must stay at or below its `<field>_max`
+# bound (ratios measure consumption against an allowance, e.g. peak RSS
+# over a memory budget, so smaller is better). The bench bins self-assert
+# at run time; this re-checks the JSON that actually lands in the repo
+# (and fails on bounds that were never recorded), so a stale or
+# hand-edited artifact cannot sneak past CI.
 #
 # Usage: ci/bench_check.sh [BENCH files...]   (default: BENCH_pr*.json)
 set -euo pipefail
@@ -22,20 +25,31 @@ for path in sys.argv[1:]:
         data = json.load(f)
     checked = 0
     for key in sorted(data):
-        if not (key == "speedup" or key.endswith("_speedup")):
-            continue
-        value = data[key]
-        bound = data.get(f"{key}_min")
-        if bound is None:
-            print(f"FAIL {path}: {key}={value} has no recorded {key}_min bound")
-            failed = True
-        elif float(value) < float(bound):
-            print(f"FAIL {path}: {key}={value} fell below its recorded bound {bound}")
-            failed = True
-        else:
-            print(f"ok   {path}: {key}={value} >= {bound}")
-            checked += 1
+        if key == "speedup" or key.endswith("_speedup"):
+            value = data[key]
+            bound = data.get(f"{key}_min")
+            if bound is None:
+                print(f"FAIL {path}: {key}={value} has no recorded {key}_min bound")
+                failed = True
+            elif float(value) < float(bound):
+                print(f"FAIL {path}: {key}={value} fell below its recorded bound {bound}")
+                failed = True
+            else:
+                print(f"ok   {path}: {key}={value} >= {bound}")
+                checked += 1
+        elif key == "ratio" or key.endswith("_ratio"):
+            value = data[key]
+            bound = data.get(f"{key}_max")
+            if bound is None:
+                print(f"FAIL {path}: {key}={value} has no recorded {key}_max bound")
+                failed = True
+            elif float(value) > float(bound):
+                print(f"FAIL {path}: {key}={value} exceeded its recorded bound {bound}")
+                failed = True
+            else:
+                print(f"ok   {path}: {key}={value} <= {bound}")
+                checked += 1
     if checked == 0 and not failed:
-        print(f"note {path}: no *_speedup fields to check")
+        print(f"note {path}: no *_speedup or *_ratio fields to check")
 sys.exit(1 if failed else 0)
 PY

@@ -41,6 +41,16 @@ diff <(tail -n +2 "$smoke/first.out") <(tail -n +2 "$smoke/bel.out")
 "$EASE_BIN" features "$smoke/graph.txt" --tier advanced | head -n -1 > "$smoke/f_txt.out"
 diff <(tail -n +2 "$smoke/f_txt.out") <(tail -n +2 "$smoke/f_bel.out")
 
+# out-of-core mode: a zero budget forces every CSR build to spill to disk
+# (PR 8); answers must be byte-identical to the in-heap path apart from
+# the trailing timing line
+"$EASE_BIN" features "$smoke/graph.bel" --tier advanced --memory-budget 0 \
+    | head -n -1 > "$smoke/f_spill.out"
+diff <(tail -n +2 "$smoke/f_bel.out") <(tail -n +2 "$smoke/f_spill.out")
+"$EASE_BIN" recommend --model "$smoke/ease.model" --graph "$smoke/graph.bel" \
+    --workload pr --goal e2e --memory-budget 64k | tee "$smoke/spill.out"
+diff "$smoke/bel.out" "$smoke/spill.out"
+
 # binary round trip preserves the stream
 "$EASE_BIN" convert --in "$smoke/graph.bel" --out "$smoke/back.txt"
 diff <(grep -v '^#' "$smoke/graph.txt") <(grep -v '^#' "$smoke/back.txt")

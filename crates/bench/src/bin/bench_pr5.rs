@@ -139,6 +139,7 @@ fn main() {
                     svc.meta().default_k,
                     OptGoal::EndToEnd,
                     serve::DEFAULT_TOP,
+                    None,
                 )
                 .expect("cold render");
                 black_box(text);

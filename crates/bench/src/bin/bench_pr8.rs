@@ -1,0 +1,226 @@
+//! PR 8 benchmark — out-of-core derived state under a memory budget.
+//!
+//! The scenario the tentpole exists for: `ease features --tier advanced`
+//! on a graph whose undirected simplified CSR alone exceeds the configured
+//! memory budget. Two in-process runs of exactly the extraction the CLI
+//! performs (open `.bel` → prepare → advanced-tier properties):
+//!
+//! 1. **Spilled** (budget 8 MiB): every over-budget CSR build goes to a
+//!    memory-mapped temp spill; heap stays near the budget.
+//! 2. **Heap** (no budget): the pre-PR-8 behaviour, whole CSR on the heap.
+//!
+//! Measured per run: wall time, peak RSS via `VmHWM` (the spilled run goes
+//! *first* — `VmHWM` is monotonic per process), and precise heap peaks via
+//! a counting global allocator. Acceptance: both runs produce bit-identical
+//! properties and fingerprints; the spilled run's RSS delta stays within
+//! budget + mapped-spill size + slack (`rss_budget_ratio <= 1.0`, gated by
+//! `ci/bench_check.sh`); the heap run's peak live heap exceeds the spilled
+//! run's by >= 1.3x.
+//!
+//! Writes `BENCH_pr8.json`.
+//!
+//! ```sh
+//! cargo run --release -p ease-bench --bin bench_pr8
+//! ```
+
+use ease_graph::bel::{BelSource, BelWriter};
+use ease_graph::source::fingerprint_source;
+use ease_graph::{Csr, MemoryBudget, PreparedGraph, PropertyTier};
+use ease_graphgen::rmat::{Rmat, RMAT_COMBOS};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+const NUM_VERTICES: usize = 1 << 17;
+const NUM_EDGES: usize = 3_000_000;
+const BUDGET_BYTES: usize = 8 << 20;
+/// RSS slack over budget + mapped spill: chunk buffers, `O(|V|)` tables,
+/// allocator overhead. Tight enough that reintroducing the pre-refactor
+/// full-heap CSR build (~24 MiB extra) blows the gate.
+const RSS_SLACK_BYTES: u64 = 16 << 20;
+
+// ---------------------------------------------------------------------
+// Allocation-counting shim around the system allocator
+// ---------------------------------------------------------------------
+
+static TOTAL: AtomicU64 = AtomicU64::new(0);
+static LIVE: AtomicU64 = AtomicU64::new(0);
+static PEAK: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAlloc;
+
+// SAFETY: pure pass-through to `System`; the counters never allocate, so the
+// GlobalAlloc contract (no recursion, layout forwarded untouched) holds.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let size = layout.size() as u64;
+        TOTAL.fetch_add(size, Ordering::Relaxed); // lint: relaxed-ok(single-threaded bench counter)
+        let live = LIVE.fetch_add(size, Ordering::Relaxed) + size; // lint: relaxed-ok(single-threaded bench counter)
+        PEAK.fetch_max(live, Ordering::Relaxed); // lint: relaxed-ok(single-threaded bench counter)
+                                                 // SAFETY: caller upholds GlobalAlloc's contract for `layout`.
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        LIVE.fetch_sub(layout.size() as u64, Ordering::Relaxed); // lint: relaxed-ok(single-threaded bench counter)
+                                                                 // SAFETY: `ptr`/`layout` come from the paired `alloc` call above.
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Run `f`, returning `(result, peak-live heap delta)`.
+fn peak_metered<T>(f: impl FnOnce() -> T) -> (T, u64) {
+    let live_before = LIVE.load(Ordering::Relaxed); // lint: relaxed-ok(single-threaded bench counter)
+    PEAK.store(live_before, Ordering::Relaxed); // lint: relaxed-ok(single-threaded bench counter)
+    let out = f();
+    let peak_delta = PEAK.load(Ordering::Relaxed).saturating_sub(live_before); // lint: relaxed-ok(single-threaded bench counter)
+    (out, peak_delta)
+}
+
+/// Peak resident set size of this process so far, from `/proc/self/status`
+/// `VmHWM` (monotonic — it never decreases). 0 on platforms without procfs;
+/// every RSS-derived metric then degrades to a trivially passing 0.
+fn vm_hwm_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else { return 0 };
+    status
+        .lines()
+        .find_map(|line| line.strip_prefix("VmHWM:"))
+        .and_then(|rest| rest.trim().strip_suffix("kB"))
+        .and_then(|kb| kb.trim().parse::<u64>().ok())
+        .map(|kb| kb * 1024)
+        .unwrap_or(0)
+}
+
+fn mib(bytes: u64) -> f64 {
+    bytes as f64 / (1024.0 * 1024.0)
+}
+
+fn main() {
+    println!("### BENCH_pr8 — out-of-core derived state under a memory budget");
+    let dir = std::env::temp_dir();
+    let bel_path = dir.join(format!("bench_pr8_{}.bel", std::process::id()));
+    let spill_dir = dir.join(format!("bench_pr8_spills_{}", std::process::id()));
+    std::fs::create_dir_all(&spill_dir).expect("create spill dir");
+
+    // ---- 0. stream-generate the over-budget graph ----------------------
+    // constant memory: edges go straight to disk, the graph never exists
+    // as an owned Vec<Edge> in this process
+    let rmat = Rmat::new(RMAT_COMBOS[6], NUM_VERTICES, NUM_EDGES, 0x0E5E);
+    let t = Instant::now();
+    {
+        let mut bel = BelWriter::create(&bel_path).expect("create bel");
+        rmat.generate_into(&mut |e| bel.push(e).expect("write bel"));
+        bel.finish_with_vertices(NUM_VERTICES).expect("finish bel");
+    }
+    let gen_secs = t.elapsed().as_secs_f64();
+    let undirected_heap_bytes = Csr::heap_bytes(NUM_VERTICES, NUM_EDGES * 2) as u64;
+    println!(
+        "graph: |V|={NUM_VERTICES} |E|={NUM_EDGES}, streamed to .bel in {gen_secs:.2}s; \
+         undirected CSR needs {:.1} MiB heap vs a {:.1} MiB budget",
+        mib(undirected_heap_bytes),
+        mib(BUDGET_BYTES as u64)
+    );
+    assert!(
+        undirected_heap_bytes > BUDGET_BYTES as u64,
+        "scenario precondition: the undirected CSR must exceed the budget"
+    );
+
+    let source = BelSource::open(&bel_path).expect("open bel");
+    // fault in every page of the input mapping before the baseline, so the
+    // spilled run's RSS delta measures *derived state*, not input pages
+    black_box(fingerprint_source(&source));
+    let baseline_hwm = vm_hwm_bytes();
+
+    // ---- 1. spilled run FIRST (VmHWM is monotonic) ---------------------
+    let budget = Arc::new(MemoryBudget::bytes(BUDGET_BYTES).with_spill_dir(&spill_dir));
+    let t = Instant::now();
+    let ((spilled_props, spilled_fp, spill_bytes, spilled_builds), spilled_peak_live) =
+        peak_metered(|| {
+            let ctx = PreparedGraph::of_source(&source).with_memory_budget(Arc::clone(&budget));
+            let props = ctx.properties(PropertyTier::Advanced);
+            let spill_bytes = ctx.undirected_simple().storage_bytes() as u64;
+            (props, ctx.fingerprint(), spill_bytes, ctx.spilled_csr_builds())
+        });
+    let spilled_secs = t.elapsed().as_secs_f64();
+    let spilled_hwm = vm_hwm_bytes();
+    assert!(spilled_builds >= 1, "the extraction must actually have spilled");
+    let spills_left = std::fs::read_dir(&spill_dir).map(|d| d.count()).unwrap_or(0);
+    assert_eq!(spills_left, 0, "spill files must be unlinked while mapped");
+
+    // ---- 2. heap run (pre-PR-8 behaviour) ------------------------------
+    let t = Instant::now();
+    let ((heap_props, heap_fp), heap_peak_live) = peak_metered(|| {
+        let ctx = PreparedGraph::of_source(&source);
+        (ctx.properties(PropertyTier::Advanced), ctx.fingerprint())
+    });
+    let heap_secs = t.elapsed().as_secs_f64();
+    assert_eq!(spilled_props, heap_props, "spilled analysis must be bit-identical");
+    assert_eq!(spilled_fp, heap_fp, "fingerprints must agree");
+
+    // ---- 3. metrics ----------------------------------------------------
+    let rss_delta = spilled_hwm.saturating_sub(baseline_hwm);
+    // the mapped spill counts toward RSS (its pages are touched by the
+    // triangle pass) but not toward the budget: it is reclaimable cache
+    let rss_allowed = BUDGET_BYTES as u64 + spill_bytes + RSS_SLACK_BYTES;
+    let rss_budget_ratio = rss_delta as f64 / rss_allowed as f64;
+    let peak_live_speedup = heap_peak_live as f64 / (spilled_peak_live.max(1)) as f64;
+    println!(
+        "spilled: {spilled_secs:.2}s, peak live heap {:.1} MiB, RSS delta {:.1} MiB \
+         (allowed {:.1} MiB -> ratio {rss_budget_ratio:.3})",
+        mib(spilled_peak_live),
+        mib(rss_delta),
+        mib(rss_allowed)
+    );
+    println!(
+        "heap:    {heap_secs:.2}s, peak live heap {:.1} MiB -> {peak_live_speedup:.1}x more \
+         heap than the budgeted run",
+        mib(heap_peak_live)
+    );
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"out_of_core_features\",\n  \"pr\": 8,\n  \
+         \"num_vertices\": {NUM_VERTICES},\n  \"num_edges\": {NUM_EDGES},\n  \
+         \"budget_bytes\": {BUDGET_BYTES},\n  \
+         \"undirected_csr_heap_bytes\": {undirected_heap_bytes},\n  \
+         \"spill_file_bytes\": {spill_bytes},\n  \
+         \"spilled_csr_builds\": {spilled_builds},\n  \
+         \"gen_stream_secs\": {gen_secs:.4},\n  \
+         \"features_spilled_secs\": {spilled_secs:.4},\n  \
+         \"features_heap_secs\": {heap_secs:.4},\n  \
+         \"spilled_peak_live_bytes\": {spilled_peak_live},\n  \
+         \"heap_peak_live_bytes\": {heap_peak_live},\n  \
+         \"heap_over_spilled_peak_live_speedup\": {peak_live_speedup:.3},\n  \
+         \"heap_over_spilled_peak_live_speedup_min\": 1.3,\n  \
+         \"rss_baseline_bytes\": {baseline_hwm},\n  \
+         \"rss_spilled_hwm_bytes\": {spilled_hwm},\n  \
+         \"rss_delta_bytes\": {rss_delta},\n  \
+         \"rss_allowed_bytes\": {rss_allowed},\n  \
+         \"rss_budget_ratio\": {rss_budget_ratio:.4},\n  \
+         \"rss_budget_ratio_max\": 1.0,\n  \
+         \"note\": \"advanced-tier extraction on a .bel graph whose undirected CSR \
+         (~24 MiB) exceeds the 8 MiB budget; spilled run first because VmHWM is \
+         monotonic; RSS allowance = budget + mapped spill + slack, so regressing to \
+         a full-heap CSR build fails the ratio gate; peak-live from the \
+         counting-allocator shim\"\n}}\n",
+    );
+    std::fs::write("BENCH_pr8.json", &json).expect("write BENCH_pr8.json");
+    println!("wrote BENCH_pr8.json");
+    std::fs::remove_file(&bel_path).ok();
+    std::fs::remove_dir_all(&spill_dir).ok();
+
+    assert!(
+        rss_budget_ratio <= 1.0,
+        "acceptance: spilled-run RSS delta ({rss_delta} B) exceeded budget + spill + slack \
+         ({rss_allowed} B)"
+    );
+    assert!(
+        peak_live_speedup >= 1.3,
+        "acceptance: the unbudgeted run must allocate >= 1.3x the spilled run's peak heap, \
+         got {peak_live_speedup:.2}x"
+    );
+}

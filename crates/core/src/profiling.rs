@@ -10,9 +10,11 @@
 //! Materialized inputs are borrowed in place (no per-worker deep copies of
 //! the edge list).
 
+use ease_graph::bel::{BelSource, BelWriter};
 use ease_graph::{Graph, GraphProperties, PreparedGraph, PropertyTier};
 use ease_graphgen::grids::RmatSpec;
 use ease_graphgen::realworld::{GraphType, TestGraph};
+use ease_graphgen::rmat::Rmat;
 use ease_partition::{run_partitioner_prepared, PartitionerId, QualityMetrics};
 use ease_procsim::{ClusterSpec, DistributedGraph, Workload};
 use std::collections::HashMap;
@@ -58,12 +60,21 @@ impl GraphInput {
     }
 
     /// The profiling entry point: a [`PreparedGraph`] analysis context over
-    /// this input. R-MAT specs generate and own their graph; materialized
-    /// test graphs are *borrowed in place* — profiling workers used to
-    /// deep-copy the full edge list per worker, now they share `&t.graph`.
+    /// this input. R-MAT specs *stream* their edges through
+    /// [`Rmat::generate_into`] into a disk spill that is generated once per
+    /// process, memory-mapped and shared ([`rmat_spilled_source`]) — the
+    /// profiling fan-out's workers no longer each hold an owned
+    /// `8 bytes × |E|` edge list on the heap. Materialized test graphs are
+    /// *borrowed in place* — profiling workers used to deep-copy the full
+    /// edge list per worker, now they share `&t.graph`. Both routes produce
+    /// bit-identical analysis (same edge stream, same fingerprint).
     pub fn prepare(&self) -> PreparedGraph<'_> {
         match self {
-            GraphInput::Rmat(s) => PreparedGraph::new(s.generate()),
+            GraphInput::Rmat(s) => match rmat_spilled_source(s, &self.spec_key()) {
+                Some(source) => PreparedGraph::from_source(Box::new(source)),
+                // disk trouble: degrade to the old heap-owned path
+                None => PreparedGraph::new(s.generate()),
+            },
             GraphInput::Materialized(t) => PreparedGraph::of(&t.graph),
         }
     }
@@ -115,6 +126,58 @@ impl GraphInput {
             ),
         }
     }
+}
+
+/// Process-wide cache of spilled R-MAT corpora: per-spec-key cells whose
+/// [`OnceLock`] latches the generate-to-disk work, so concurrent workers
+/// preparing the *same* spec stream it exactly once while distinct specs
+/// spill in parallel. `None` in a cell records a failed spill (disk full,
+/// unwritable temp dir) so every later prepare takes the heap fallback
+/// without retrying the disk.
+type RmatSpillCell = Arc<OnceLock<Option<Arc<BelSource>>>>;
+
+fn rmat_spill_cell(key: &str) -> RmatSpillCell {
+    static CACHE: OnceLock<Mutex<HashMap<String, RmatSpillCell>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(Default::default);
+    let mut map = cache.lock().expect("rmat spill cache lock");
+    Arc::clone(map.entry(key.to_string()).or_default())
+}
+
+/// The shared memory-mapped edge stream for `spec`, spilling it to a temp
+/// `.bel` file on first use (then unlinking it — the mapped pages outlive
+/// the directory entry, so no file is ever left behind). `None` when the
+/// spill could not be written; callers fall back to heap generation.
+fn rmat_spilled_source(spec: &RmatSpec, key: &str) -> Option<Arc<BelSource>> {
+    rmat_spill_cell(key).get_or_init(|| spill_rmat(spec).map(Arc::new)).clone()
+}
+
+/// Stream `spec`'s exact [`RmatSpec::generate`] edge order to disk via
+/// [`Rmat::generate_into`] — the analysis over the mapped spill is
+/// bit-identical to analysis over the generated heap graph because the
+/// edge stream (and hence every fingerprint-keyed derivation) is the same.
+fn spill_rmat(spec: &RmatSpec) -> Option<BelSource> {
+    static SPILL_SEQ: AtomicUsize = AtomicUsize::new(0);
+    // lint: relaxed-ok(unique-name counter)
+    let seq = SPILL_SEQ.fetch_add(1, Ordering::Relaxed);
+    let path =
+        std::env::temp_dir().join(format!("ease-rmat-spill-{}-{seq}.bel", std::process::id()));
+    let source = (|| {
+        let mut writer = BelWriter::create(&path).ok()?;
+        let rmat = Rmat::new(spec.params, spec.num_vertices, spec.num_edges, spec.seed);
+        let mut io = Ok(());
+        rmat.generate_into(&mut |e| {
+            if io.is_ok() {
+                io = writer.push(e);
+            }
+        });
+        io.ok()?;
+        writer.finish_with_vertices(spec.num_vertices).ok()?;
+        BelSource::open(&path).ok()
+    })();
+    // unlink-after-mmap hygiene: success keeps only the mapping alive,
+    // failure leaves nothing behind
+    std::fs::remove_file(&path).ok();
+    source
 }
 
 /// Shared [`PreparedGraph`] contexts for graph specs that appear in *both*
@@ -186,7 +249,7 @@ impl PreparedPool {
         }
         let cell = {
             let mut shared = self.shared.lock().expect("prepared pool lock");
-            Arc::clone(shared.entry(key).or_default())
+            Arc::clone(shared.entry(key.clone()).or_default())
         };
         // Build outside the map lock: racing workers for the same spec
         // serialize on this key's OnceLock only, never on each other.
@@ -195,7 +258,10 @@ impl PreparedPool {
             built = true;
             Arc::new(
                 match input {
-                    GraphInput::Rmat(s) => PreparedGraph::new(s.generate()),
+                    GraphInput::Rmat(s) => match rmat_spilled_source(s, &key) {
+                        Some(source) => PreparedGraph::from_source(Box::new(source)),
+                        None => PreparedGraph::new(s.generate()),
+                    },
                     GraphInput::Materialized(t) => PreparedGraph::new(t.graph.clone()),
                 }
                 .with_shards(shards),
@@ -569,10 +635,42 @@ mod tests {
         let GraphInput::Materialized(inner) = &gi else { unreachable!() };
         assert!(std::ptr::eq(prepared.graph().expect("graph-backed"), &inner.graph));
         assert!(prepared.shared_graph().is_none());
-        // R-MAT specs generate fresh and hand the context ownership
+        // R-MAT specs stream to a shared disk spill: the context is
+        // source-backed (no owned edge list) yet analyzes the exact same
+        // edge stream as a heap generate
         let spec = tiny_inputs(1).remove(0);
-        let owned = spec.prepare();
-        assert!(owned.shared_graph().is_some());
-        assert_eq!(owned.num_edges(), 700);
+        let spilled = spec.prepare();
+        assert!(spilled.try_graph().is_none(), "no heap edge list for R-MAT inputs");
+        assert_eq!(spilled.num_edges(), 700);
+        let GraphInput::Rmat(s) = &spec else { unreachable!() };
+        let heap = PreparedGraph::new(s.generate());
+        assert_eq!(spilled.fingerprint(), heap.fingerprint(), "same edge stream bit-for-bit");
+        // the spill is cached per spec: preparing again shares the mapping
+        // rather than regenerating, and no temp file stays on disk
+        let again = spec.prepare();
+        assert_eq!(again.fingerprint(), heap.fingerprint());
+    }
+
+    #[test]
+    fn rmat_spills_leave_no_temp_files_behind() {
+        let spec = GraphInput::Rmat(RmatSpec {
+            name: "spill-hygiene".into(),
+            combo_index: 0,
+            params: RmatParams::new(0.45, 0.22, 0.22, 0.11),
+            num_vertices: 128,
+            num_edges: 500,
+            seed: 99,
+        });
+        let prepared = spec.prepare();
+        assert_eq!(prepared.num_edges(), 500);
+        // unlink-after-mmap: the spill file is gone even while the mapped
+        // source is still alive and serving edges
+        let leftovers: Vec<_> = std::fs::read_dir(std::env::temp_dir())
+            .expect("read temp dir")
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.starts_with(&format!("ease-rmat-spill-{}-", std::process::id())))
+            .collect();
+        assert!(leftovers.is_empty(), "spill files left behind: {leftovers:?}");
     }
 }

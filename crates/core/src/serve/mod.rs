@@ -45,10 +45,11 @@
 use crate::error::EaseError;
 use crate::selector::OptGoal;
 use crate::service::EaseService;
-use ease_graph::{GraphProperties, GraphSource, PreparedGraph, PropertyTier};
+use ease_graph::{GraphProperties, GraphSource, MemoryBudget, PreparedGraph, PropertyTier};
 use ease_procsim::Workload;
 use std::fmt::Write as _;
 use std::path::PathBuf;
+use std::sync::Arc;
 
 pub mod client;
 pub mod protocol;
@@ -81,8 +82,9 @@ pub fn render_recommendation(
     k: usize,
     goal: OptGoal,
     top: usize,
+    budget: Option<&Arc<MemoryBudget>>,
 ) -> Result<String, EaseError> {
-    let prepared = PreparedGraph::of_source(source);
+    let prepared = budgeted(PreparedGraph::of_source(source), budget);
     let selection = service.recommend_prepared_with_k(&prepared, workload, k, goal)?;
     Ok(render_selection(
         display_path,
@@ -94,6 +96,20 @@ pub fn render_recommendation(
         top,
         selection,
     ))
+}
+
+/// Attach a memory budget (when one is configured) to a freshly built
+/// analysis context. Budgeted and unbudgeted contexts produce bit-identical
+/// results — the budget only changes *where* derived CSRs live (heap vs.
+/// spill file), never what they contain.
+fn budgeted<'g>(
+    prepared: PreparedGraph<'g>,
+    budget: Option<&Arc<MemoryBudget>>,
+) -> PreparedGraph<'g> {
+    match budget {
+        Some(b) => prepared.with_memory_budget(Arc::clone(b)),
+        None => prepared,
+    }
 }
 
 /// Format a computed [`Selection`](crate::selector::Selection) exactly as
@@ -161,14 +177,15 @@ pub fn render_features(
     display_path: &str,
     source: &dyn GraphSource,
     tier: PropertyTier,
+    budget: Option<&Arc<MemoryBudget>>,
 ) -> Result<String, EaseError> {
     // cold: throwaway context per extraction (what a naive caller pays)
     let t = std::time::Instant::now();
-    let cold = PreparedGraph::of_source(source).properties(tier);
+    let cold = budgeted(PreparedGraph::of_source(source), budget).properties(tier);
     let cold_secs = t.elapsed().as_secs_f64();
     // prepared: one shared context; the first extraction builds the caches,
     // the second shows the steady-state cost of a warmed context
-    let prepared = PreparedGraph::of_source(source);
+    let prepared = budgeted(PreparedGraph::of_source(source), budget);
     let t = std::time::Instant::now();
     let first = GraphProperties::compute_prepared(&prepared, tier);
     let first_secs = t.elapsed().as_secs_f64();
@@ -255,6 +272,11 @@ pub struct ServeConfig {
     /// misses — answers are never served stale. Default on; turned off by
     /// benchmarks that want to measure the un-memoized baseline.
     pub fingerprint_memo: bool,
+    /// Memory budget for per-request derived state (PR 8). When set, every
+    /// analysis context the daemon builds charges its CSRs against this
+    /// shared budget; builds that would exceed it spill to disk instead of
+    /// growing the daemon's heap. Answers are bit-identical either way.
+    pub memory_budget: Option<Arc<MemoryBudget>>,
 }
 
 impl ServeConfig {
@@ -275,6 +297,7 @@ impl ServeConfig {
             io_timeout: Some(DEFAULT_IO_TIMEOUT),
             pipeline_in_flight: DEFAULT_PIPELINE_IN_FLIGHT,
             fingerprint_memo: true,
+            memory_budget: None,
         }
     }
 
@@ -287,6 +310,7 @@ impl ServeConfig {
             io_timeout: Some(DEFAULT_IO_TIMEOUT),
             pipeline_in_flight: DEFAULT_PIPELINE_IN_FLIGHT,
             fingerprint_memo: true,
+            memory_budget: None,
         }
     }
 
@@ -313,6 +337,12 @@ impl ServeConfig {
 
     pub fn fingerprint_memo(mut self, enabled: bool) -> Self {
         self.fingerprint_memo = enabled;
+        self
+    }
+
+    /// Budget per-request derived state (see [`ServeConfig::memory_budget`]).
+    pub fn memory_budget(mut self, budget: Arc<MemoryBudget>) -> Self {
+        self.memory_budget = Some(budget);
         self
     }
 }

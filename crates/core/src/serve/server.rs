@@ -176,6 +176,11 @@ mod unix_server {
         /// Stat-keyed fingerprint memo (see [`ServeConfig::fingerprint_memo`]
         /// and [`recommend_answer`]); `None` when disabled.
         graph_memo: Option<Mutex<HashMap<PathBuf, MemoEntry>>>,
+        /// Shared memory budget for per-request derived state (see
+        /// [`ServeConfig::memory_budget`]): all concurrently-executing
+        /// requests charge the same pool, so total daemon CSR heap stays
+        /// bounded no matter how many workers analyze large graphs at once.
+        memory_budget: Option<Arc<ease_graph::MemoryBudget>>,
         /// flock guard on `<socket>.lock`, held for the daemon's lifetime
         /// (see [`bind_unix`]); the kernel releases it on drop or crash.
         _socket_lock: Option<std::fs::File>,
@@ -402,6 +407,7 @@ mod unix_server {
             io_timeout: config.io_timeout,
             pipeline_in_flight: config.pipeline_in_flight.max(1),
             graph_memo: config.fingerprint_memo.then(|| Mutex::new(HashMap::new())),
+            memory_budget: config.memory_budget.clone(),
             _socket_lock: socket_lock,
         });
 
@@ -741,10 +747,12 @@ mod unix_server {
                     Err(e) => Response::Error(e.to_string()),
                 }
             }
-            Request::Features { graph, tier, cwd } => match features_answer(&graph, tier, &cwd) {
-                Ok(text) => Response::Answer(text),
-                Err(e) => Response::Error(e.to_string()),
-            },
+            Request::Features { graph, tier, cwd } => {
+                match features_answer(shared, &graph, tier, &cwd) {
+                    Ok(text) => Response::Answer(text),
+                    Err(e) => Response::Error(e.to_string()),
+                }
+            }
             Request::CacheStats => {
                 let cache = shared.service.property_cache_stats();
                 Response::CacheStats(ServeStats {
@@ -813,7 +821,10 @@ mod unix_server {
         }
 
         let source = open_path(&path)?;
-        let prepared = PreparedGraph::of_source(source.as_ref());
+        let mut prepared = PreparedGraph::of_source(source.as_ref());
+        if let Some(budget) = &shared.memory_budget {
+            prepared = prepared.with_memory_budget(Arc::clone(budget));
+        }
         let selection = service.recommend_prepared_with_k(&prepared, workload, k, goal)?;
         let n = source.num_vertices();
         let m = source.edge_count();
@@ -840,12 +851,13 @@ mod unix_server {
     }
 
     fn features_answer(
+        shared: &Shared,
         graph: &str,
         tier: PropertyTier,
         cwd: &Option<String>,
     ) -> Result<String, EaseError> {
         let source = open_path(&resolve_graph_path(graph, cwd.as_deref()))?;
-        super::super::render_features(graph, source.as_ref(), tier)
+        super::super::render_features(graph, source.as_ref(), tier, shared.memory_budget.as_ref())
     }
 }
 

@@ -25,6 +25,7 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod bel;
+pub mod budget;
 pub mod csr;
 pub mod degree;
 pub mod edge_list;
@@ -34,10 +35,12 @@ pub mod mmap;
 pub mod prepared;
 pub mod properties;
 pub mod source;
+pub mod spill;
 pub mod triangles;
 pub mod types;
 
 pub use bel::BelSource;
+pub use budget::MemoryBudget;
 pub use csr::Csr;
 pub use degree::DegreeTable;
 pub use edge_list::Graph;

@@ -48,9 +48,10 @@
 //! assert_eq!(prepared.undirected_csr_builds(), 1);
 //! ```
 
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
+use crate::budget::MemoryBudget;
 use crate::csr::{Csr, Direction};
 use crate::degree::DegreeTable;
 use crate::edge_list::Graph;
@@ -106,6 +107,14 @@ pub struct PreparedGraph<'g> {
     /// Observability hook: how many times the undirected simple CSR was
     /// actually constructed (must stay ≤ 1; locked by tests).
     undirected_builds: AtomicU32,
+    /// Heap budget for memoized CSRs (PR 8): charge on in-heap build, spill
+    /// to a mapped temp file when the charge is refused. `None` = in-heap
+    /// always, exactly the pre-budget behaviour.
+    budget: Option<Arc<MemoryBudget>>,
+    /// Bytes this context has charged to `budget` (released on drop).
+    charged: AtomicUsize,
+    /// Observability hook: how many memoized CSRs went out of core.
+    spilled_builds: AtomicU32,
 }
 
 impl std::fmt::Debug for PreparedGraph<'_> {
@@ -166,6 +175,9 @@ impl<'g> PreparedGraph<'g> {
             triangle_counts: OnceLock::new(),
             fingerprint: OnceLock::new(),
             undirected_builds: AtomicU32::new(0),
+            budget: None,
+            charged: AtomicUsize::new(0),
+            spilled_builds: AtomicU32::new(0),
         }
     }
 
@@ -178,9 +190,74 @@ impl<'g> PreparedGraph<'g> {
         self
     }
 
+    /// Attach a (shareable) memory budget: each CSR about to be memoized
+    /// charges its exact heap bytes first, and a refused charge reroutes
+    /// the build out of core — spilled to an unlinked `EASECSR1` temp file
+    /// and mmapped read-only (see [`crate::spill`]). Every derived result
+    /// is bit-identical either way; charges are released when the context
+    /// drops.
+    pub fn with_memory_budget(mut self, budget: Arc<MemoryBudget>) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// The attached memory budget, if any.
+    pub fn memory_budget(&self) -> Option<&Arc<MemoryBudget>> {
+        self.budget.as_ref()
+    }
+
+    /// How many memoized CSRs were built out of core so far (0 without a
+    /// budget or when everything fit).
+    pub fn spilled_csr_builds(&self) -> u32 {
+        self.spilled_builds.load(Ordering::Relaxed) // lint: relaxed-ok(diagnostic counter)
+    }
+
     fn build_shards(&self) -> usize {
         self.shards
             .unwrap_or_else(|| std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1))
+    }
+
+    /// Heap-or-spill decision for every memoized CSR. No budget — or a
+    /// granted charge — builds in heap exactly as before; a refused charge
+    /// streams the build through a bounded chunk into a spill file. A
+    /// spill I/O failure (full temp disk, unwritable dir) falls back to
+    /// the in-heap build: correctness over the budget, and a daemon that
+    /// degrades instead of dying.
+    fn build_csr(&self, direction: Direction, simplify: bool) -> Csr {
+        let shards = self.build_shards();
+        let in_heap = || {
+            if simplify {
+                Csr::build_undirected_simple_source(self.source(), shards)
+            } else {
+                Csr::build_source(self.source(), direction, shards)
+            }
+        };
+        let Some(budget) = &self.budget else { return in_heap() };
+        let entries = match direction {
+            Direction::Undirected => self.num_edges().saturating_mul(2),
+            Direction::Out | Direction::In => self.num_edges(),
+        };
+        let bytes = Csr::heap_bytes(self.num_vertices(), entries);
+        if budget.try_charge(bytes) {
+            // lint: relaxed-ok(accounting counter read only by our own Drop)
+            self.charged.fetch_add(bytes, Ordering::Relaxed);
+            return in_heap();
+        }
+        match Csr::build_spilled(
+            self.source(),
+            direction,
+            shards,
+            simplify,
+            budget.spill_chunk_bytes(),
+            budget.spill_dir(),
+        ) {
+            Ok(csr) => {
+                // lint: relaxed-ok(diagnostic counter; OnceLock publishes the CSR)
+                self.spilled_builds.fetch_add(1, Ordering::Relaxed);
+                csr
+            }
+            Err(_) => in_heap(),
+        }
     }
 
     /// The ingestion source backing this context.
@@ -263,14 +340,12 @@ impl<'g> PreparedGraph<'g> {
 
     /// Out-neighbor adjacency, built on first use (sharded construction).
     pub fn out_csr(&self) -> &Csr {
-        self.out_csr
-            .get_or_init(|| Csr::build_source(self.source(), Direction::Out, self.build_shards()))
+        self.out_csr.get_or_init(|| self.build_csr(Direction::Out, false))
     }
 
     /// In-neighbor adjacency, built on first use (sharded construction).
     pub fn in_csr(&self) -> &Csr {
-        self.in_csr
-            .get_or_init(|| Csr::build_source(self.source(), Direction::In, self.build_shards()))
+        self.in_csr.get_or_init(|| self.build_csr(Direction::In, false))
     }
 
     /// Undirected *simple* adjacency (sorted lists, no loops/duplicates) —
@@ -280,7 +355,7 @@ impl<'g> PreparedGraph<'g> {
         self.undirected_simple.get_or_init(|| {
             // lint: relaxed-ok(diagnostic build counter; OnceLock publishes the CSR itself)
             self.undirected_builds.fetch_add(1, Ordering::Relaxed);
-            Csr::build_undirected_simple_source(self.source(), self.build_shards())
+            self.build_csr(Direction::Undirected, true)
         })
     }
 
@@ -337,6 +412,15 @@ impl<'g> PreparedGraph<'g> {
         *self
             .fingerprint
             .get_or_init(|| fingerprint_source_sharded(self.source(), self.build_shards()))
+    }
+}
+
+impl Drop for PreparedGraph<'_> {
+    fn drop(&mut self) {
+        if let Some(budget) = &self.budget {
+            // lint: relaxed-ok(accounting counter; no memory is published through it)
+            budget.release(self.charged.load(Ordering::Relaxed));
+        }
     }
 }
 
@@ -532,6 +616,47 @@ mod tests {
             }
         });
         assert_eq!(prepared.undirected_csr_builds(), 1, "OnceLock serializes the build");
+    }
+
+    #[test]
+    fn budget_zero_spills_and_unlimited_never_does() {
+        let g = toy();
+        let dir = std::env::temp_dir().join(format!("ease_prep_budget_{}", std::process::id()));
+        let zero = Arc::new(MemoryBudget::bytes(0).with_spill_dir(&dir));
+        let spilled = PreparedGraph::of(&g).with_memory_budget(Arc::clone(&zero));
+        assert!(spilled.undirected_simple().is_spilled() || cfg!(not(unix)));
+        let _ = spilled.out_csr();
+        let _ = spilled.in_csr();
+        assert_eq!(spilled.spilled_csr_builds(), 3);
+        assert_eq!(zero.charged(), 0, "spilled builds charge nothing");
+
+        let unlimited = Arc::new(MemoryBudget::unlimited());
+        let in_heap = PreparedGraph::of(&g).with_memory_budget(Arc::clone(&unlimited));
+        assert!(!in_heap.undirected_simple().is_spilled());
+        assert_eq!(in_heap.spilled_csr_builds(), 0);
+
+        // bit-identical derived state either way
+        assert_eq!(
+            spilled.properties(PropertyTier::Advanced),
+            PreparedGraph::of(&g).properties(PropertyTier::Advanced)
+        );
+        assert_eq!(spilled.fingerprint(), in_heap.fingerprint());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn granted_charges_are_released_on_drop() {
+        let g = toy();
+        let budget = Arc::new(MemoryBudget::bytes(1 << 20));
+        {
+            let prepared = PreparedGraph::of(&g).with_memory_budget(Arc::clone(&budget));
+            let _ = prepared.out_csr();
+            let _ = prepared.undirected_simple();
+            let expected = Csr::heap_bytes(g.num_vertices(), g.num_edges())
+                + Csr::heap_bytes(g.num_vertices(), 2 * g.num_edges());
+            assert_eq!(budget.charged(), expected);
+        }
+        assert_eq!(budget.charged(), 0, "drop returns every charge");
     }
 
     #[test]

@@ -1,0 +1,3 @@
+pub fn map_spill_header(bytes: &[u8]) -> u64 {
+    unsafe { bytes.as_ptr().cast::<u64>().read_unaligned() }
+}

@@ -66,6 +66,13 @@ pub const RULES: &[MagicRule] = &[
         name: "\"EASEMODL\" (model persistence magic, persist::MAGIC)", // lint: magic-ok(finding text names the magic)
         home: "crates/ml/src/persist.rs",
     },
+    MagicRule {
+        value: None,
+        byte_pair: None,
+        text: Some("EASECSR1"), // lint: magic-ok(this table IS the magic catalogue)
+        name: "\"EASECSR1\" (CSR spill file magic, SPILL_MAGIC)", // lint: magic-ok(finding text names the magic)
+        home: "crates/graph/src/spill.rs",
+    },
 ];
 
 pub fn check(ctx: &Ctx, out: &mut Vec<Finding>) {

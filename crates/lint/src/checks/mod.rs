@@ -25,10 +25,26 @@ pub struct Ctx<'a> {
     pub test_mask: &'a [bool],
 }
 
+/// Whether `file` is part of the out-of-core spill layer (PR 8): code
+/// that writes, maps and reinterprets raw `EASECSR1` bytes. Every daemon
+/// CSR build can route through it, and its `unsafe` mappings are exactly
+/// where a missing invariant becomes memory corruption.
+pub fn is_spill_module(file: &str) -> bool {
+    file.ends_with("graph/src/spill.rs")
+        || file.ends_with("graph/src/mmap.rs")
+        || file == "spill.rs"
+        || file == "mmap.rs"
+}
+
 /// Whether `file` is daemon-reachable: code a serve-path request can
-/// drive, where a panic kills a worker serving real clients.
+/// drive, where a panic kills a worker serving real clients. The spill
+/// layer counts — a budgeted daemon builds CSRs through it on the
+/// request path.
 pub fn daemon_reachable(file: &str) -> bool {
-    file.contains("/serve/") || file.ends_with("/service.rs") || file == "service.rs"
+    file.contains("/serve/")
+        || file.ends_with("/service.rs")
+        || file == "service.rs"
+        || is_spill_module(file)
 }
 
 /// Index of the bracket token matching the opener at `open` (any of

@@ -2,7 +2,10 @@
 //!
 //! A panic in `serve/` or `service.rs` kills a worker thread that is
 //! serving real clients — and the input that triggered it came off a
-//! socket, so *client input could crash the fleet*. This check flags, in
+//! socket, so *client input could crash the fleet*. The out-of-core
+//! spill layer (`graph/src/spill.rs`, `graph/src/mmap.rs`) is in scope
+//! too: a budgeted daemon builds CSRs through it on the request path, so
+//! a panic there is the same fleet-crash vector. This check flags, in
 //! daemon-reachable modules only (see [`super::daemon_reachable`]) and
 //! outside `#[cfg(test)]`/`#[test]` items:
 //!

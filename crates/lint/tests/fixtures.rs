@@ -12,6 +12,7 @@ const ATOMIC_GOOD: &str = include_str!("../fixtures/atomic_good.rs");
 const PANIC_BAD: &str = include_str!("../fixtures/panic_bad.rs");
 const PANIC_GOOD: &str = include_str!("../fixtures/panic_good.rs");
 const UNSAFE_BAD: &str = include_str!("../fixtures/unsafe_bad.rs");
+const UNSAFE_SPILL_BAD: &str = include_str!("../fixtures/unsafe_spill_bad.rs");
 const UNSAFE_GOOD: &str = include_str!("../fixtures/unsafe_good.rs");
 const LOCK_IO_BAD: &str = include_str!("../fixtures/lock_io_bad.rs");
 const LOCK_IO_GOOD: &str = include_str!("../fixtures/lock_io_good.rs");
@@ -90,6 +91,17 @@ fn panic_paths_outside_daemon_scope_are_ignored() {
     assert!(findings.is_empty(), "{findings:?}");
 }
 
+/// PR 8: the spill layer is daemon-reachable — a budgeted daemon builds
+/// CSRs through it on the request path, so panic paths there are flagged
+/// just like in serve/.
+#[test]
+fn panic_paths_in_the_spill_layer_are_flagged() {
+    let findings = lint_source("crates/graph/src/spill.rs", PANIC_BAD, &only(CheckId::PanicPath));
+    assert_eq!(lines(&findings), [2, 4, 8], "{findings:?}");
+    let findings = lint_source("crates/graph/src/mmap.rs", PANIC_BAD, &only(CheckId::PanicPath));
+    assert!(!findings.is_empty(), "{findings:?}");
+}
+
 #[test]
 fn annotated_and_test_code_panic_paths_are_clean() {
     let findings = lint_source("crates/core/src/serve/handler.rs", PANIC_GOOD, &all_checks());
@@ -111,6 +123,17 @@ fn unsafe_without_safety_comment_is_flagged() {
 fn safety_commented_unsafe_is_clean() {
     let findings = lint_source("crates/graph/src/x.rs", UNSAFE_GOOD, &all_checks());
     assert!(findings.is_empty(), "{findings:?}");
+}
+
+/// PR 8 acceptance: an unannotated `unsafe` spill-map in the out-of-core
+/// module is flagged — the spill layer reinterprets raw mapped bytes, so
+/// its invariants must be written down where they are relied on.
+#[test]
+fn unannotated_unsafe_spill_map_is_flagged() {
+    let findings =
+        lint_source("crates/graph/src/spill.rs", UNSAFE_SPILL_BAD, &only(CheckId::UnsafeHygiene));
+    assert_eq!(lines(&findings), [2], "{findings:?}");
+    assert_eq!(findings[0].check, CheckId::UnsafeHygiene);
 }
 
 // ---------------------------------------------------------------------

@@ -14,19 +14,39 @@ use crate::assignment::EdgePartition;
 use crate::hdrf::HdrfState;
 use crate::ne::neighborhood_expansion;
 use crate::{Partitioner, PartitionerId, MAX_PARTITIONS};
-use ease_graph::PreparedGraph;
+use ease_graph::{MemoryBudget, PreparedGraph};
+use std::sync::Arc;
+
+/// Estimated in-memory cost per adjacency entry of the phase-1 expansion
+/// state (edge endpoints plus replica bookkeeping).
+const BYTES_PER_ADJ_ENTRY: usize = 8;
 
 #[derive(Debug, Clone)]
 pub struct Hep {
     /// Degree threshold multiplier τ.
     pub tau: f64,
     seed: u64,
+    /// Optional hard memory budget (PR 8): τ names the *desired* split, the
+    /// budget caps what the in-memory phase may actually hold.
+    budget: Option<Arc<MemoryBudget>>,
 }
 
 impl Hep {
     pub fn new(tau: f64, seed: u64) -> Self {
         assert!(tau > 0.0);
-        Hep { tau, seed }
+        Hep { tau, seed, budget: None }
+    }
+
+    /// Bound the in-memory phase by a real, measured budget: the effective
+    /// degree threshold is lowered until the estimated footprint of the
+    /// low-degree part (Σ degrees ≤ threshold, at [`BYTES_PER_ADJ_ENTRY`]
+    /// bytes per entry) fits the budget's remaining headroom. An unlimited
+    /// budget is bit-identical to no budget; a zero budget streams every
+    /// edge — HEP degrades to placement-aware HDRF instead of blowing the
+    /// limit, exactly the τ-as-soft-hint problem the HEP paper calls out.
+    pub fn with_memory_budget(mut self, budget: Arc<MemoryBudget>) -> Self {
+        self.budget = Some(budget);
+        self
     }
 
     fn id_for_tau(&self) -> PartitionerId {
@@ -37,6 +57,40 @@ impl Hep {
         } else {
             PartitionerId::Hep100
         }
+    }
+
+    /// Largest degree `d` such that keeping every vertex of degree ≤ `d`
+    /// in memory fits the budget; `threshold` unchanged when unbudgeted or
+    /// unlimited.
+    fn budget_capped_threshold(&self, degrees: &[u32], threshold: f64) -> f64 {
+        let Some(budget) = &self.budget else { return threshold };
+        if budget.is_unlimited() {
+            return threshold;
+        }
+        let remaining = budget.remaining();
+        let mut sorted: Vec<u32> = degrees.iter().copied().filter(|&d| d > 0).collect();
+        sorted.sort_unstable();
+        let mut footprint = 0usize;
+        let mut capped = 0.0f64;
+        let mut i = 0;
+        while i < sorted.len() {
+            // whole equal-degree groups, so the cap lands on a degree
+            // boundary and stays deterministic
+            let d = sorted[i];
+            let mut group = 0usize;
+            while i < sorted.len() && sorted[i] == d {
+                group += 1;
+                i += 1;
+            }
+            let group_bytes =
+                (d as usize).saturating_mul(group).saturating_mul(BYTES_PER_ADJ_ENTRY);
+            match footprint.checked_add(group_bytes) {
+                Some(total) if total <= remaining => footprint = total,
+                _ => break,
+            }
+            capped = f64::from(d);
+        }
+        threshold.min(capped)
     }
 }
 
@@ -57,7 +111,7 @@ impl Partitioner for Hep {
         let degrees = &prepared.degrees().total;
         let used = degrees.iter().filter(|&&d| d > 0).count().max(1);
         let mean_degree = 2.0 * m as f64 / used as f64;
-        let threshold = (self.tau * mean_degree).max(1.0);
+        let threshold = self.budget_capped_threshold(degrees, (self.tau * mean_degree).max(1.0));
         // Phase split: only edges between two *low*-degree vertices are kept
         // in memory (this is where HEP's memory savings come from — hubs and
         // all their incident edges never enter the in-memory graph). Any
@@ -168,5 +222,50 @@ mod tests {
         let a = Hep::new(10.0, 5).partition(&g, 4);
         let b = Hep::new(10.0, 5).partition(&g, 4);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn unlimited_budget_is_bit_identical_to_no_budget() {
+        let g = test_graph();
+        let plain = Hep::new(10.0, 5).partition(&g, 8);
+        let budgeted = Hep::new(10.0, 5)
+            .with_memory_budget(std::sync::Arc::new(ease_graph::MemoryBudget::unlimited()))
+            .partition(&g, 8);
+        assert_eq!(plain, budgeted);
+    }
+
+    #[test]
+    fn zero_budget_streams_everything_and_stays_valid() {
+        let g = test_graph();
+        let hep = Hep::new(100.0, 5)
+            .with_memory_budget(std::sync::Arc::new(ease_graph::MemoryBudget::bytes(0)));
+        let a = hep.partition(&g, 8);
+        assert_eq!(a.num_edges(), g.num_edges());
+        assert!(a.assignment().iter().all(|&x| x < 8));
+        assert_eq!(a, hep.partition(&g, 8), "budget-capped split stays deterministic");
+    }
+
+    /// A mid-size budget sits strictly between the extremes: it admits
+    /// some low-degree vertices (so the capped threshold is > 0) while
+    /// refusing the full HEP-100 in-memory phase.
+    #[test]
+    fn partial_budget_caps_the_threshold_monotonically() {
+        let g = test_graph();
+        let degrees = ease_repro_degrees(&g);
+        let hep = Hep::new(100.0, 1);
+        let unlimited = hep.budget_capped_threshold(&degrees, f64::MAX);
+        assert_eq!(unlimited, f64::MAX, "no budget leaves the threshold alone");
+        let capped = Hep::new(100.0, 1)
+            .with_memory_budget(std::sync::Arc::new(ease_graph::MemoryBudget::bytes(4_000)))
+            .budget_capped_threshold(&degrees, f64::MAX);
+        assert!(capped > 0.0 && capped < f64::MAX, "capped threshold {capped}");
+        let tighter = Hep::new(100.0, 1)
+            .with_memory_budget(std::sync::Arc::new(ease_graph::MemoryBudget::bytes(400)))
+            .budget_capped_threshold(&degrees, f64::MAX);
+        assert!(tighter <= capped, "smaller budget, lower threshold");
+    }
+
+    fn ease_repro_degrees(g: &Graph) -> Vec<u32> {
+        ease_graph::PreparedGraph::of(g).degrees().total.clone()
     }
 }

@@ -29,7 +29,7 @@ use ease_repro::core::profiling::TimingMode;
 use ease_repro::graph::bel::{BelSource, BelWriter};
 use ease_repro::graph::io::TextEdgeListWriter;
 use ease_repro::graph::source::TextStreamSource;
-use ease_repro::graph::{is_bel_path, open_path, Edge, GraphSource, PropertyTier};
+use ease_repro::graph::{is_bel_path, open_path, Edge, GraphSource, MemoryBudget, PropertyTier};
 use ease_repro::graphgen::realworld::{generate_typed, GraphType};
 use ease_repro::graphgen::rmat::{Rmat, RMAT_COMBOS};
 use ease_repro::graphgen::Scale;
@@ -85,6 +85,10 @@ RECOMMEND OPTIONS:
                           instead of loading a model; the answer is
                           bit-identical to the one-shot output
     --daemon-tcp <addr>   Same, over the daemon's TCP listener
+    --memory-budget <sz>  Cap derived analysis state (CSRs) at <sz> bytes
+                          (accepts 64k/512MiB/2gb suffixes, 0, unlimited);
+                          over-budget builds spill to temp files — same
+                          answer bytes, bounded heap
 
 FEATURES OPTIONS:
     <edge-list>           Edge-list file, text or .bel (positional;
@@ -92,6 +96,7 @@ FEATURES OPTIONS:
     --tier <t>            simple | basic | advanced       [default: advanced]
     --daemon <socket>     Proxy the extraction to a running daemon
     --daemon-tcp <addr>   Same, over the daemon's TCP listener
+    --memory-budget <sz>  As for recommend: spill over-budget CSRs to disk
 
 SERVE OPTIONS:
     --model <path>        Saved service to load and keep warm (required)
@@ -101,6 +106,8 @@ SERVE OPTIONS:
                           with --socket — at least one is required
     --workers <n>         Request worker threads     [default: cores, 2..8]
     --in-flight <n>       Pipelining window per TCP connection [default: 32]
+    --memory-budget <sz>  One shared cap on derived analysis state across
+                          all workers; over-budget CSR builds spill to disk
     The daemon loads the model once and keeps the fingerprint-keyed
     property cache warm across requests and clients. TCP connections speak
     the pipelined v2 framing: many requests per connection, answered out
@@ -448,11 +455,29 @@ fn client_cwd() -> Option<String> {
     std::env::current_dir().ok().and_then(|d| d.to_str().map(String::from))
 }
 
+/// `--memory-budget <size>`: cap for derived analysis state (CSRs); builds
+/// that would exceed it spill to disk. Sizes accept `0`, plain bytes, or
+/// `64k` / `512MiB` / `2gb` suffixes; `unlimited` disables the cap.
+fn memory_budget_flag(flags: &Flags) -> Result<Option<Arc<MemoryBudget>>, CliError> {
+    match flags.get("memory-budget") {
+        None => Ok(None),
+        Some(spec) => {
+            let limit = MemoryBudget::parse_limit(spec)
+                .map_err(|e| CliError::Usage(format!("--memory-budget: {e}")))?;
+            Ok(Some(Arc::new(MemoryBudget::bytes(limit))))
+        }
+    }
+}
+
 /// Answer a recommend query locally from a saved model — the one-shot path.
 /// Rendering and extraction go through [`serve::render_recommendation`],
 /// the same function the daemon answers with, so both paths emit identical
 /// bytes for identical queries.
-fn recommend_one_shot(model: &Path, q: RecommendArgs) -> Result<(), CliError> {
+fn recommend_one_shot(
+    model: &Path,
+    q: RecommendArgs,
+    budget: Option<Arc<MemoryBudget>>,
+) -> Result<(), CliError> {
     let service = EaseService::load(model)?;
     let workload = parse_workload(&q.workload_name)?;
     // format-dispatched ingestion: `.bel` mmaps, text materializes
@@ -466,6 +491,7 @@ fn recommend_one_shot(model: &Path, q: RecommendArgs) -> Result<(), CliError> {
         k,
         q.goal,
         q.top,
+        budget.as_ref(),
     )?;
     print!("{text}");
     Ok(())
@@ -494,10 +520,12 @@ fn daemon_endpoint(flags: &Flags) -> Result<Option<Endpoint>, CliError> {
 fn cmd_recommend(args: &[String]) -> Result<(), CliError> {
     let flags = Flags::parse(args, &[])?;
     let q = RecommendArgs::from_flags(&flags)?;
+    let budget = memory_budget_flag(&flags)?;
     match daemon_endpoint(&flags)? {
         // proxy: the daemon's warm service answers; no model load here
+        // (budgeting is the daemon's own --memory-budget, not the client's)
         Some(endpoint) => proxy_to_daemon(&endpoint, q.into_request()),
-        None => recommend_one_shot(Path::new(flags.require("model")?), q),
+        None => recommend_one_shot(Path::new(flags.require("model")?), q, budget),
     }
 }
 
@@ -523,8 +551,9 @@ fn cmd_features(args: &[String]) -> Result<(), CliError> {
     if let Some(endpoint) = daemon_endpoint(&flags)? {
         return proxy_to_daemon(&endpoint, Request::Features { graph, tier, cwd: client_cwd() });
     }
+    let budget = memory_budget_flag(&flags)?;
     let source = open_path(Path::new(&graph)).map_err(EaseError::from)?;
-    print!("{}", serve::render_features(&graph, source.as_ref(), tier)?);
+    print!("{}", serve::render_features(&graph, source.as_ref(), tier, budget.as_ref())?);
     Ok(())
 }
 
@@ -555,6 +584,9 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
             return Err(CliError::Usage("--in-flight must be >= 1".into()));
         }
         config = config.pipeline_in_flight(in_flight);
+    }
+    if let Some(budget) = memory_budget_flag(&flags)? {
+        config = config.memory_budget(budget);
     }
     let service = Arc::new(EaseService::load(&model)?);
     let cache = service.property_cache_stats();

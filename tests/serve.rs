@@ -106,6 +106,7 @@ fn one_shot_answer(graph: &Path, workload: &str, k: Option<usize>) -> String {
         k,
         OptGoal::EndToEnd,
         serve::DEFAULT_TOP,
+        None,
     )
     .expect("render one-shot answer")
 }
