@@ -22,10 +22,16 @@ fi
 
 smoke="$(mktemp -d)"
 serve_pid=""
+fleet_pids=()
 cleanup() {
     if [[ -n "$serve_pid" ]] && kill -0 "$serve_pid" 2>/dev/null; then
         kill "$serve_pid" 2>/dev/null || true
     fi
+    for pid in ${fleet_pids[@]+"${fleet_pids[@]}"}; do
+        if kill -0 "$pid" 2>/dev/null; then
+            kill "$pid" 2>/dev/null || true
+        fi
+    done
     rm -rf "$smoke"
 }
 trap cleanup EXIT
@@ -120,4 +126,72 @@ if [[ -e "$sock" ]]; then
     echo "socket file still present after shutdown" >&2
     exit 1
 fi
+
+# ---- router smoke: `ease route` fronting a 2-backend fleet -------------
+# two fresh backends on unix sockets, one router fronting them; answers
+# through the router must be bit-identical to the one-shot CLI, and one
+# shutdown through the router must stop the whole fleet.
+b1="$smoke/backend1.sock"
+b2="$smoke/backend2.sock"
+front="$smoke/router.sock"
+"$EASE_BIN" serve --model "$smoke/ease.model" --socket "$b1" &
+fleet_pids+=("$!")
+"$EASE_BIN" serve --model "$smoke/ease.model" --socket "$b2" &
+fleet_pids+=("$!")
+for backend in "$b1" "$b2"; do
+    ready=0
+    for _ in $(seq 1 100); do
+        if "$EASE_BIN" client ping --socket "$backend" >/dev/null 2>&1; then
+            ready=1
+            break
+        fi
+        sleep 0.1
+    done
+    if [[ "$ready" -ne 1 ]]; then
+        echo "backend did not become ready on $backend" >&2
+        exit 1
+    fi
+done
+"$EASE_BIN" route --backend "unix:$b1" --backend "unix:$b2" --socket "$front" &
+fleet_pids+=("$!")
+ready=0
+for _ in $(seq 1 100); do
+    if "$EASE_BIN" client ping --socket "$front" >/dev/null 2>&1; then
+        ready=1
+        break
+    fi
+    sleep 0.1
+done
+if [[ "$ready" -ne 1 ]]; then
+    echo "router did not become ready on $front" >&2
+    exit 1
+fi
+
+# routed answers, cold then warm, byte-diffed against the one-shot CLI
+for pass in cold warm; do
+    for ref in txt bel; do
+        "$EASE_BIN" client recommend --socket "$front" --graph "$smoke/graph.$ref" \
+            --workload pr --goal e2e > "$smoke/routed_${pass}_$ref.out"
+        diff "$smoke/oneshot_$ref.out" "$smoke/routed_${pass}_$ref.out"
+    done
+done
+echo "routed answers (cold + warm, both graphs) are bit-identical to the one-shot CLI"
+
+# fleet-wide cache stats through the router (folds both backends)
+"$EASE_BIN" client cache-stats --socket "$front"
+
+# graceful fleet shutdown: one shutdown through the router stops the
+# router AND both backends (forward-shutdown defaults on)
+"$EASE_BIN" client shutdown --socket "$front"
+for pid in "${fleet_pids[@]}"; do
+    wait "$pid"
+done
+fleet_pids=()
+for s in "$front" "$b1" "$b2"; do
+    if [[ -e "$s" ]]; then
+        echo "socket file $s still present after fleet shutdown" >&2
+        exit 1
+    fi
+done
+echo "router smoke passed: fleet answered identically and stopped as one"
 echo "serve smoke passed"

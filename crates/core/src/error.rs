@@ -51,6 +51,13 @@ pub enum ServeError {
     /// The daemon could not take the socket address (already served, or
     /// the path is not bindable).
     Bind { socket: String, message: String },
+    /// A fleet router refused to admit the query: the request's estimated
+    /// derived-state footprint (`needed` bytes) exceeds every healthy
+    /// backend's remaining memory-budget headroom (`headroom` is the best
+    /// on offer). Shedding with this typed error is the whole point —
+    /// the alternative is forcing a backend to spill or OOM. Retry
+    /// elsewhere, later, or against a backend with a bigger budget.
+    Overloaded { needed: u64, headroom: u64 },
     /// Unix-domain sockets are unavailable on this platform.
     Unsupported,
 }
@@ -64,6 +71,11 @@ impl fmt::Display for ServeError {
             ServeError::Bind { socket, message } => {
                 write!(f, "cannot serve on `{socket}`: {message}")
             }
+            ServeError::Overloaded { needed, headroom } => write!(
+                f,
+                "fleet over memory budget: query needs ~{needed} bytes of analysis headroom, \
+                 best backend has {headroom} — retry elsewhere or later"
+            ),
             ServeError::Unsupported => {
                 write!(f, "unix-domain sockets are not available on this platform")
             }

@@ -53,8 +53,24 @@ impl std::fmt::Display for Endpoint {
 }
 
 /// Object-safe alias for "any byte stream a client can speak over".
-trait ClientStream: Read + Write + Send {}
-impl<T: Read + Write + Send> ClientStream for T {}
+/// `try_clone_stream` duplicates the OS handle so a session can be split
+/// into independent send/receive halves (see [`PipelinedClient::split`]).
+trait ClientStream: Read + Write + Send {
+    fn try_clone_stream(&self) -> std::io::Result<Box<dyn ClientStream>>;
+}
+
+impl ClientStream for TcpStream {
+    fn try_clone_stream(&self) -> std::io::Result<Box<dyn ClientStream>> {
+        Ok(Box::new(self.try_clone()?))
+    }
+}
+
+#[cfg(unix)]
+impl ClientStream for std::os::unix::net::UnixStream {
+    fn try_clone_stream(&self) -> std::io::Result<Box<dyn ClientStream>> {
+        Ok(Box::new(self.try_clone()?))
+    }
+}
 
 fn connect(endpoint: &Endpoint) -> Result<Box<dyn ClientStream>, EaseError> {
     match endpoint {
@@ -164,6 +180,53 @@ impl PipelinedClient {
     pub fn call(&mut self, request: &Request) -> Result<Response, EaseError> {
         let id = self.send(request)?;
         self.recv(id)
+    }
+
+    /// Split a fresh session into independently usable halves over the
+    /// same connection (the OS-level stream is duplicated): one thread
+    /// can keep sending while another blocks in
+    /// [`PipelinedReceiver::recv_any`] — the shape a multiplexing proxy
+    /// needs. Refuses to split a session with parked responses: those
+    /// belong to the unified [`Self::recv`] bookkeeping.
+    pub fn split(self) -> Result<(PipelinedSender, PipelinedReceiver), EaseError> {
+        if !self.parked.is_empty() {
+            return Err(proto_err("split a fresh session, not one with parked responses"));
+        }
+        let read = self.stream.try_clone_stream()?;
+        let sender = PipelinedSender { stream: self.stream, next_id: self.next_id };
+        Ok((sender, PipelinedReceiver { stream: read }))
+    }
+}
+
+/// The write half of a split [`PipelinedClient`]: tags and sends request
+/// frames, never reads.
+pub struct PipelinedSender {
+    stream: Box<dyn ClientStream>,
+    next_id: u64,
+}
+
+impl PipelinedSender {
+    /// Write one request frame and return the id its response will carry
+    /// (on the paired [`PipelinedReceiver`]).
+    pub fn send(&mut self, request: &Request) -> Result<u64, EaseError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        write_frame_v2(&mut self.stream, id, &encode_request(request))?;
+        Ok(id)
+    }
+}
+
+/// The read half of a split [`PipelinedClient`]: yields responses in
+/// arrival order, never writes.
+pub struct PipelinedReceiver {
+    stream: Box<dyn ClientStream>,
+}
+
+impl PipelinedReceiver {
+    /// Next response off the wire, whatever request it answers.
+    pub fn recv_any(&mut self) -> Result<(u64, Response), EaseError> {
+        let (id, payload) = read_frame_v2(&mut self.stream)?;
+        Ok((id, decode_response(&payload)?))
     }
 }
 

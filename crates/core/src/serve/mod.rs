@@ -24,6 +24,13 @@
 //!   Per-connection backpressure is a bounded in-flight window
 //!   ([`ServeConfig::pipeline_in_flight`]): a slow-reading client stalls
 //!   only its own connection, never the executors or the accept loop.
+//! * **Router** ([`router`] + [`ring`]) — [`route`] runs the same
+//!   connection stack with a forwarding handler instead of a local one:
+//!   a consistent-hash ring shards graphs across a fleet of daemons for
+//!   cache affinity, health checks mark backends down/up, idempotent
+//!   requests fail over to ring successors, `cache-stats` aggregates
+//!   fleet-wide, and budget-aware admission sheds oversized queries with
+//!   a typed [`Response::Overloaded`] when no backend has headroom.
 //! * **Clients** ([`client`]) — [`call`] performs one v1 exchange;
 //!   [`PipelinedClient`] keeps one v2 connection open across many
 //!   requests, and [`call_pipelined`] drives a whole batch through a
@@ -53,6 +60,8 @@ use std::sync::Arc;
 
 pub mod client;
 pub mod protocol;
+pub mod ring;
+pub mod router;
 pub mod server;
 
 pub use client::{call, call_endpoint, call_pipelined, Endpoint, PipelinedClient};
@@ -62,6 +71,8 @@ pub use protocol::{
     write_frame, write_frame_v2, Request, Response, ServeStats, DEFAULT_TOP, FRAME_MAGIC,
     FRAME_MAGIC_V2, MAX_FRAME_BYTES, PROTOCOL_VERSION,
 };
+pub use ring::HashRing;
+pub use router::{route, RouterConfig};
 pub use server::{serve, ServerHandle};
 
 // ---------------------------------------------------------------------

@@ -28,7 +28,10 @@ use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 
 /// Version byte leading every payload; bumped on any payload-format change.
-pub const PROTOCOL_VERSION: u8 = 1;
+/// v2: [`ServeStats`] carries `memory_budget_remaining` +
+/// `spilled_csr_builds` (PR 9, budget-aware fleet admission) and
+/// [`Response::Overloaded`] exists.
+pub const PROTOCOL_VERSION: u8 = 2;
 
 /// Two magic bytes opening every v1 frame — rejects non-protocol peers
 /// before a length is trusted.
@@ -95,15 +98,57 @@ pub struct ServeStats {
     pub capacity: usize,
     /// Requests answered so far (all kinds, including this one).
     pub requests_served: u64,
+    /// Headroom left on the daemon's shared `--memory-budget` before the
+    /// next CSR charge is refused into the spill path; `None` when the
+    /// daemon runs without a budget, `u64::MAX` for an unlimited one. A
+    /// fleet router steers big-graph queries by this field.
+    pub memory_budget_remaining: Option<u64>,
+    /// Lifetime count of CSR builds the budget refused into spill files
+    /// (always 0 without a budget).
+    pub spilled_csr_builds: u64,
 }
 
 impl ServeStats {
     /// The `ease client cache-stats` rendering.
     pub fn render(&self) -> String {
+        let budget = match self.memory_budget_remaining {
+            None => "none".to_string(),
+            Some(u64::MAX) => "unlimited".to_string(),
+            Some(remaining) => format!("{remaining} bytes remaining"),
+        };
         format!(
-            "property cache: hits={} misses={} evictions={} len={}/{}\nrequests served: {}\n",
-            self.hits, self.misses, self.evictions, self.len, self.capacity, self.requests_served
+            "property cache: hits={} misses={} evictions={} len={}/{}\n\
+             memory budget: {budget} (spilled CSR builds: {})\n\
+             requests served: {}\n",
+            self.hits,
+            self.misses,
+            self.evictions,
+            self.len,
+            self.capacity,
+            self.spilled_csr_builds,
+            self.requests_served
         )
+    }
+
+    /// Fold another backend's snapshot into this one — the fleet view a
+    /// router renders: counters sum, capacities sum, and the budget fields
+    /// aggregate so `memory_budget_remaining` is the fleet-wide headroom
+    /// (`None` only when *no* backend has a budget; an unlimited backend
+    /// saturates the sum at `u64::MAX`).
+    pub fn absorb(&mut self, other: &ServeStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.len += other.len;
+        self.capacity += other.capacity;
+        self.requests_served += other.requests_served;
+        self.spilled_csr_builds += other.spilled_csr_builds;
+        self.memory_budget_remaining =
+            match (self.memory_budget_remaining, other.memory_budget_remaining) {
+                (None, r) => r,
+                (l, None) => l,
+                (Some(l), Some(r)) => Some(l.saturating_add(r)),
+            };
     }
 }
 
@@ -121,6 +166,13 @@ pub enum Response {
     Error(String),
     /// Shutdown acknowledged; the daemon drains and exits.
     ShuttingDown,
+    /// A fleet router shed this query: its estimated analysis footprint
+    /// (`needed` bytes) exceeds every healthy backend's remaining memory
+    /// budget (`headroom` is the best available). Typed — clients map it
+    /// to [`ServeError::Overloaded`] and can retry elsewhere/later —
+    /// instead of the alternative, which is forcing a backend to spill
+    /// or die.
+    Overloaded { needed: u64, headroom: u64 },
 }
 
 // ---------------------------------------------------------------------
@@ -278,12 +330,27 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             w.put_usize(s.len);
             w.put_usize(s.capacity);
             w.put_u64(s.requests_served);
+            // v2 payload bump: budget observability rides after the
+            // original fields, which are unchanged
+            match s.memory_budget_remaining {
+                Some(remaining) => {
+                    w.put_u8(1);
+                    w.put_u64(remaining);
+                }
+                None => w.put_u8(0),
+            }
+            w.put_u64(s.spilled_csr_builds);
         }
         Response::Error(msg) => {
             w.put_u8(3);
             w.put_str(msg);
         }
         Response::ShuttingDown => w.put_u8(4),
+        Response::Overloaded { needed, headroom } => {
+            w.put_u8(5);
+            w.put_u64(*needed);
+            w.put_u64(*headroom);
+        }
     }
     w.into_bytes()
 }
@@ -308,9 +375,19 @@ pub fn decode_response(bytes: &[u8]) -> Result<Response, EaseError> {
             len: r.take_usize().map_err(p)?,
             capacity: r.take_usize().map_err(p)?,
             requests_served: r.take_u64().map_err(p)?,
+            memory_budget_remaining: match r.take_u8().map_err(p)? {
+                0 => None,
+                1 => Some(r.take_u64().map_err(p)?),
+                other => return Err(proto_err(format!("unknown budget tag {other}"))),
+            },
+            spilled_csr_builds: r.take_u64().map_err(p)?,
         }),
         3 => Response::Error(r.take_str().map_err(p)?),
         4 => Response::ShuttingDown,
+        5 => Response::Overloaded {
+            needed: r.take_u64().map_err(p)?,
+            headroom: r.take_u64().map_err(p)?,
+        },
         other => return Err(proto_err(format!("unknown response tag {other}"))),
     };
     if r.remaining() != 0 {
@@ -432,6 +509,9 @@ pub fn expect_answer(response: Response) -> Result<String, EaseError> {
     match response {
         Response::Answer(text) => Ok(text),
         Response::Error(msg) => Err(ServeError::Remote(msg).into()),
+        Response::Overloaded { needed, headroom } => {
+            Err(ServeError::Overloaded { needed, headroom }.into())
+        }
         other => Err(proto_err(format!("expected an answer, got {other:?}"))),
     }
 }
@@ -500,9 +580,22 @@ mod tests {
             len: 2,
             capacity: 64,
             requests_served: 14,
+            memory_budget_remaining: None,
+            spilled_csr_builds: 0,
+        }));
+        round_trip_response(Response::CacheStats(ServeStats {
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            len: 0,
+            capacity: 0,
+            requests_served: 1,
+            memory_budget_remaining: Some(64 << 20),
+            spilled_csr_builds: 7,
         }));
         round_trip_response(Response::Error("no model trained for workload `x`".into()));
         round_trip_response(Response::ShuttingDown);
+        round_trip_response(Response::Overloaded { needed: 1 << 30, headroom: 4 << 20 });
     }
 
     #[test]
@@ -612,21 +705,63 @@ mod tests {
             EaseError::Serve(ServeError::Remote(msg)) => assert_eq!(msg, "boom"),
             other => panic!("expected Remote, got {other:?}"),
         }
+        match expect_answer(Response::Overloaded { needed: 100, headroom: 7 }).unwrap_err() {
+            EaseError::Serve(ServeError::Overloaded { needed, headroom }) => {
+                assert_eq!((needed, headroom), (100, 7));
+            }
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
         assert!(expect_answer(Response::ShuttingDown).is_err());
     }
 
-    #[test]
-    fn stats_render_is_stable() {
-        let s = ServeStats {
+    fn stats(requests_served: u64) -> ServeStats {
+        ServeStats {
             hits: 5,
             misses: 2,
             evictions: 0,
             len: 2,
             capacity: 64,
-            requests_served: 9,
-        };
+            requests_served,
+            memory_budget_remaining: None,
+            spilled_csr_builds: 0,
+        }
+    }
+
+    #[test]
+    fn stats_render_is_stable() {
+        let s = stats(9);
         let text = s.render();
         assert!(text.contains("hits=5 misses=2 evictions=0 len=2/64"));
+        assert!(text.contains("memory budget: none (spilled CSR builds: 0)"));
         assert!(text.contains("requests served: 9"));
+        let budgeted =
+            ServeStats { memory_budget_remaining: Some(1234), spilled_csr_builds: 3, ..s };
+        assert!(budgeted.render().contains("memory budget: 1234 bytes remaining"));
+        assert!(budgeted.render().contains("(spilled CSR builds: 3)"));
+        let unlimited = ServeStats { memory_budget_remaining: Some(u64::MAX), ..s };
+        assert!(unlimited.render().contains("memory budget: unlimited"));
+    }
+
+    #[test]
+    fn absorb_folds_a_fleet_of_snapshots() {
+        // counters sum; a budget-less fleet stays budget-less
+        let mut fleet = stats(9);
+        fleet.absorb(&stats(1));
+        assert_eq!(fleet.requests_served, 10);
+        assert_eq!(fleet.hits, 10);
+        assert_eq!(fleet.capacity, 128);
+        assert_eq!(fleet.memory_budget_remaining, None);
+        // one budgeted backend gives the fleet its headroom verbatim
+        let budgeted =
+            ServeStats { memory_budget_remaining: Some(500), spilled_csr_builds: 2, ..stats(1) };
+        fleet.absorb(&budgeted);
+        assert_eq!(fleet.memory_budget_remaining, Some(500));
+        assert_eq!(fleet.spilled_csr_builds, 2);
+        // budgets sum across backends, saturating at u64::MAX for an
+        // unlimited member rather than wrapping
+        fleet.absorb(&ServeStats { memory_budget_remaining: Some(250), ..stats(0) });
+        assert_eq!(fleet.memory_budget_remaining, Some(750));
+        fleet.absorb(&ServeStats { memory_budget_remaining: Some(u64::MAX), ..stats(0) });
+        assert_eq!(fleet.memory_budget_remaining, Some(u64::MAX));
     }
 }

@@ -48,6 +48,8 @@ pub const SHUTDOWN_POLL: std::time::Duration = std::time::Duration::from_millis(
 
 #[cfg(unix)]
 pub use unix_server::{serve, ServerHandle};
+#[cfg(unix)]
+pub(crate) use unix_server::{serve_with_handler, Handler};
 
 #[cfg(unix)]
 mod unix_server {
@@ -68,6 +70,25 @@ mod unix_server {
     /// How long the accept thread sleeps between `try_send` retries while
     /// the connection hand-off is full.
     const HANDOFF_POLL: Duration = Duration::from_millis(1);
+
+    /// What a server *does* with a decoded request, separated from how
+    /// connections are accepted, sniffed, framed, pipelined and shut
+    /// down. The daemon answers locally ([`LocalHandler`] via [`serve`]);
+    /// the fleet router forwards to backends
+    /// ([`route`](crate::serve::router::route)). [`Request::Shutdown`]
+    /// never reaches a handler — the connection machinery intercepts it
+    /// (the flag and the accept-loop pokes are its business) and calls
+    /// [`Handler::on_shutdown`] so the handler can propagate it.
+    pub(crate) trait Handler: Send + Sync {
+        /// Answer one request. `served_so_far` is the server's request
+        /// counter at dispatch time (the `cache-stats` answer reports it).
+        fn handle(&self, request: Request, served_so_far: u64) -> Response;
+
+        /// Shutdown was requested — by a client frame or by the owning
+        /// process. May be called more than once; implementations must be
+        /// idempotent.
+        fn on_shutdown(&self) {}
+    }
 
     /// One accepted connection, transport-erased. The generic connection
     /// loop only needs framed reads/writes, per-direction timeouts, and a
@@ -158,7 +179,10 @@ mod unix_server {
     }
 
     struct Shared {
-        service: Arc<EaseService>,
+        /// What to do with decoded requests — the daemon's local answerer
+        /// or the fleet router's forwarder. Everything else in here is
+        /// connection machinery, identical for both.
+        handler: Arc<dyn Handler>,
         socket: Option<PathBuf>,
         tcp_addr: Option<SocketAddr>,
         /// Shutdown flag. Every access uses `SeqCst` (PR 6 bugfix: the
@@ -173,17 +197,24 @@ mod unix_server {
         served: AtomicU64,
         io_timeout: Option<Duration>,
         pipeline_in_flight: usize,
+        /// flock guard on `<socket>.lock`, held for the daemon's lifetime
+        /// (see [`bind_unix`]); the kernel releases it on drop or crash.
+        _socket_lock: Option<std::fs::File>,
+    }
+
+    /// The daemon's request handler: answers queries against a local
+    /// [`EaseService`], accelerated by the stat-keyed fingerprint memo
+    /// and bounded by the shared memory budget.
+    struct LocalHandler {
+        service: Arc<EaseService>,
         /// Stat-keyed fingerprint memo (see [`ServeConfig::fingerprint_memo`]
-        /// and [`recommend_answer`]); `None` when disabled.
+        /// and [`LocalHandler::recommend_answer`]); `None` when disabled.
         graph_memo: Option<Mutex<HashMap<PathBuf, MemoEntry>>>,
         /// Shared memory budget for per-request derived state (see
         /// [`ServeConfig::memory_budget`]): all concurrently-executing
         /// requests charge the same pool, so total daemon CSR heap stays
         /// bounded no matter how many workers analyze large graphs at once.
         memory_budget: Option<Arc<ease_graph::MemoryBudget>>,
-        /// flock guard on `<socket>.lock`, held for the daemon's lifetime
-        /// (see [`bind_unix`]); the kernel releases it on drop or crash.
-        _socket_lock: Option<std::fs::File>,
     }
 
     /// Bound on resident [`MemoEntry`]s. Each is a path plus a few words;
@@ -242,6 +273,9 @@ mod unix_server {
         accepts: Vec<JoinHandle<()>>,
         conn_workers: Vec<JoinHandle<()>>,
         executors: Vec<JoinHandle<()>>,
+        /// Auxiliary threads adopted via [`ServerHandle::adopt_thread`]
+        /// (the router's health checker), joined last.
+        extra: Vec<JoinHandle<()>>,
     }
 
     impl ServerHandle {
@@ -273,6 +307,13 @@ mod unix_server {
             request_shutdown(&self.shared);
         }
 
+        /// Hand the server an auxiliary thread to join during
+        /// [`ServerHandle::join`] — the router parks its health checker
+        /// here. The thread must exit once shutdown is requested.
+        pub(crate) fn adopt_thread(&mut self, handle: JoinHandle<()>) {
+            self.extra.push(handle);
+        }
+
         /// Wait for the daemon to drain (a shutdown must have been
         /// requested, or this blocks until one is), then remove the socket
         /// file and return the final counters.
@@ -286,6 +327,9 @@ mod unix_server {
             }
             for executor in self.executors {
                 panicked |= executor.join().is_err();
+            }
+            for aux in self.extra {
+                panicked |= aux.join().is_err();
             }
             if let Some(socket) = &self.shared.socket {
                 std::fs::remove_file(socket).ok();
@@ -307,6 +351,9 @@ mod unix_server {
     /// may already be gone).
     fn request_shutdown(shared: &Shared) {
         shared.shutdown.store(true, Ordering::SeqCst);
+        // let the handler propagate (the router forwards Shutdown
+        // fleet-wide); idempotent by the trait contract
+        shared.handler.on_shutdown();
         if let Some(socket) = &shared.socket {
             UnixStream::connect(socket).ok();
         }
@@ -376,6 +423,23 @@ mod unix_server {
         service: Arc<EaseService>,
         config: ServeConfig,
     ) -> Result<ServerHandle, EaseError> {
+        let handler = Arc::new(LocalHandler {
+            service,
+            graph_memo: config.fingerprint_memo.then(|| Mutex::new(HashMap::new())),
+            memory_budget: config.memory_budget.clone(),
+        });
+        serve_with_handler(handler, config)
+    }
+
+    /// [`serve`] with the request handler abstracted: the whole listening
+    /// stack — endpoint binding, accept loops, magic sniffing, the v1 and
+    /// v2 connection loops, pipelining, backpressure and shutdown — runs
+    /// unchanged whether requests are answered locally (the daemon) or
+    /// forwarded to a backend fleet (the router).
+    pub(crate) fn serve_with_handler(
+        handler: Arc<dyn Handler>,
+        config: ServeConfig,
+    ) -> Result<ServerHandle, EaseError> {
         if config.socket.is_none() && config.tcp.is_none() {
             return Err(EaseError::InvalidConfig(
                 "serve needs a unix socket path or a TCP listen address".into(),
@@ -399,15 +463,13 @@ mod unix_server {
         let tcp_addr = tcp_listener.as_ref().and_then(|l| l.local_addr().ok());
         let workers = config.workers.max(2);
         let shared = Arc::new(Shared {
-            service,
+            handler,
             socket: config.socket.clone(),
             tcp_addr,
             shutdown: AtomicBool::new(false),
             served: AtomicU64::new(0),
             io_timeout: config.io_timeout,
             pipeline_in_flight: config.pipeline_in_flight.max(1),
-            graph_memo: config.fingerprint_memo.then(|| Mutex::new(HashMap::new())),
-            memory_budget: config.memory_budget.clone(),
             _socket_lock: socket_lock,
         });
 
@@ -483,7 +545,7 @@ mod unix_server {
             }));
         }
         drop(conn_tx);
-        Ok(ServerHandle { shared, accepts, conn_workers, executors })
+        Ok(ServerHandle { shared, accepts, conn_workers, executors, extra: Vec::new() })
     }
 
     fn accept_loop(
@@ -740,124 +802,150 @@ mod unix_server {
 
     fn answer(request: Request, shared: &Shared) -> Response {
         match request {
-            Request::Ping => Response::Pong { version: PROTOCOL_VERSION },
-            Request::Recommend { graph, workload, k, goal, top, cwd } => {
-                match recommend_answer(shared, &graph, &workload, k, goal, top, &cwd) {
-                    Ok(text) => Response::Answer(text),
-                    Err(e) => Response::Error(e.to_string()),
-                }
-            }
-            Request::Features { graph, tier, cwd } => {
-                match features_answer(shared, &graph, tier, &cwd) {
-                    Ok(text) => Response::Answer(text),
-                    Err(e) => Response::Error(e.to_string()),
-                }
-            }
-            Request::CacheStats => {
-                let cache = shared.service.property_cache_stats();
-                Response::CacheStats(ServeStats {
-                    hits: cache.hits,
-                    misses: cache.misses,
-                    evictions: cache.evictions,
-                    len: cache.len,
-                    capacity: cache.capacity,
-                    // lint: relaxed-ok(monotonic stats counter)
-                    requests_served: shared.served.load(Ordering::Relaxed),
-                })
-            }
+            // Shutdown is the connection machinery's business — the flag,
+            // the accept-loop pokes, the handler notification — so it
+            // never reaches `Handler::handle`
             Request::Shutdown => {
                 request_shutdown(shared);
                 Response::ShuttingDown
             }
+            // lint: relaxed-ok(monotonic stats counter)
+            other => shared.handler.handle(other, shared.served.load(Ordering::Relaxed)),
         }
     }
 
-    /// Answer a recommend query, skipping the graph open and the
-    /// `O(|E|)` content hash when the daemon has served this exact file
-    /// before. Warm queries are the daemon's whole reason to exist, and
-    /// profiling shows the open+hash — not the model — dominates them.
-    ///
-    /// Correctness: the memo is keyed by the resolved path and guarded
-    /// by a [`FileStamp`]; a rewritten file changes its stamp, so the
-    /// daemon never renders a stale answer for new bytes. The remembered
-    /// fingerprint is only a *cache key* — if the property cache has
-    /// since evicted it, we fall back to the full open+hash path, which
-    /// produces identical bytes (both paths render via
-    /// [`render_selection`](super::render_selection)).
-    fn recommend_answer(
-        shared: &Shared,
-        graph: &str,
-        workload: &str,
-        k: Option<usize>,
-        goal: crate::selector::OptGoal,
-        top: usize,
-        cwd: &Option<String>,
-    ) -> Result<String, EaseError> {
-        let service = &shared.service;
-        let workload = Workload::from_name(workload)
-            .ok_or_else(|| EaseError::InvalidConfig(format!("unknown workload `{workload}`")))?;
-        let k = k.unwrap_or(service.meta().default_k);
-        // resolve against the client's cwd, but display the path as the
-        // client wrote it (one-shot answer parity)
-        let path = resolve_graph_path(graph, cwd.as_deref());
-
-        let stamped_memo =
-            shared.graph_memo.as_ref().and_then(|m| file_stamp(&path).map(|s| (m, s)));
-        if let Some((memo, stamp)) = &stamped_memo {
-            let remembered = {
-                let memo = memo.lock().unwrap_or_else(PoisonError::into_inner);
-                memo.get(&path)
-                    .filter(|e| e.stamp == *stamp)
-                    .map(|e| (e.fingerprint, e.num_vertices, e.edge_count))
-            };
-            if let Some((fingerprint, n, m)) = remembered {
-                if let Some(props) = service.try_cached_properties(fingerprint) {
-                    let selection = service.recommend_with_k(&props, workload, k, goal)?;
-                    return Ok(super::super::render_selection(
-                        graph, n, m, workload, k, goal, top, selection,
-                    ));
-                }
-            }
-        }
-
-        let source = open_path(&path)?;
-        let mut prepared = PreparedGraph::of_source(source.as_ref());
-        if let Some(budget) = &shared.memory_budget {
-            prepared = prepared.with_memory_budget(Arc::clone(budget));
-        }
-        let selection = service.recommend_prepared_with_k(&prepared, workload, k, goal)?;
-        let n = source.num_vertices();
-        let m = source.edge_count();
-        let out = super::super::render_selection(graph, n, m, workload, k, goal, top, selection);
-        // memoize only if the file did not change while we read it: the
-        // pre-open stamp still matching means the fingerprint we just
-        // computed really describes the bytes that stamp names
-        if let Some((memo, before)) = stamped_memo {
-            if file_stamp(&path) == Some(before) {
-                let fingerprint = prepared.fingerprint();
-                let mut memo = memo.lock().unwrap_or_else(PoisonError::into_inner);
-                if memo.len() >= GRAPH_MEMO_CAPACITY && !memo.contains_key(&path) {
-                    if let Some(evict) = memo.keys().next().cloned() {
-                        memo.remove(&evict);
+    impl Handler for LocalHandler {
+        fn handle(&self, request: Request, served_so_far: u64) -> Response {
+            match request {
+                Request::Ping => Response::Pong { version: PROTOCOL_VERSION },
+                Request::Recommend { graph, workload, k, goal, top, cwd } => {
+                    match self.recommend_answer(&graph, &workload, k, goal, top, &cwd) {
+                        Ok(text) => Response::Answer(text),
+                        Err(e) => Response::Error(e.to_string()),
                     }
                 }
-                memo.insert(
-                    path,
-                    MemoEntry { stamp: before, fingerprint, num_vertices: n, edge_count: m },
-                );
+                Request::Features { graph, tier, cwd } => {
+                    match self.features_answer(&graph, tier, &cwd) {
+                        Ok(text) => Response::Answer(text),
+                        Err(e) => Response::Error(e.to_string()),
+                    }
+                }
+                Request::CacheStats => {
+                    let cache = self.service.property_cache_stats();
+                    Response::CacheStats(ServeStats {
+                        hits: cache.hits,
+                        misses: cache.misses,
+                        evictions: cache.evictions,
+                        len: cache.len,
+                        capacity: cache.capacity,
+                        requests_served: served_so_far,
+                        memory_budget_remaining: self
+                            .memory_budget
+                            .as_ref()
+                            .map(|b| b.remaining() as u64),
+                        spilled_csr_builds: self
+                            .memory_budget
+                            .as_ref()
+                            .map_or(0, |b| b.spill_events()),
+                    })
+                }
+                // intercepted by `answer` before dispatch; acknowledging
+                // is still the honest reply if one ever slips through
+                Request::Shutdown => Response::ShuttingDown,
             }
         }
-        Ok(out)
     }
 
-    fn features_answer(
-        shared: &Shared,
-        graph: &str,
-        tier: PropertyTier,
-        cwd: &Option<String>,
-    ) -> Result<String, EaseError> {
-        let source = open_path(&resolve_graph_path(graph, cwd.as_deref()))?;
-        super::super::render_features(graph, source.as_ref(), tier, shared.memory_budget.as_ref())
+    impl LocalHandler {
+        /// Answer a recommend query, skipping the graph open and the
+        /// `O(|E|)` content hash when the daemon has served this exact file
+        /// before. Warm queries are the daemon's whole reason to exist, and
+        /// profiling shows the open+hash — not the model — dominates them.
+        ///
+        /// Correctness: the memo is keyed by the resolved path and guarded
+        /// by a [`FileStamp`]; a rewritten file changes its stamp, so the
+        /// daemon never renders a stale answer for new bytes. The remembered
+        /// fingerprint is only a *cache key* — if the property cache has
+        /// since evicted it, we fall back to the full open+hash path, which
+        /// produces identical bytes (both paths render via
+        /// [`render_selection`](super::render_selection)).
+        fn recommend_answer(
+            &self,
+            graph: &str,
+            workload: &str,
+            k: Option<usize>,
+            goal: crate::selector::OptGoal,
+            top: usize,
+            cwd: &Option<String>,
+        ) -> Result<String, EaseError> {
+            let service = &self.service;
+            let workload = Workload::from_name(workload).ok_or_else(|| {
+                EaseError::InvalidConfig(format!("unknown workload `{workload}`"))
+            })?;
+            let k = k.unwrap_or(service.meta().default_k);
+            // resolve against the client's cwd, but display the path as the
+            // client wrote it (one-shot answer parity)
+            let path = resolve_graph_path(graph, cwd.as_deref());
+
+            let stamped_memo =
+                self.graph_memo.as_ref().and_then(|m| file_stamp(&path).map(|s| (m, s)));
+            if let Some((memo, stamp)) = &stamped_memo {
+                let remembered = {
+                    let memo = memo.lock().unwrap_or_else(PoisonError::into_inner);
+                    memo.get(&path)
+                        .filter(|e| e.stamp == *stamp)
+                        .map(|e| (e.fingerprint, e.num_vertices, e.edge_count))
+                };
+                if let Some((fingerprint, n, m)) = remembered {
+                    if let Some(props) = service.try_cached_properties(fingerprint) {
+                        let selection = service.recommend_with_k(&props, workload, k, goal)?;
+                        return Ok(super::super::render_selection(
+                            graph, n, m, workload, k, goal, top, selection,
+                        ));
+                    }
+                }
+            }
+
+            let source = open_path(&path)?;
+            let mut prepared = PreparedGraph::of_source(source.as_ref());
+            if let Some(budget) = &self.memory_budget {
+                prepared = prepared.with_memory_budget(Arc::clone(budget));
+            }
+            let selection = service.recommend_prepared_with_k(&prepared, workload, k, goal)?;
+            let n = source.num_vertices();
+            let m = source.edge_count();
+            let out =
+                super::super::render_selection(graph, n, m, workload, k, goal, top, selection);
+            // memoize only if the file did not change while we read it: the
+            // pre-open stamp still matching means the fingerprint we just
+            // computed really describes the bytes that stamp names
+            if let Some((memo, before)) = stamped_memo {
+                if file_stamp(&path) == Some(before) {
+                    let fingerprint = prepared.fingerprint();
+                    let mut memo = memo.lock().unwrap_or_else(PoisonError::into_inner);
+                    if memo.len() >= GRAPH_MEMO_CAPACITY && !memo.contains_key(&path) {
+                        if let Some(evict) = memo.keys().next().cloned() {
+                            memo.remove(&evict);
+                        }
+                    }
+                    memo.insert(
+                        path,
+                        MemoEntry { stamp: before, fingerprint, num_vertices: n, edge_count: m },
+                    );
+                }
+            }
+            Ok(out)
+        }
+
+        fn features_answer(
+            &self,
+            graph: &str,
+            tier: PropertyTier,
+            cwd: &Option<String>,
+        ) -> Result<String, EaseError> {
+            let source = open_path(&resolve_graph_path(graph, cwd.as_deref()))?;
+            super::super::render_features(graph, source.as_ref(), tier, self.memory_budget.as_ref())
+        }
     }
 }
 

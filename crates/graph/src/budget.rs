@@ -22,7 +22,7 @@
 //! same headroom.
 
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Spill chunk sizing floor: even with zero headroom the out-of-core
 /// builder keeps this much scratch, so progress is guaranteed and the
@@ -38,6 +38,10 @@ pub const SPILL_MAX_CHUNK_BYTES: usize = 256 << 20;
 pub struct MemoryBudget {
     limit: usize,
     used: AtomicUsize,
+    /// Lifetime count of CSR builds this budget refused into the spill
+    /// path. Monotonic observability only — never read back into any
+    /// admission or sizing decision.
+    spills: AtomicU64,
     spill_dir: PathBuf,
 }
 
@@ -49,7 +53,12 @@ impl MemoryBudget {
 
     /// A budget of exactly `limit` bytes, spilling to the system temp dir.
     pub fn bytes(limit: usize) -> MemoryBudget {
-        MemoryBudget { limit, used: AtomicUsize::new(0), spill_dir: std::env::temp_dir() }
+        MemoryBudget {
+            limit,
+            used: AtomicUsize::new(0),
+            spills: AtomicU64::new(0),
+            spill_dir: std::env::temp_dir(),
+        }
     }
 
     /// Redirect spill files to `dir` (created on first spill).
@@ -79,6 +88,22 @@ impl MemoryBudget {
     /// Directory spill files are created in.
     pub fn spill_dir(&self) -> &Path {
         &self.spill_dir
+    }
+
+    /// Record one CSR build that this budget refused into the spill path.
+    /// Called by the out-of-core builder; a daemon sharing one budget
+    /// across all requests reads the accumulated count for its
+    /// `cache-stats` answer (and a fleet router reads *that* to steer
+    /// big-graph queries toward backends that are not spilling).
+    pub fn note_spill(&self) {
+        // lint: relaxed-ok(monotonic stats counter, never ordered against other state)
+        self.spills.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Lifetime count of spilled CSR builds recorded via
+    /// [`note_spill`](Self::note_spill).
+    pub fn spill_events(&self) -> u64 {
+        self.spills.load(Ordering::Relaxed) // lint: relaxed-ok(monotonic stats counter)
     }
 
     /// Scratch-buffer size the out-of-core CSR builder should use right
@@ -196,6 +221,17 @@ mod tests {
         });
         assert_eq!(admitted, 100, "exactly limit/charge admissions");
         assert_eq!(b.charged(), 1000);
+    }
+
+    #[test]
+    fn spill_events_accumulate_monotonically() {
+        let b = MemoryBudget::bytes(0);
+        assert_eq!(b.spill_events(), 0);
+        b.note_spill();
+        b.note_spill();
+        assert_eq!(b.spill_events(), 2);
+        b.release(100); // releases never touch the spill count
+        assert_eq!(b.spill_events(), 2);
     }
 
     #[test]

@@ -254,6 +254,7 @@ impl<'g> PreparedGraph<'g> {
             Ok(csr) => {
                 // lint: relaxed-ok(diagnostic counter; OnceLock publishes the CSR)
                 self.spilled_builds.fetch_add(1, Ordering::Relaxed);
+                budget.note_spill();
                 csr
             }
             Err(_) => in_heap(),

@@ -1,0 +1,24 @@
+// Fixture: the PR 9 router health-state pattern — a Relaxed store on a
+// `healthy`-named atomic and a Relaxed swap inside `mark_down`, next to a
+// conforming SeqCst twin. Linted under the synthetic path
+// crates/core/src/serve/router.rs.
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub struct Backend {
+    healthy: AtomicBool,
+    mark_down_latch: AtomicBool,
+}
+
+impl Backend {
+    pub fn mark_down(&self) {
+        self.healthy.store(false, Ordering::Relaxed);
+    }
+
+    pub fn latch_down(&self) -> bool {
+        self.mark_down_latch.swap(true, Ordering::Relaxed)
+    }
+
+    pub fn is_healthy(&self) -> bool {
+        self.healthy.load(Ordering::SeqCst)
+    }
+}

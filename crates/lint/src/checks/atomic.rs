@@ -25,7 +25,12 @@ use std::collections::BTreeSet;
 /// Name fragments identifying control-flag atomics that must be `SeqCst`.
 /// Matched case-insensitively against the receiver identifier, as a
 /// substring (`shutdown`, `shutdown_flag`, `stop_requested` all match).
-pub const POLICY_NAMES: &[&str] = &["shutdown", "stop", "shutting_down"];
+/// `healthy`/`mark_down` cover the PR 9 router's backend health state:
+/// mark-down/mark-up crosses the forwarding/health-thread boundary
+/// exactly like the shutdown flag crosses accept/worker, and a relaxed
+/// load there would let a forwarder keep sending to a backend the health
+/// thread already declared dead.
+pub const POLICY_NAMES: &[&str] = &["shutdown", "stop", "shutting_down", "healthy", "mark_down"];
 
 /// Atomic operations whose ordering arguments the policy constrains.
 const ATOMIC_METHODS: &[&str] = &[

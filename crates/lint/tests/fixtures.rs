@@ -8,6 +8,7 @@ use ease_lint::{all_checks, lint_source, CheckId, Finding};
 use std::collections::BTreeSet;
 
 const PR6: &str = include_str!("../fixtures/pr6_shutdown_relaxed.rs");
+const ROUTER_HEALTH: &str = include_str!("../fixtures/router_health_relaxed.rs");
 const ATOMIC_GOOD: &str = include_str!("../fixtures/atomic_good.rs");
 const PANIC_BAD: &str = include_str!("../fixtures/panic_bad.rs");
 const PANIC_GOOD: &str = include_str!("../fixtures/panic_good.rs");
@@ -56,6 +57,22 @@ fn policy_flag_rule_is_workspace_wide() {
     assert_eq!(lines(&findings), [15]);
 }
 
+/// PR 9: the router's backend health state is on the control-flag policy
+/// list — a Relaxed store on `healthy` and a Relaxed swap on a
+/// `mark_down`-named latch are each flagged, once, and the conforming
+/// SeqCst load is not.
+#[test]
+fn router_health_state_relaxed_is_flagged() {
+    let findings = lint_source(
+        "crates/core/src/serve/router.rs",
+        ROUTER_HEALTH,
+        &only(CheckId::AtomicOrdering),
+    );
+    assert_eq!(lines(&findings), [14, 18], "{findings:?}");
+    assert!(findings[0].message.contains("healthy"), "{}", findings[0].message);
+    assert!(findings[1].message.contains("mark_down_latch"), "{}", findings[1].message);
+}
+
 #[test]
 fn conforming_atomics_are_clean() {
     let findings = lint_source("crates/ml/src/train.rs", ATOMIC_GOOD, &all_checks());
@@ -100,6 +117,18 @@ fn panic_paths_in_the_spill_layer_are_flagged() {
     assert_eq!(lines(&findings), [2, 4, 8], "{findings:?}");
     let findings = lint_source("crates/graph/src/mmap.rs", PANIC_BAD, &only(CheckId::PanicPath));
     assert!(!findings.is_empty(), "{findings:?}");
+}
+
+/// PR 9: the router and hash ring are daemon code — a panicking router
+/// takes the whole fleet's front door down, so `serve/router.rs` and
+/// `serve/ring.rs` sit inside the panic-path scope like the rest of
+/// serve/.
+#[test]
+fn panic_paths_in_the_router_and_ring_are_flagged() {
+    for path in ["crates/core/src/serve/router.rs", "crates/core/src/serve/ring.rs"] {
+        let findings = lint_source(path, PANIC_BAD, &only(CheckId::PanicPath));
+        assert_eq!(lines(&findings), [2, 4, 8], "{path}: {findings:?}");
+    }
 }
 
 #[test]
@@ -153,6 +182,17 @@ fn tight_scope_drop_and_annotation_are_clean() {
     let findings =
         lint_source("crates/core/src/serve/conn.rs", LOCK_IO_GOOD, &only(CheckId::LockAcrossIo));
     assert!(findings.is_empty(), "{findings:?}");
+}
+
+/// PR 9: the router holds per-backend pool and stats mutexes — holding
+/// one across a socket round-trip would serialize the whole fleet behind
+/// one slow backend, so `serve/router.rs` is inside the lock-across-io
+/// scope.
+#[test]
+fn lock_across_io_in_the_router_is_flagged() {
+    let findings =
+        lint_source("crates/core/src/serve/router.rs", LOCK_IO_BAD, &only(CheckId::LockAcrossIo));
+    assert_eq!(lines(&findings), [6], "{findings:?}");
 }
 
 /// The check is scoped to serve/ — a CLI tool may hold locks across

@@ -34,7 +34,7 @@ use ease_repro::graphgen::realworld::{generate_typed, GraphType};
 use ease_repro::graphgen::rmat::{Rmat, RMAT_COMBOS};
 use ease_repro::graphgen::Scale;
 use ease_repro::procsim::Workload;
-use ease_repro::serve::{self, Endpoint, Request, ServeConfig};
+use ease_repro::serve::{self, Endpoint, Request, RouterConfig, ServeConfig};
 use ease_repro::{EaseError, EaseService, EaseServiceBuilder, OptGoal};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -54,6 +54,7 @@ SUBCOMMANDS:
     convert      Convert between text and binary (.bel) edge lists
     serve        Run a resident recommendation daemon (unix socket, TCP,
                  or both)
+    route        Front a fleet of daemons with a consistent-hash router
     client       Talk to a running daemon (recommend, features, cache-stats,
                  ping, shutdown)
 
@@ -114,6 +115,26 @@ SERVE OPTIONS:
     of order as they complete. Stop the daemon with `ease client shutdown`
     (graceful: drains in-flight requests, removes the socket file, exits 0).
 
+ROUTE OPTIONS:
+    --backend <ep>        A backend daemon to front; repeatable (at least
+                          one). `host:port`, `tcp:host:port`, or
+                          `unix:/path/to.sock`
+    --listen <addr>       TCP listen address for clients (host:port; port 0
+                          picks an ephemeral port and prints it)
+    --socket <path>       Unix socket to listen on; may be combined with
+                          --listen — at least one is required
+    --workers <n>         Forwarding worker threads  [default: cores, 2..8]
+    --in-flight <n>       Pipelining window per TCP connection [default: 32]
+    --health-interval-ms <n>  Backend probe cadence        [default: 500]
+    --no-forward-shutdown Client shutdown stops only the router, not the
+                          backends (default forwards it fleet-wide)
+    Requests route by consistent hash of the graph's file identity, so
+    repeat queries for a graph hit the same warm backend. Down backends are
+    probed with jittered backoff and requests fail over to the next ring
+    node. Oversized queries steer to the backend with memory-budget
+    headroom; a saturated fleet answers a typed overload error instead of
+    spilling. `cache-stats` through the router aggregates the whole fleet.
+
 CLIENT OPTIONS:
     ease client <action> (--socket <path> | --tcp <addr>) [query options]
     Actions: recommend | features | cache-stats | ping | shutdown
@@ -157,6 +178,7 @@ fn main() -> ExitCode {
         "gen" => cmd_gen(&args[1..]),
         "convert" => cmd_convert(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
+        "route" => cmd_route(&args[1..]),
         "client" => cmd_client(&args[1..]),
         "--help" | "-h" | "help" => {
             print!("{USAGE}");
@@ -224,6 +246,12 @@ impl Flags {
 
     fn get(&self, name: &str) -> Option<&str> {
         self.pairs.iter().rev().find(|(n, _)| n == name).and_then(|(_, v)| v.as_deref())
+    }
+
+    /// Every value given for a repeatable flag, in argument order
+    /// (`--backend a --backend b` → `["a", "b"]`).
+    fn get_all(&self, name: &str) -> Vec<&str> {
+        self.pairs.iter().filter(|(n, _)| n == name).filter_map(|(_, v)| v.as_deref()).collect()
     }
 
     fn has(&self, name: &str) -> bool {
@@ -614,6 +642,80 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     eprintln!("ease serve: stop with `ease client shutdown {stop}`");
     let summary = handle.join()?;
     eprintln!("ease serve: drained after {} requests", summary.requests_served);
+    Ok(())
+}
+
+/// A `--backend` endpoint spec: `unix:/path`, `tcp:host:port`, or a bare
+/// `host:port` (TCP).
+fn parse_backend(spec: &str) -> Endpoint {
+    if let Some(path) = spec.strip_prefix("unix:") {
+        Endpoint::unix(path)
+    } else if let Some(addr) = spec.strip_prefix("tcp:") {
+        Endpoint::tcp(addr)
+    } else {
+        Endpoint::tcp(spec)
+    }
+}
+
+fn cmd_route(args: &[String]) -> Result<(), CliError> {
+    let flags = Flags::parse(args, &["no-forward-shutdown"])?;
+    let backends: Vec<Endpoint> = flags.get_all("backend").into_iter().map(parse_backend).collect();
+    if backends.is_empty() {
+        return Err(CliError::Usage("route needs at least one --backend".into()));
+    }
+    let socket = flags.get("socket").map(PathBuf::from);
+    let listen = flags.get("listen").map(String::from);
+    if socket.is_none() && listen.is_none() {
+        return Err(CliError::Usage("route needs --listen and/or --socket".into()));
+    }
+    let workers = flags.parse_num::<usize>("workers")?.unwrap_or_else(ServeConfig::default_workers);
+    if workers == 0 {
+        return Err(CliError::Usage("--workers must be >= 1".into()));
+    }
+    let mut listen_config = match &socket {
+        Some(path) => ServeConfig::at(path),
+        None => ServeConfig::tcp_at(listen.clone().expect("listen or socket is set")),
+    };
+    if socket.is_some() {
+        if let Some(addr) = listen {
+            listen_config = listen_config.tcp(addr);
+        }
+    }
+    listen_config = listen_config.workers(workers);
+    if let Some(in_flight) = flags.parse_num::<usize>("in-flight")? {
+        if in_flight == 0 {
+            return Err(CliError::Usage("--in-flight must be >= 1".into()));
+        }
+        listen_config = listen_config.pipeline_in_flight(in_flight);
+    }
+    let n = backends.len();
+    let mut config = RouterConfig::new(listen_config, backends)
+        .forward_shutdown(!flags.has("no-forward-shutdown"));
+    if let Some(ms) = flags.parse_num::<u64>("health-interval-ms")? {
+        if ms == 0 {
+            return Err(CliError::Usage("--health-interval-ms must be >= 1".into()));
+        }
+        config = config.health_interval(std::time::Duration::from_millis(ms));
+    }
+    let handle = serve::route(config)?;
+    let mut endpoints = Vec::new();
+    if let Some(path) = handle.socket_path() {
+        endpoints.push(format!("unix:{}", path.display()));
+    }
+    if let Some(addr) = handle.tcp_addr() {
+        endpoints.push(format!("tcp:{addr}"));
+    }
+    eprintln!(
+        "ease route: fronting {n} backend(s) on {} ({workers} workers)",
+        endpoints.join(" + ")
+    );
+    let stop = match handle.socket_path() {
+        Some(path) => format!("--socket {}", path.display()),
+        None => format!("--tcp {}", handle.tcp_addr().expect("no socket implies tcp")),
+    };
+    eprintln!("ease route: stop with `ease client shutdown {stop}`");
+    let summary = handle.join()?;
+    eprintln!("ease route: drained after {} requests", summary.requests_served);
     Ok(())
 }
 
