@@ -2,19 +2,24 @@
 # `ease serve` smoke — start the daemon in the background on BOTH its unix
 # socket and a TCP listener, hammer it with concurrent
 # `ease client recommend` calls split across the two transports (the TCP
-# clients speak the pipelined v2 framing), plus `--daemon`- and
-# `--daemon-tcp`-proxied recommends, diff every answer against the
-# one-shot CLI output, then exercise graceful shutdown and a zero exit.
+# clients speak the pipelined v2 framing), plus proxied recommends over
+# every `--endpoint` scheme (unix:, tcp:, http:), diff every answer
+# against the one-shot CLI output, drive the HTTP/JSON facade with raw
+# HTTP (curl, or bash /dev/tcp where curl is absent) — recommend, stats,
+# a 503 shed from a saturated budgeted fleet, and an HTTP shutdown — then
+# exercise graceful shutdown and a zero exit.
 #
 # Usage: ci/serve_smoke.sh [path-to-ease-binary] [num-concurrent-clients]
-# The TCP port defaults to 38471; override with EASE_SMOKE_PORT.
-# Runs locally and in CI (shellcheck-clean).
+# TCP ports default to 38471..38473; override the base with
+# EASE_SMOKE_PORT. Runs locally and in CI (shellcheck-clean).
 set -euo pipefail
 
 EASE_BIN="${1:-target/release/ease}"
 CLIENTS="${2:-8}"
 PORT="${EASE_SMOKE_PORT:-38471}"
 TCP_ADDR="127.0.0.1:$PORT"
+ROUTER_ADDR="127.0.0.1:$((PORT + 1))"
+SHED_ADDR="127.0.0.1:$((PORT + 2))"
 if [[ ! -x "$EASE_BIN" ]]; then
     echo "ease binary not found at $EASE_BIN (build with: cargo build --release)" >&2
     exit 1
@@ -35,6 +40,41 @@ cleanup() {
     rm -rf "$smoke"
 }
 trap cleanup EXIT
+
+# One raw HTTP exchange: curl when present, bash /dev/tcp otherwise.
+# Prints the response body, then the status code alone on the last line.
+http_req() {
+    local method="$1" addr="$2" target="$3"
+    if command -v curl >/dev/null 2>&1; then
+        curl -s -X "$method" -w '\n%{http_code}' "http://$addr$target"
+    else
+        local wire
+        exec 3<>"/dev/tcp/${addr%:*}/${addr##*:}"
+        printf '%s %s HTTP/1.1\r\nHost: %s\r\nContent-Length: 0\r\nConnection: close\r\n\r\n' \
+            "$method" "$target" "$addr" >&3
+        wire="$(tr -d '\r' <&3)"
+        exec 3<&- 3>&-
+        printf '%s\n%s' "$(sed '1,/^$/d' <<<"$wire")" \
+            "$(head -n 1 <<<"$wire" | cut -d' ' -f2)"
+    fi
+}
+
+# http_expect <method> <addr> <target> <status> <body-pattern>
+http_expect() {
+    local out status
+    out="$(http_req "$1" "$2" "$3")"
+    status="$(tail -n 1 <<<"$out")"
+    if [[ "$status" != "$4" ]]; then
+        echo "HTTP $1 $3 on $2: expected status $4, got $status" >&2
+        echo "$out" >&2
+        exit 1
+    fi
+    if ! head -n -1 <<<"$out" | grep -q "$5"; then
+        echo "HTTP $1 $3 on $2: body missing \`$5\`:" >&2
+        echo "$out" >&2
+        exit 1
+    fi
+}
 
 # fixtures: one graph in both ingestion formats, one trained model
 "$EASE_BIN" gen --out "$smoke/graph.txt" --kind soc --scale tiny --seed 11
@@ -79,9 +119,9 @@ for i in $(seq 1 "$CLIENTS"); do
         ref="bel"
     fi
     if (( (i / 2) % 2 == 0 )); then
-        endpoint=(--socket "$sock")
+        endpoint=(--endpoint "unix:$sock")
     else
-        endpoint=(--tcp "$TCP_ADDR")
+        endpoint=(--endpoint "tcp:$TCP_ADDR")
     fi
     printf '%s' "$ref" > "$smoke/client_$i.ref"
     "$EASE_BIN" client recommend "${endpoint[@]}" --graph "$graph" \
@@ -97,29 +137,44 @@ for i in $(seq 1 "$CLIENTS"); do
 done
 echo "all $CLIENTS concurrent client answers (unix + tcp) are bit-identical to the one-shot CLI"
 
-# the --daemon proxy flag answers identically too (no --model needed)
+# the deprecated --daemon alias still answers (proxying via unix), with a
+# one-line warning on stderr
 "$EASE_BIN" recommend --daemon "$sock" --graph "$smoke/graph.txt" \
-    --workload pr --goal e2e > "$smoke/proxy.out"
+    --workload pr --goal e2e > "$smoke/proxy.out" 2> "$smoke/proxy.err"
 diff "$smoke/oneshot_txt.out" "$smoke/proxy.out"
+grep -q "deprecated" "$smoke/proxy.err"
 
-# and so does the TCP proxy flag, through the pipelined client
-"$EASE_BIN" recommend --daemon-tcp "$TCP_ADDR" --graph "$smoke/graph.txt" \
+# the --endpoint flag reaches the same daemon over pipelined v2 TCP...
+"$EASE_BIN" recommend --endpoint "tcp:$TCP_ADDR" --graph "$smoke/graph.txt" \
     --workload pr --goal e2e > "$smoke/proxy_tcp.out"
 diff "$smoke/oneshot_txt.out" "$smoke/proxy_tcp.out"
+
+# ...and over HTTP/1.1 + JSON on the very same listener, still bit-identical
+"$EASE_BIN" recommend --endpoint "http:$TCP_ADDR" --graph "$smoke/graph.bel" \
+    --workload pr --goal e2e > "$smoke/proxy_http.out"
+diff "$smoke/oneshot_bel.out" "$smoke/proxy_http.out"
 
 # proxied feature extraction matches one-shot (wall-clock timing line stripped)
 "$EASE_BIN" features "$smoke/graph.bel" --tier advanced \
     | head -n -1 > "$smoke/features_oneshot.out"
-"$EASE_BIN" features "$smoke/graph.bel" --tier advanced --daemon "$sock" \
+"$EASE_BIN" features "$smoke/graph.bel" --tier advanced --endpoint "unix:$sock" \
     | head -n -1 > "$smoke/features_proxy.out"
 diff "$smoke/features_oneshot.out" "$smoke/features_proxy.out"
 
 # warm-cache observability over both transports
-"$EASE_BIN" client cache-stats --socket "$sock"
-"$EASE_BIN" client cache-stats --tcp "$TCP_ADDR"
+"$EASE_BIN" client cache-stats --endpoint "unix:$sock"
+"$EASE_BIN" client cache-stats --endpoint "tcp:$TCP_ADDR"
+
+# raw HTTP (curl) against the very same port the v2 clients use
+http_expect GET "$TCP_ADDR" /healthz 200 '"type":"pong"'
+http_expect GET "$TCP_ADDR" \
+    "/recommend?graph=$smoke/graph.bel&workload=pr&goal=e2e" 200 '"type":"answer"'
+http_expect GET "$TCP_ADDR" /stats 200 '"type":"stats"'
+http_expect GET "$TCP_ADDR" /nope 404 '"type":"error"'
+echo "HTTP facade answers curl on the same listener as binary v2"
 
 # graceful shutdown: daemon drains, removes its socket and exits 0
-"$EASE_BIN" client shutdown --socket "$sock"
+"$EASE_BIN" client shutdown --endpoint "unix:$sock"
 wait "$serve_pid"
 serve_pid=""
 if [[ -e "$sock" ]]; then
@@ -152,7 +207,8 @@ for backend in "$b1" "$b2"; do
         exit 1
     fi
 done
-"$EASE_BIN" route --backend "unix:$b1" --backend "unix:$b2" --socket "$front" &
+"$EASE_BIN" route --backend "unix:$b1" --backend "unix:$b2" --socket "$front" \
+    --listen "$ROUTER_ADDR" &
 fleet_pids+=("$!")
 ready=0
 for _ in $(seq 1 100); do
@@ -170,19 +226,29 @@ fi
 # routed answers, cold then warm, byte-diffed against the one-shot CLI
 for pass in cold warm; do
     for ref in txt bel; do
-        "$EASE_BIN" client recommend --socket "$front" --graph "$smoke/graph.$ref" \
+        "$EASE_BIN" client recommend --endpoint "unix:$front" \
+            --graph "$smoke/graph.$ref" \
             --workload pr --goal e2e > "$smoke/routed_${pass}_$ref.out"
         diff "$smoke/oneshot_$ref.out" "$smoke/routed_${pass}_$ref.out"
     done
 done
 echo "routed answers (cold + warm, both graphs) are bit-identical to the one-shot CLI"
 
+# HTTP through the router front: the one sniffing listener serves curl too,
+# bit-identically (the CLI decodes the JSON envelope), and /stats folds the
+# whole fleet
+"$EASE_BIN" recommend --endpoint "http:$ROUTER_ADDR" --graph "$smoke/graph.bel" \
+    --workload pr --goal e2e > "$smoke/routed_http.out"
+diff "$smoke/oneshot_bel.out" "$smoke/routed_http.out"
+http_expect GET "$ROUTER_ADDR" /stats 200 '"type":"stats"'
+echo "HTTP facade answers through the router fleet"
+
 # fleet-wide cache stats through the router (folds both backends)
-"$EASE_BIN" client cache-stats --socket "$front"
+"$EASE_BIN" client cache-stats --endpoint "unix:$front"
 
 # graceful fleet shutdown: one shutdown through the router stops the
 # router AND both backends (forward-shutdown defaults on)
-"$EASE_BIN" client shutdown --socket "$front"
+"$EASE_BIN" client shutdown --endpoint "unix:$front"
 for pid in "${fleet_pids[@]}"; do
     wait "$pid"
 done
@@ -194,4 +260,47 @@ for s in "$front" "$b1" "$b2"; do
     fi
 done
 echo "router smoke passed: fleet answered identically and stopped as one"
+
+# ---- HTTP 503: a saturated budgeted fleet sheds over HTTP --------------
+# one backend whose analysis budget is far below the query's estimated
+# derived-CSR footprint: the router sheds with a typed overload answer,
+# which the facade maps to 503 Service Unavailable; then an HTTP POST
+# /shutdown drains the whole fleet.
+b3="$smoke/budgeted.sock"
+"$EASE_BIN" serve --model "$smoke/ease.model" --socket "$b3" --memory-budget 4096 &
+fleet_pids+=("$!")
+ready=0
+for _ in $(seq 1 100); do
+    if "$EASE_BIN" client ping --endpoint "unix:$b3" >/dev/null 2>&1; then
+        ready=1
+        break
+    fi
+    sleep 0.1
+done
+if [[ "$ready" -ne 1 ]]; then
+    echo "budgeted backend did not become ready on $b3" >&2
+    exit 1
+fi
+"$EASE_BIN" route --backend "unix:$b3" --listen "$SHED_ADDR" &
+fleet_pids+=("$!")
+ready=0
+for _ in $(seq 1 100); do
+    if "$EASE_BIN" client ping --endpoint "tcp:$SHED_ADDR" >/dev/null 2>&1; then
+        ready=1
+        break
+    fi
+    sleep 0.1
+done
+if [[ "$ready" -ne 1 ]]; then
+    echo "shed router did not become ready on $SHED_ADDR" >&2
+    exit 1
+fi
+http_expect GET "$SHED_ADDR" \
+    "/recommend?graph=$smoke/graph.bel&workload=pr" 503 '"type":"overloaded"'
+http_expect POST "$SHED_ADDR" /shutdown 200 '"type":"shutting-down"'
+for pid in "${fleet_pids[@]}"; do
+    wait "$pid"
+done
+fleet_pids=()
+echo "saturated fleet shed over HTTP with 503 and drained on HTTP shutdown"
 echo "serve smoke passed"

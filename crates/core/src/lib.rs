@@ -56,5 +56,6 @@ pub use error::{EaseError, ServeError};
 pub use predictors::{PartitioningTimePredictor, ProcessingTimePredictor, QualityPredictor};
 pub use selector::{Ease, OptGoal, Selection};
 pub use service::{
-    EaseService, EaseServiceBuilder, PropertyCacheStats, RecommendQuery, ServiceInfo, ServiceMeta,
+    EaseService, EaseServiceBuilder, PropertyCacheStats, Query, RecommendQuery, ServiceInfo,
+    ServiceMeta,
 };

@@ -24,13 +24,18 @@ use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::path::{Path, PathBuf};
 
-/// Where a daemon lives: a unix socket path or a TCP address.
+/// Where a daemon lives: a unix socket path, a TCP address (binary v2),
+/// or an HTTP address (the JSON facade on the same listener).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Endpoint {
     /// Unix-domain socket path (unix platforms only).
     Unix(PathBuf),
-    /// TCP `host:port` address.
+    /// TCP `host:port` address, spoken to with the binary v2 protocol.
     Tcp(String),
+    /// TCP `host:port` address, spoken to over HTTP + JSON. Same
+    /// listener as [`Endpoint::Tcp`] — the daemon sniffs the format per
+    /// connection.
+    Http(String),
 }
 
 impl Endpoint {
@@ -41,6 +46,46 @@ impl Endpoint {
     pub fn tcp(addr: impl Into<String>) -> Endpoint {
         Endpoint::Tcp(addr.into())
     }
+
+    pub fn http(addr: impl Into<String>) -> Endpoint {
+        Endpoint::Http(addr.into())
+    }
+
+    /// Parse the scheme-prefixed endpoint spelling every CLI surface
+    /// shares: `unix:<path>`, `tcp:<host:port>`, or `http:<host:port>`
+    /// (a tolerated `http://<host:port>` means the same). A bare
+    /// `host:port` is accepted as TCP for backwards compatibility with
+    /// the old `--backend` spelling; anything else (including a bare
+    /// path) is a typed error naming the accepted forms.
+    pub fn parse(spec: &str) -> Result<Endpoint, EaseError> {
+        if let Some(path) = spec.strip_prefix("unix:") {
+            if path.is_empty() {
+                return Err(proto_err("empty unix socket path in endpoint"));
+            }
+            return Ok(Endpoint::unix(path));
+        }
+        if let Some(addr) = spec.strip_prefix("tcp:") {
+            if addr.is_empty() {
+                return Err(proto_err("empty TCP address in endpoint"));
+            }
+            return Ok(Endpoint::tcp(addr));
+        }
+        if let Some(rest) = spec.strip_prefix("http:") {
+            let addr = rest.strip_prefix("//").unwrap_or(rest);
+            if addr.is_empty() {
+                return Err(proto_err("empty HTTP address in endpoint"));
+            }
+            return Ok(Endpoint::http(addr));
+        }
+        // bare host:port (the pre-PR 10 `--backend` spelling) — but not a
+        // filesystem path, which is a near-certain unix:/ typo
+        if spec.contains(':') && !spec.contains('/') {
+            return Ok(Endpoint::tcp(spec));
+        }
+        Err(proto_err(format!(
+            "bad endpoint `{spec}` (expected unix:<path>, tcp:<host:port>, or http:<host:port>)"
+        )))
+    }
 }
 
 impl std::fmt::Display for Endpoint {
@@ -48,6 +93,7 @@ impl std::fmt::Display for Endpoint {
         match self {
             Endpoint::Unix(path) => write!(f, "unix:{}", path.display()),
             Endpoint::Tcp(addr) => write!(f, "tcp:{addr}"),
+            Endpoint::Http(addr) => write!(f, "http:{addr}"),
         }
     }
 }
@@ -82,6 +128,12 @@ fn connect(endpoint: &Endpoint) -> Result<Box<dyn ClientStream>, EaseError> {
             stream.set_nodelay(true).ok();
             Ok(Box::new(stream))
         }
+        // the JSON facade is request/response over `call_endpoint`; a v2
+        // session against it would misframe on the first byte
+        Endpoint::Http(_) => Err(proto_err(
+            "pipelined sessions need a binary endpoint (unix:<path> or tcp:<host:port>); \
+             http: endpoints answer one request per call",
+        )),
     }
 }
 
@@ -116,12 +168,14 @@ pub fn call(_socket: &Path, _request: &Request) -> Result<Response, EaseError> {
 
 /// One request/response exchange with a daemon at `endpoint`. Unix
 /// endpoints speak v1 (identical to [`call`]); TCP endpoints speak a
-/// one-request v2 session — same answers either way, the daemon renders
-/// both through the same code.
+/// one-request v2 session; HTTP endpoints POST the JSON envelope to
+/// `/rpc` — same answers every way, the daemon renders all of them
+/// through the same code.
 pub fn call_endpoint(endpoint: &Endpoint, request: &Request) -> Result<Response, EaseError> {
     match endpoint {
         Endpoint::Unix(socket) => call(socket, request),
         Endpoint::Tcp(_) => PipelinedClient::connect(endpoint)?.call(request),
+        Endpoint::Http(addr) => super::http::call_http(addr, request),
     }
 }
 
@@ -267,4 +321,62 @@ pub fn call_pipelined(
         return Err(proto_err("pipelined bookkeeping hole: a request went unanswered"));
     }
     Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_parse_accepts_all_three_schemes() {
+        assert_eq!(
+            Endpoint::parse("unix:/tmp/ease.sock").unwrap(),
+            Endpoint::unix("/tmp/ease.sock")
+        );
+        assert_eq!(Endpoint::parse("tcp:127.0.0.1:7070").unwrap(), Endpoint::tcp("127.0.0.1:7070"));
+        assert_eq!(
+            Endpoint::parse("http:127.0.0.1:7070").unwrap(),
+            Endpoint::http("127.0.0.1:7070")
+        );
+    }
+
+    #[test]
+    fn endpoint_parse_tolerates_url_style_http() {
+        assert_eq!(
+            Endpoint::parse("http://127.0.0.1:7070").unwrap(),
+            Endpoint::http("127.0.0.1:7070")
+        );
+    }
+
+    #[test]
+    fn endpoint_parse_keeps_bare_host_port_as_tcp() {
+        // the pre-endpoint `--backend` spelling keeps working
+        assert_eq!(Endpoint::parse("localhost:7070").unwrap(), Endpoint::tcp("localhost:7070"));
+    }
+
+    #[test]
+    fn endpoint_parse_rejects_bare_paths_and_empty_values() {
+        for bad in ["/tmp/ease.sock", "unix:", "tcp:", "http:", "http://", "just-a-name"] {
+            let err = Endpoint::parse(bad).unwrap_err().to_string();
+            assert!(err.contains("protocol violation"), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn endpoint_display_round_trips_through_parse() {
+        for spec in ["unix:/tmp/e.sock", "tcp:10.0.0.1:99", "http:10.0.0.1:99"] {
+            let endpoint = Endpoint::parse(spec).unwrap();
+            assert_eq!(endpoint.to_string(), spec);
+            assert_eq!(Endpoint::parse(&endpoint.to_string()).unwrap(), endpoint);
+        }
+    }
+
+    #[test]
+    fn pipelined_sessions_refuse_http_endpoints() {
+        let err = match PipelinedClient::connect(&Endpoint::http("127.0.0.1:1")) {
+            Ok(_) => panic!("http endpoint must not open a pipelined session"),
+            Err(err) => err.to_string(),
+        };
+        assert!(err.contains("binary endpoint"), "{err}");
+    }
 }

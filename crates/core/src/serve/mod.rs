@@ -31,11 +31,19 @@
 //!   requests fail over to ring successors, `cache-stats` aggregates
 //!   fleet-wide, and budget-aware admission sheds oversized queries with
 //!   a typed [`Response::Overloaded`] when no backend has headroom.
+//! * **HTTP facade** ([`http`] + [`json`]) — the same sniffer recognises
+//!   `GET `/`POST` prefixes and serves an HTTP/1.1 + JSON surface
+//!   (`/recommend`, `/features`, `/stats`, `/healthz`, `/shutdown`,
+//!   `/rpc`) on the same connection workers, executor pool and `Handler`
+//!   — so `curl` reaches both a daemon and a router fleet with no new
+//!   listener and zero dependencies. [`Request`]/[`Response`] are pure
+//!   data with codecs at the edges: `encode_binary`/`decode_binary` and
+//!   `to_json`/`from_json` over the same types.
 //! * **Clients** ([`client`]) — [`call`] performs one v1 exchange;
 //!   [`PipelinedClient`] keeps one v2 connection open across many
 //!   requests, and [`call_pipelined`] drives a whole batch through a
-//!   bounded window. `ease client …` and the `--daemon`/`--daemon-tcp`
-//!   proxy flags are thin wrappers over these.
+//!   bounded window. `ease client …` and the `--endpoint
+//!   unix:|tcp:|http:` proxy flag are thin wrappers over these.
 //! * **Rendering** — [`render_recommendation`] / [`render_features`] build
 //!   the exact text the one-shot CLI prints. The daemon answers with the
 //!   same renderer over the same extraction path, so a proxied answer is
@@ -59,6 +67,8 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 pub mod client;
+pub mod http;
+pub mod json;
 pub mod protocol;
 pub mod ring;
 pub mod router;

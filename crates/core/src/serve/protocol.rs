@@ -19,7 +19,14 @@
 //! Payloads are identical in both formats: versioned binary [`Request`] /
 //! [`Response`] values encoded with the same `Writer`/`Reader` codec the
 //! model persistence uses, capped at [`MAX_FRAME_BYTES`].
+//!
+//! [`Request`] and [`Response`] are *pure data*; every wire spelling is a
+//! codec at the edge of the type — `encode_binary`/`decode_binary` for the
+//! framed formats above and `to_json`/`from_json` for the HTTP facade
+//! (`serve/http.rs`). One definition, two codecs: parity between the
+//! binary and JSON surfaces is structural, not coincidental.
 
+use super::json::{self, Value};
 use crate::error::{EaseError, ServeError};
 use crate::selector::OptGoal;
 use ease_graph::PropertyTier;
@@ -245,155 +252,414 @@ pub fn resolve_graph_path(graph: &str, cwd: Option<&str>) -> PathBuf {
     }
 }
 
-/// Serialize a request payload (framing is separate; see [`write_frame`]
-/// and [`write_frame_v2`]).
-pub fn encode_request(req: &Request) -> Vec<u8> {
-    let mut w = Writer::new();
-    w.put_u8(PROTOCOL_VERSION);
-    match req {
-        Request::Ping => w.put_u8(0),
-        Request::Recommend { graph, workload, k, goal, top, cwd } => {
-            w.put_u8(1);
-            w.put_str(graph);
-            w.put_str(workload);
-            w.put_opt_usize(*k);
-            w.put_u8(goal_tag(*goal));
-            w.put_usize(*top);
-            put_opt_str(&mut w, cwd);
-        }
-        Request::Features { graph, tier, cwd } => {
-            w.put_u8(2);
-            w.put_str(graph);
-            w.put_u8(tier_tag(*tier));
-            put_opt_str(&mut w, cwd);
-        }
-        Request::CacheStats => w.put_u8(3),
-        Request::Shutdown => w.put_u8(4),
-    }
-    w.into_bytes()
-}
-
-/// Deserialize a request payload. Every malformation is a typed
-/// [`ServeError::Protocol`] — never a panic in a server worker.
-pub fn decode_request(bytes: &[u8]) -> Result<Request, EaseError> {
-    let mut r = Reader::new(bytes);
-    let p = |e: ease_ml::PersistError| proto_err(format!("truncated request: {e}"));
-    let version = r.take_u8().map_err(p)?;
-    if version != PROTOCOL_VERSION {
-        return Err(proto_err(format!(
-            "protocol version skew: peer speaks v{version}, this build v{PROTOCOL_VERSION}"
-        )));
-    }
-    let req = match r.take_u8().map_err(p)? {
-        0 => Request::Ping,
-        1 => Request::Recommend {
-            graph: r.take_str().map_err(p)?,
-            workload: r.take_str().map_err(p)?,
-            k: r.take_opt_usize().map_err(p)?,
-            goal: goal_from_tag(r.take_u8().map_err(p)?)?,
-            top: r.take_usize().map_err(p)?,
-            cwd: take_opt_str(&mut r).map_err(p)?,
-        },
-        2 => Request::Features {
-            graph: r.take_str().map_err(p)?,
-            tier: tier_from_tag(r.take_u8().map_err(p)?)?,
-            cwd: take_opt_str(&mut r).map_err(p)?,
-        },
-        3 => Request::CacheStats,
-        4 => Request::Shutdown,
-        other => return Err(proto_err(format!("unknown request tag {other}"))),
-    };
-    if r.remaining() != 0 {
-        return Err(proto_err(format!("{} trailing bytes after request", r.remaining())));
-    }
-    Ok(req)
-}
-
-/// Serialize a response payload.
-pub fn encode_response(resp: &Response) -> Vec<u8> {
-    let mut w = Writer::new();
-    w.put_u8(PROTOCOL_VERSION);
-    match resp {
-        Response::Pong { version } => {
-            w.put_u8(0);
-            w.put_u8(*version);
-        }
-        Response::Answer(text) => {
-            w.put_u8(1);
-            w.put_str(text);
-        }
-        Response::CacheStats(s) => {
-            w.put_u8(2);
-            w.put_u64(s.hits);
-            w.put_u64(s.misses);
-            w.put_u64(s.evictions);
-            w.put_usize(s.len);
-            w.put_usize(s.capacity);
-            w.put_u64(s.requests_served);
-            // v2 payload bump: budget observability rides after the
-            // original fields, which are unchanged
-            match s.memory_budget_remaining {
-                Some(remaining) => {
-                    w.put_u8(1);
-                    w.put_u64(remaining);
-                }
-                None => w.put_u8(0),
+impl Request {
+    /// Serialize to the versioned binary payload (framing is separate;
+    /// see [`write_frame`] and [`write_frame_v2`]).
+    pub fn encode_binary(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_u8(PROTOCOL_VERSION);
+        match self {
+            Request::Ping => w.put_u8(0),
+            Request::Recommend { graph, workload, k, goal, top, cwd } => {
+                w.put_u8(1);
+                w.put_str(graph);
+                w.put_str(workload);
+                w.put_opt_usize(*k);
+                w.put_u8(goal_tag(*goal));
+                w.put_usize(*top);
+                put_opt_str(&mut w, cwd);
             }
-            w.put_u64(s.spilled_csr_builds);
+            Request::Features { graph, tier, cwd } => {
+                w.put_u8(2);
+                w.put_str(graph);
+                w.put_u8(tier_tag(*tier));
+                put_opt_str(&mut w, cwd);
+            }
+            Request::CacheStats => w.put_u8(3),
+            Request::Shutdown => w.put_u8(4),
         }
-        Response::Error(msg) => {
-            w.put_u8(3);
-            w.put_str(msg);
+        w.into_bytes()
+    }
+
+    /// Deserialize a binary request payload. Every malformation is a typed
+    /// [`ServeError::Protocol`] — never a panic in a server worker.
+    pub fn decode_binary(bytes: &[u8]) -> Result<Request, EaseError> {
+        let mut r = Reader::new(bytes);
+        let p = |e: ease_ml::PersistError| proto_err(format!("truncated request: {e}"));
+        let version = r.take_u8().map_err(p)?;
+        if version != PROTOCOL_VERSION {
+            return Err(proto_err(format!(
+                "protocol version skew: peer speaks v{version}, this build v{PROTOCOL_VERSION}"
+            )));
         }
-        Response::ShuttingDown => w.put_u8(4),
-        Response::Overloaded { needed, headroom } => {
-            w.put_u8(5);
-            w.put_u64(*needed);
-            w.put_u64(*headroom);
+        let req = match r.take_u8().map_err(p)? {
+            0 => Request::Ping,
+            1 => Request::Recommend {
+                graph: r.take_str().map_err(p)?,
+                workload: r.take_str().map_err(p)?,
+                k: r.take_opt_usize().map_err(p)?,
+                goal: goal_from_tag(r.take_u8().map_err(p)?)?,
+                top: r.take_usize().map_err(p)?,
+                cwd: take_opt_str(&mut r).map_err(p)?,
+            },
+            2 => Request::Features {
+                graph: r.take_str().map_err(p)?,
+                tier: tier_from_tag(r.take_u8().map_err(p)?)?,
+                cwd: take_opt_str(&mut r).map_err(p)?,
+            },
+            3 => Request::CacheStats,
+            4 => Request::Shutdown,
+            other => return Err(proto_err(format!("unknown request tag {other}"))),
+        };
+        if r.remaining() != 0 {
+            return Err(proto_err(format!("{} trailing bytes after request", r.remaining())));
+        }
+        Ok(req)
+    }
+
+    /// Serialize to the JSON envelope the HTTP facade speaks: a
+    /// `"type"`-discriminated object, e.g. `{"type":"ping"}`.
+    pub fn to_json(&self) -> String {
+        self.to_json_value().render()
+    }
+
+    pub(crate) fn to_json_value(&self) -> Value {
+        match self {
+            Request::Ping => Value::Obj(vec![("type".into(), Value::str("ping"))]),
+            Request::Recommend { graph, workload, k, goal, top, cwd } => Value::Obj(vec![
+                ("type".into(), Value::str("recommend")),
+                ("graph".into(), Value::str(graph.clone())),
+                ("workload".into(), Value::str(workload.clone())),
+                ("k".into(), k.map_or(Value::Null, |k| Value::UInt(k as u64))),
+                ("goal".into(), Value::str(goal_name(*goal))),
+                ("top".into(), Value::UInt(*top as u64)),
+                ("cwd".into(), cwd.clone().map_or(Value::Null, Value::Str)),
+            ]),
+            Request::Features { graph, tier, cwd } => Value::Obj(vec![
+                ("type".into(), Value::str("features")),
+                ("graph".into(), Value::str(graph.clone())),
+                ("tier".into(), Value::str(tier_name(*tier))),
+                ("cwd".into(), cwd.clone().map_or(Value::Null, Value::Str)),
+            ]),
+            Request::CacheStats => Value::Obj(vec![("type".into(), Value::str("cache-stats"))]),
+            Request::Shutdown => Value::Obj(vec![("type".into(), Value::str("shutdown"))]),
         }
     }
-    w.into_bytes()
+
+    /// Deserialize the JSON envelope. Optional fields (`k`, `goal`, `top`,
+    /// `cwd`, `tier`) may be omitted or `null` and take the same defaults
+    /// the CLI flags take; malformations are typed
+    /// [`ServeError::Protocol`] errors.
+    pub fn from_json(src: &str) -> Result<Request, EaseError> {
+        let v = json::parse(src).map_err(|e| proto_err(format!("bad JSON request: {e}")))?;
+        let kind = v
+            .get("type")
+            .and_then(Value::as_str)
+            .ok_or_else(|| proto_err("JSON request has no string `type` member"))?;
+        match kind {
+            "ping" => Ok(Request::Ping),
+            "recommend" => Ok(Request::Recommend {
+                graph: json_require_str(&v, "graph")?,
+                workload: json_require_str(&v, "workload")?,
+                k: json_opt_usize(&v, "k")?,
+                goal: match json_opt_str(&v, "goal")? {
+                    Some(name) => goal_from_name(&name)?,
+                    None => OptGoal::EndToEnd,
+                },
+                top: json_opt_usize(&v, "top")?.unwrap_or(DEFAULT_TOP),
+                cwd: json_opt_str(&v, "cwd")?,
+            }),
+            "features" => Ok(Request::Features {
+                graph: json_require_str(&v, "graph")?,
+                tier: match json_opt_str(&v, "tier")? {
+                    Some(name) => tier_from_name(&name)?,
+                    None => PropertyTier::Advanced,
+                },
+                cwd: json_opt_str(&v, "cwd")?,
+            }),
+            "cache-stats" => Ok(Request::CacheStats),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(proto_err(format!("unknown JSON request type `{other}`"))),
+        }
+    }
 }
 
-/// Deserialize a response payload.
-pub fn decode_response(bytes: &[u8]) -> Result<Response, EaseError> {
-    let mut r = Reader::new(bytes);
-    let p = |e: ease_ml::PersistError| proto_err(format!("truncated response: {e}"));
-    let version = r.take_u8().map_err(p)?;
-    if version != PROTOCOL_VERSION {
-        return Err(proto_err(format!(
-            "protocol version skew: peer speaks v{version}, this build v{PROTOCOL_VERSION}"
-        )));
+impl Response {
+    /// Serialize to the versioned binary payload.
+    pub fn encode_binary(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_u8(PROTOCOL_VERSION);
+        match self {
+            Response::Pong { version } => {
+                w.put_u8(0);
+                w.put_u8(*version);
+            }
+            Response::Answer(text) => {
+                w.put_u8(1);
+                w.put_str(text);
+            }
+            Response::CacheStats(s) => {
+                w.put_u8(2);
+                w.put_u64(s.hits);
+                w.put_u64(s.misses);
+                w.put_u64(s.evictions);
+                w.put_usize(s.len);
+                w.put_usize(s.capacity);
+                w.put_u64(s.requests_served);
+                // v2 payload bump: budget observability rides after the
+                // original fields, which are unchanged
+                match s.memory_budget_remaining {
+                    Some(remaining) => {
+                        w.put_u8(1);
+                        w.put_u64(remaining);
+                    }
+                    None => w.put_u8(0),
+                }
+                w.put_u64(s.spilled_csr_builds);
+            }
+            Response::Error(msg) => {
+                w.put_u8(3);
+                w.put_str(msg);
+            }
+            Response::ShuttingDown => w.put_u8(4),
+            Response::Overloaded { needed, headroom } => {
+                w.put_u8(5);
+                w.put_u64(*needed);
+                w.put_u64(*headroom);
+            }
+        }
+        w.into_bytes()
     }
-    let resp = match r.take_u8().map_err(p)? {
-        0 => Response::Pong { version: r.take_u8().map_err(p)? },
-        1 => Response::Answer(r.take_str().map_err(p)?),
-        2 => Response::CacheStats(ServeStats {
-            hits: r.take_u64().map_err(p)?,
-            misses: r.take_u64().map_err(p)?,
-            evictions: r.take_u64().map_err(p)?,
-            len: r.take_usize().map_err(p)?,
-            capacity: r.take_usize().map_err(p)?,
-            requests_served: r.take_u64().map_err(p)?,
-            memory_budget_remaining: match r.take_u8().map_err(p)? {
-                0 => None,
-                1 => Some(r.take_u64().map_err(p)?),
-                other => return Err(proto_err(format!("unknown budget tag {other}"))),
+
+    /// Deserialize a binary response payload.
+    pub fn decode_binary(bytes: &[u8]) -> Result<Response, EaseError> {
+        let mut r = Reader::new(bytes);
+        let p = |e: ease_ml::PersistError| proto_err(format!("truncated response: {e}"));
+        let version = r.take_u8().map_err(p)?;
+        if version != PROTOCOL_VERSION {
+            return Err(proto_err(format!(
+                "protocol version skew: peer speaks v{version}, this build v{PROTOCOL_VERSION}"
+            )));
+        }
+        let resp = match r.take_u8().map_err(p)? {
+            0 => Response::Pong { version: r.take_u8().map_err(p)? },
+            1 => Response::Answer(r.take_str().map_err(p)?),
+            2 => Response::CacheStats(ServeStats {
+                hits: r.take_u64().map_err(p)?,
+                misses: r.take_u64().map_err(p)?,
+                evictions: r.take_u64().map_err(p)?,
+                len: r.take_usize().map_err(p)?,
+                capacity: r.take_usize().map_err(p)?,
+                requests_served: r.take_u64().map_err(p)?,
+                memory_budget_remaining: match r.take_u8().map_err(p)? {
+                    0 => None,
+                    1 => Some(r.take_u64().map_err(p)?),
+                    other => return Err(proto_err(format!("unknown budget tag {other}"))),
+                },
+                spilled_csr_builds: r.take_u64().map_err(p)?,
+            }),
+            3 => Response::Error(r.take_str().map_err(p)?),
+            4 => Response::ShuttingDown,
+            5 => Response::Overloaded {
+                needed: r.take_u64().map_err(p)?,
+                headroom: r.take_u64().map_err(p)?,
             },
-            spilled_csr_builds: r.take_u64().map_err(p)?,
-        }),
-        3 => Response::Error(r.take_str().map_err(p)?),
-        4 => Response::ShuttingDown,
-        5 => Response::Overloaded {
-            needed: r.take_u64().map_err(p)?,
-            headroom: r.take_u64().map_err(p)?,
-        },
-        other => return Err(proto_err(format!("unknown response tag {other}"))),
-    };
-    if r.remaining() != 0 {
-        return Err(proto_err(format!("{} trailing bytes after response", r.remaining())));
+            other => return Err(proto_err(format!("unknown response tag {other}"))),
+        };
+        if r.remaining() != 0 {
+            return Err(proto_err(format!("{} trailing bytes after response", r.remaining())));
+        }
+        Ok(resp)
     }
-    Ok(resp)
+
+    /// Serialize to the JSON envelope, e.g. `{"type":"answer","answer":…}`.
+    /// This is the body every HTTP response carries, so non-Rust clients
+    /// see exactly the data binary clients decode — including the verbatim
+    /// answer text, which stays bit-identical to the one-shot CLI.
+    pub fn to_json(&self) -> String {
+        self.to_json_value().render()
+    }
+
+    pub(crate) fn to_json_value(&self) -> Value {
+        match self {
+            Response::Pong { version } => Value::Obj(vec![
+                ("type".into(), Value::str("pong")),
+                ("version".into(), Value::UInt(u64::from(*version))),
+            ]),
+            Response::Answer(text) => Value::Obj(vec![
+                ("type".into(), Value::str("answer")),
+                ("answer".into(), Value::str(text.clone())),
+            ]),
+            Response::CacheStats(s) => Value::Obj(vec![
+                ("type".into(), Value::str("stats")),
+                ("hits".into(), Value::UInt(s.hits)),
+                ("misses".into(), Value::UInt(s.misses)),
+                ("evictions".into(), Value::UInt(s.evictions)),
+                ("len".into(), Value::UInt(s.len as u64)),
+                ("capacity".into(), Value::UInt(s.capacity as u64)),
+                ("requests_served".into(), Value::UInt(s.requests_served)),
+                (
+                    "memory_budget_remaining".into(),
+                    s.memory_budget_remaining.map_or(Value::Null, Value::UInt),
+                ),
+                ("spilled_csr_builds".into(), Value::UInt(s.spilled_csr_builds)),
+            ]),
+            Response::Error(msg) => Value::Obj(vec![
+                ("type".into(), Value::str("error")),
+                ("error".into(), Value::str(msg.clone())),
+            ]),
+            Response::ShuttingDown => {
+                Value::Obj(vec![("type".into(), Value::str("shutting-down"))])
+            }
+            Response::Overloaded { needed, headroom } => Value::Obj(vec![
+                ("type".into(), Value::str("overloaded")),
+                ("needed".into(), Value::UInt(*needed)),
+                ("headroom".into(), Value::UInt(*headroom)),
+            ]),
+        }
+    }
+
+    /// Deserialize the JSON envelope (the HTTP client path).
+    pub fn from_json(src: &str) -> Result<Response, EaseError> {
+        let v = json::parse(src).map_err(|e| proto_err(format!("bad JSON response: {e}")))?;
+        let kind = v
+            .get("type")
+            .and_then(Value::as_str)
+            .ok_or_else(|| proto_err("JSON response has no string `type` member"))?;
+        match kind {
+            "pong" => {
+                let version = json_require_u64(&v, "version")?;
+                let version = u8::try_from(version)
+                    .map_err(|_| proto_err(format!("version {version} does not fit u8")))?;
+                Ok(Response::Pong { version })
+            }
+            "answer" => Ok(Response::Answer(json_require_str(&v, "answer")?)),
+            "stats" => Ok(Response::CacheStats(ServeStats {
+                hits: json_require_u64(&v, "hits")?,
+                misses: json_require_u64(&v, "misses")?,
+                evictions: json_require_u64(&v, "evictions")?,
+                len: json_require_usize(&v, "len")?,
+                capacity: json_require_usize(&v, "capacity")?,
+                requests_served: json_require_u64(&v, "requests_served")?,
+                memory_budget_remaining: json_opt_u64(&v, "memory_budget_remaining")?,
+                spilled_csr_builds: json_require_u64(&v, "spilled_csr_builds")?,
+            })),
+            "error" => Ok(Response::Error(json_require_str(&v, "error")?)),
+            "shutting-down" => Ok(Response::ShuttingDown),
+            "overloaded" => Ok(Response::Overloaded {
+                needed: json_require_u64(&v, "needed")?,
+                headroom: json_require_u64(&v, "headroom")?,
+            }),
+            other => Err(proto_err(format!("unknown JSON response type `{other}`"))),
+        }
+    }
+}
+
+/// Serialize a request payload — thin wrapper over
+/// [`Request::encode_binary`], kept for the many existing call sites.
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    req.encode_binary()
+}
+
+/// Deserialize a request payload — thin wrapper over
+/// [`Request::decode_binary`].
+pub fn decode_request(bytes: &[u8]) -> Result<Request, EaseError> {
+    Request::decode_binary(bytes)
+}
+
+/// Serialize a response payload — thin wrapper over
+/// [`Response::encode_binary`].
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    resp.encode_binary()
+}
+
+/// Deserialize a response payload — thin wrapper over
+/// [`Response::decode_binary`].
+pub fn decode_response(bytes: &[u8]) -> Result<Response, EaseError> {
+    Response::decode_binary(bytes)
+}
+
+// -- JSON field plumbing (names ↔ enum values, required/optional members) --
+
+/// The CLI spelling of a goal (`--goal` vocabulary), also the JSON one.
+pub fn goal_name(goal: OptGoal) -> &'static str {
+    match goal {
+        OptGoal::EndToEnd => "e2e",
+        OptGoal::ProcessingOnly => "processing",
+    }
+}
+
+/// Parse the CLI/JSON goal vocabulary (`e2e`, `processing`, `proc`).
+pub fn goal_from_name(name: &str) -> Result<OptGoal, EaseError> {
+    match name {
+        "e2e" => Ok(OptGoal::EndToEnd),
+        "processing" | "proc" => Ok(OptGoal::ProcessingOnly),
+        other => Err(proto_err(format!("unknown goal `{other}` (expected e2e|processing)"))),
+    }
+}
+
+/// The CLI spelling of a property tier (`--tier` vocabulary).
+pub fn tier_name(tier: PropertyTier) -> &'static str {
+    match tier {
+        PropertyTier::Simple => "simple",
+        PropertyTier::Basic => "basic",
+        PropertyTier::Advanced => "advanced",
+    }
+}
+
+/// Parse the CLI/JSON tier vocabulary.
+pub fn tier_from_name(name: &str) -> Result<PropertyTier, EaseError> {
+    match name {
+        "simple" => Ok(PropertyTier::Simple),
+        "basic" => Ok(PropertyTier::Basic),
+        "advanced" => Ok(PropertyTier::Advanced),
+        other => Err(proto_err(format!("unknown tier `{other}` (expected simple|basic|advanced)"))),
+    }
+}
+
+fn json_require_str(v: &Value, key: &str) -> Result<String, EaseError> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| proto_err(format!("missing or non-string `{key}` member")))
+}
+
+fn json_require_u64(v: &Value, key: &str) -> Result<u64, EaseError> {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| proto_err(format!("missing or non-integer `{key}` member")))
+}
+
+fn json_require_usize(v: &Value, key: &str) -> Result<usize, EaseError> {
+    let n = json_require_u64(v, key)?;
+    usize::try_from(n).map_err(|_| proto_err(format!("`{key}` member {n} does not fit usize")))
+}
+
+/// Missing or `null` members read as `None`; a present member must be a
+/// string.
+fn json_opt_str(v: &Value, key: &str) -> Result<Option<String>, EaseError> {
+    match v.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(Value::Str(s)) => Ok(Some(s.clone())),
+        Some(_) => Err(proto_err(format!("`{key}` member must be a string or null"))),
+    }
+}
+
+fn json_opt_u64(v: &Value, key: &str) -> Result<Option<u64>, EaseError> {
+    match v.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(Value::UInt(n)) => Ok(Some(*n)),
+        Some(_) => Err(proto_err(format!("`{key}` member must be an unsigned integer or null"))),
+    }
+}
+
+fn json_opt_usize(v: &Value, key: &str) -> Result<Option<usize>, EaseError> {
+    match json_opt_u64(v, key)? {
+        None => Ok(None),
+        Some(n) => usize::try_from(n)
+            .map(Some)
+            .map_err(|_| proto_err(format!("`{key}` member {n} does not fit usize"))),
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -523,11 +789,15 @@ mod tests {
     fn round_trip_request(req: Request) {
         let bytes = encode_request(&req);
         assert_eq!(decode_request(&bytes).unwrap(), req);
+        // the JSON codec covers the same type, so parity is structural:
+        // every variant the binary codec round-trips, JSON must too
+        assert_eq!(Request::from_json(&req.to_json()).unwrap(), req);
     }
 
     fn round_trip_response(resp: Response) {
         let bytes = encode_response(&resp);
         assert_eq!(decode_response(&bytes).unwrap(), resp);
+        assert_eq!(Response::from_json(&resp.to_json()).unwrap(), resp);
     }
 
     #[test]
@@ -696,6 +966,67 @@ mod tests {
             read_frame_v2(&mut v2[..7].to_vec().as_slice()).unwrap_err(),
             EaseError::Serve(ServeError::Disconnected)
         ));
+    }
+
+    #[test]
+    fn json_requests_default_like_the_cli() {
+        // omitted k/goal/top/cwd take the CLI defaults
+        let req =
+            Request::from_json(r#"{"type":"recommend","graph":"g.txt","workload":"pr"}"#).unwrap();
+        assert_eq!(
+            req,
+            Request::Recommend {
+                graph: "g.txt".into(),
+                workload: "pr".into(),
+                k: None,
+                goal: OptGoal::EndToEnd,
+                top: DEFAULT_TOP,
+                cwd: None,
+            }
+        );
+        let req = Request::from_json(r#"{"type":"features","graph":"g.bel"}"#).unwrap();
+        assert_eq!(
+            req,
+            Request::Features { graph: "g.bel".into(), tier: PropertyTier::Advanced, cwd: None }
+        );
+    }
+
+    #[test]
+    fn malformed_json_payloads_are_typed_protocol_errors() {
+        let is_protocol = |e: EaseError| {
+            assert!(
+                matches!(e, EaseError::Serve(ServeError::Protocol(_))),
+                "expected a protocol error, got {e:?}"
+            );
+        };
+        is_protocol(Request::from_json("").unwrap_err());
+        is_protocol(Request::from_json("[]").unwrap_err());
+        is_protocol(Request::from_json(r#"{"type":"warp"}"#).unwrap_err());
+        is_protocol(Request::from_json(r#"{"type":"recommend"}"#).unwrap_err());
+        is_protocol(
+            Request::from_json(r#"{"type":"recommend","graph":"g","workload":"pr","k":-1}"#)
+                .unwrap_err(),
+        );
+        is_protocol(
+            Request::from_json(r#"{"type":"recommend","graph":"g","workload":"pr","goal":"x"}"#)
+                .unwrap_err(),
+        );
+        is_protocol(Response::from_json(r#"{"type":"pong"}"#).unwrap_err());
+        is_protocol(Response::from_json(r#"{"type":"stats","hits":1}"#).unwrap_err());
+        is_protocol(Response::from_json("{not json").unwrap_err());
+    }
+
+    #[test]
+    fn goal_and_tier_names_round_trip_the_cli_vocabulary() {
+        for goal in [OptGoal::EndToEnd, OptGoal::ProcessingOnly] {
+            assert_eq!(goal_from_name(goal_name(goal)).unwrap(), goal);
+        }
+        assert_eq!(goal_from_name("proc").unwrap(), OptGoal::ProcessingOnly);
+        assert!(goal_from_name("fastest").is_err());
+        for tier in [PropertyTier::Simple, PropertyTier::Basic, PropertyTier::Advanced] {
+            assert_eq!(tier_from_name(tier_name(tier)).unwrap(), tier);
+        }
+        assert!(tier_from_name("ultra").is_err());
     }
 
     #[test]

@@ -494,14 +494,47 @@ mod unix_router {
     }
 
     /// Estimated derived-state footprint of analyzing the graph at
-    /// `path`: its file size. Deliberately a coarse over-approximation —
-    /// a CSR (offsets + targets) of a `.bel` edge list is at most about
-    /// the file's own size, and text edge lists are larger on disk than
-    /// their CSRs. `None` (unreadable/absent file) admits to the primary,
-    /// which renders the real error.
+    /// `path`.
+    ///
+    /// `.bel` files declare `|V|` and `|E|` in their header, so the
+    /// estimate can be the thing admission actually guards: the heap
+    /// charge of the undirected simple CSR the advanced property tier
+    /// builds (`Csr::heap_bytes(|V|, 2·|E|)` — usize offsets plus two u32
+    /// targets per edge). That is roughly *half* the `.bel` file's own
+    /// size for edge-heavy graphs (the file stores two u64s per edge), so
+    /// sniffing admits real queries the old file-size estimate shed.
+    /// Anything without a well-formed `.bel` header (text edge lists,
+    /// truncated files) falls back to the file size, a coarse
+    /// over-approximation. `None` (unreadable/absent file) admits to the
+    /// primary, which renders the real error.
     fn estimated_bytes(path: &Path) -> Option<u64> {
         let md = std::fs::metadata(path).ok()?;
-        md.is_file().then_some(md.len())
+        if !md.is_file() {
+            return None;
+        }
+        Some(bel_csr_estimate(path).unwrap_or(md.len()))
+    }
+
+    /// The admission estimate declared by a well-formed `.bel` header:
+    /// CSR offsets + undirected targets, saturating so a hostile header
+    /// cannot overflow the arithmetic. `None` when the file does not start
+    /// with a `.bel` header.
+    fn bel_csr_estimate(path: &Path) -> Option<u64> {
+        use ease_graph::bel::{BEL_HEADER_LEN, BEL_MAGIC};
+        use std::io::Read;
+        let mut header = [0u8; BEL_HEADER_LEN];
+        std::fs::File::open(path).ok()?.read_exact(&mut header).ok()?;
+        // lint: panic-ok(fixed 24-byte header array)
+        if header[..8] != BEL_MAGIC {
+            return None;
+        }
+        let num_vertices = u64::from_le_bytes(header[8..16].try_into().ok()?); // lint: panic-ok(fixed 24-byte header array)
+        let num_edges = u64::from_le_bytes(header[16..24].try_into().ok()?); // lint: panic-ok(fixed 24-byte header array)
+                                                                             // Csr::heap_bytes(|V|, 2·|E|): 8-byte offsets, 4-byte targets,
+                                                                             // every edge appearing in both endpoints' lists
+        let offsets = num_vertices.saturating_add(1).saturating_mul(8);
+        let targets = num_edges.saturating_mul(8);
+        Some(offsets.saturating_add(targets))
     }
 
     /// Start the fleet router: bind the configured listen endpoints, probe
@@ -627,14 +660,48 @@ mod unix_router {
         }
 
         #[test]
-        fn estimated_bytes_is_file_size_or_none() {
+        fn estimated_bytes_falls_back_to_file_size_or_none() {
             let dir = std::env::temp_dir().join(format!("ease-route-est-{}", std::process::id()));
             std::fs::create_dir_all(&dir).expect("mkdir");
+            // headerless bytes (no .bel magic): coarse file-size estimate
             let file = dir.join("g.bel");
             std::fs::write(&file, vec![0u8; 4096]).expect("write");
             assert_eq!(estimated_bytes(&file), Some(4096));
+            let text = dir.join("g.txt");
+            std::fs::write(&text, "0 1\n1 2\n").expect("write");
+            assert_eq!(estimated_bytes(&text), Some(8));
             assert_eq!(estimated_bytes(&dir.join("missing")), None);
             assert_eq!(estimated_bytes(&dir), None, "directories are not graphs");
+            std::fs::remove_dir_all(&dir).ok();
+        }
+
+        #[test]
+        fn bel_headers_estimate_the_csr_charge_not_the_file_size() {
+            use ease_graph::bel::{BelWriter, BEL_EDGE_LEN, BEL_HEADER_LEN};
+            let dir = std::env::temp_dir().join(format!("ease-route-bel-{}", std::process::id()));
+            std::fs::create_dir_all(&dir).expect("mkdir");
+            let file = dir.join("g.bel");
+            let mut w = BelWriter::create(&file).expect("create .bel");
+            let num_edges = 64u64;
+            for i in 0..num_edges {
+                w.push(ease_graph::Edge { src: (i % 8) as u32, dst: ((i + 1) % 8) as u32 })
+                    .expect("push edge");
+            }
+            w.finish().expect("finish .bel");
+
+            let file_size = std::fs::metadata(&file).expect("stat").len();
+            assert_eq!(file_size, BEL_HEADER_LEN as u64 + num_edges * BEL_EDGE_LEN as u64);
+            // offsets (8·(|V|+1)) + undirected u32 targets (8·|E|) — the
+            // advanced tier's actual heap charge, about half the file
+            let estimate = estimated_bytes(&file).expect("estimate");
+            assert_eq!(estimate, (8 + 1) * 8 + num_edges * 8);
+            assert!(estimate < file_size);
+
+            // regression: a headroom between the CSR charge and the file
+            // size used to shed this query (file-size estimate) and now
+            // admits it (header-sniffed estimate)
+            let headroom_between = (estimate + file_size) / 2;
+            assert!(estimate <= headroom_between && headroom_between < file_size);
             std::fs::remove_dir_all(&dir).ok();
         }
 

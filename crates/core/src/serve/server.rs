@@ -5,9 +5,9 @@
 //!
 //! ```text
 //! unix accept ─┐                         ┌─ connection worker ─┐
-//!              ├─▶ bounded conn hand-off ┤      (sniffs v1/v2) │
+//!              ├─▶ bounded conn hand-off ┤ (sniffs v1/v2/HTTP) │
 //!  tcp accept ─┘                         └─ connection worker ─┘
-//!                                                 │ v2 jobs
+//!                                                 │ v2 + HTTP jobs
 //!                                                 ▼
 //!                                    bounded request queue
 //!                                                 │
@@ -17,6 +17,11 @@
 //!
 //! * **v1 connections** (one-shot) are answered inline by the connection
 //!   worker, exactly as PR 5 did — same latency, same bytes.
+//! * **HTTP connections** (`GET `/`POST` sniffed exactly like a frame
+//!   magic) run `serve/http.rs`'s keep-alive loop on the connection
+//!   worker; each parsed request executes on the shared executor pool
+//!   through the same `answer` path, so shutdown interception, the served
+//!   counter and `Handler` dispatch are format-independent.
 //! * **v2 connections** (pipelined) turn their connection worker into a
 //!   frame *reader*: each decoded request becomes a job on the shared
 //!   executor queue, and a dedicated writer thread streams completed
@@ -29,6 +34,7 @@
 //!   [`SHUTDOWN_POLL`], so a shutdown request drains the daemon promptly
 //!   even when every worker is pinned and the hand-off queue is full.
 
+use super::http;
 use super::protocol::{
     decode_request, encode_response, read_frame_after_magic, read_frame_v2_after_magic,
     resolve_graph_path, write_frame, write_frame_v2, Request, Response, ServeStats, FRAME_MAGIC,
@@ -123,12 +129,23 @@ mod unix_server {
         }
     }
 
-    /// One unit of pipelined work: a decoded request plus the id to tag
-    /// the answer with and the owning connection's response queue.
+    /// Where a finished response goes. The executor pool is shared by
+    /// every request source; only the last hop differs per protocol.
+    enum RespSink {
+        /// v2 pipelined: binary-encode and tag with the request id for
+        /// the session's writer thread.
+        Framed(mpsc::SyncSender<(u64, Vec<u8>)>),
+        /// HTTP: hand the typed [`Response`] back to the session loop,
+        /// which owns the JSON envelope and status mapping.
+        Value(mpsc::SyncSender<Response>),
+    }
+
+    /// One unit of executor work: a decoded request plus the id to tag
+    /// the answer with and the owning connection's response sink.
     struct Job {
         id: u64,
         request: Request,
-        resp_tx: mpsc::SyncSender<(u64, Vec<u8>)>,
+        sink: RespSink,
     }
 
     /// Counting semaphore bounding one connection's in-flight requests
@@ -669,15 +686,65 @@ mod unix_server {
         match [first, second] {
             FRAME_MAGIC => one_shot(stream, shared),
             FRAME_MAGIC_V2 => pipelined_session(stream, shared, req_tx),
+            http::SNIFF_GET | http::SNIFF_POST => {
+                http_session(stream, [first, second], shared, req_tx);
+            }
             [a, b] => {
-                // non-protocol peer (HTTP probe, garbage): answer with a
-                // v1 error frame if it is still listening, then close
+                // non-protocol peer: answer with a v1 error frame if it
+                // is still listening, then close
                 let ([v1a, v1b], [v2a, v2b]) = (FRAME_MAGIC, FRAME_MAGIC_V2);
                 let msg = format!(
                     "serve error: protocol violation: bad frame magic {a:02x}{b:02x} \
-                     (expected {v1a:02x}{v1b:02x} or {v2a:02x}{v2b:02x})"
+                     (expected {v1a:02x}{v1b:02x}, {v2a:02x}{v2b:02x}, or an HTTP GET/POST)"
                 );
                 write_frame(&mut stream, &encode_response(&Response::Error(msg))).ok();
+            }
+        }
+    }
+
+    /// HTTP: serve requests sequentially on this connection (keep-alive),
+    /// each executed on the shared executor pool through the same
+    /// [`answer`] path as the binary protocols — so `Shutdown`
+    /// interception, the served counter and the `Handler` dispatch are
+    /// identical across all three wire formats. Between requests the loop
+    /// re-sniffs shutdown-aware, exactly like the binary sessions.
+    fn http_session(
+        mut stream: Box<dyn Conn>,
+        mut prefix: [u8; 2],
+        shared: &Arc<Shared>,
+        req_tx: &mpsc::SyncSender<Job>,
+    ) {
+        // rendezvous of one: the session waits for each answer in turn
+        let (resp_tx, resp_rx) = mpsc::sync_channel::<Response>(1);
+        loop {
+            let mut submit = |request: Request| -> Option<Response> {
+                shared.served.fetch_add(1, Ordering::Relaxed); // lint: relaxed-ok(monotonic stats counter)
+                let job = Job { id: 0, request, sink: RespSink::Value(resp_tx.clone()) };
+                req_tx.send(job).ok()?;
+                resp_rx.recv().ok()
+            };
+            if matches!(
+                http::serve_one(&mut stream, prefix, &mut submit),
+                http::SessionState::Close
+            ) {
+                break;
+            }
+            // keep-alive: wait for the next request's first byte without
+            // pinning the worker across a shutdown
+            let first = match poll_first_byte(&mut stream, shared, shared.io_timeout) {
+                FirstByte::Byte(b) => b,
+                FirstByte::Close => break,
+            };
+            stream.set_read_timeout_conn(shared.io_timeout);
+            let mut second = [0u8; 1];
+            if stream.read_exact(&mut second).is_err() {
+                break;
+            }
+            prefix = [first, second[0]]; // lint: panic-ok(fixed 1-byte buffer)
+            if prefix != http::SNIFF_GET && prefix != http::SNIFF_POST {
+                // a peer that switches wire formats mid-connection is
+                // desynced; close rather than guess
+                break;
             }
         }
     }
@@ -752,7 +819,7 @@ mod unix_server {
             match decode_request(&payload) {
                 Ok(request) => {
                     shared.served.fetch_add(1, Ordering::Relaxed); // lint: relaxed-ok(monotonic stats counter)
-                    let job = Job { id, request, resp_tx: resp_tx.clone() };
+                    let job = Job { id, request, sink: RespSink::Framed(resp_tx.clone()) };
                     if req_tx.send(job).is_err() {
                         in_flight.release();
                         break; // executors gone: shutdown drained past us
@@ -795,9 +862,17 @@ mod unix_server {
 
     fn execute(job: Job, shared: &Shared) {
         let response = answer(job.request, shared);
-        // the permit held for this job guarantees the bounded send fits;
         // a send error just means the session already wound down
-        job.resp_tx.send((job.id, encode_response(&response))).ok();
+        match job.sink {
+            // the permit held for this job guarantees the bounded send fits
+            RespSink::Framed(tx) => {
+                tx.send((job.id, encode_response(&response))).ok();
+            }
+            // rendezvous of one: the HTTP session is blocked on this recv
+            RespSink::Value(tx) => {
+                tx.send(response).ok();
+            }
+        }
     }
 
     fn answer(request: Request, shared: &Shared) -> Response {

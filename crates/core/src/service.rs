@@ -244,6 +244,74 @@ pub struct RecommendQuery {
     pub goal: OptGoal,
 }
 
+/// What to ask a service, independent of how the graph arrives: the
+/// workload is required, partition count and optimization goal are
+/// optional and resolve against the service's [`ServiceMeta`] defaults
+/// *at query time* (so one `Query` value means the same thing against
+/// differently-trained services).
+///
+/// This is the single spelling behind the whole `recommend*` family —
+/// pick the entry point by input kind:
+/// [`EaseService::recommend_query`] (extracted properties),
+/// [`EaseService::recommend_query_graph`] (in-memory graph), or
+/// [`EaseService::recommend_query_prepared`] (shared analysis context).
+///
+/// ```
+/// # use ease::Query;
+/// # use ease::OptGoal;
+/// # use ease_procsim::Workload;
+/// let query = Query::new(Workload::PageRank { iterations: 3 })
+///     .k(8)
+///     .goal(OptGoal::ProcessingOnly);
+/// assert_eq!(query.partitions(), Some(8));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Query {
+    workload: Workload,
+    k: Option<usize>,
+    goal: Option<OptGoal>,
+}
+
+impl Query {
+    /// A query for `workload` at the service's default partition count
+    /// and optimization goal.
+    pub fn new(workload: Workload) -> Query {
+        Query { workload, k: None, goal: None }
+    }
+
+    /// Ask for an explicit partition count instead of the service default.
+    pub fn k(mut self, k: usize) -> Query {
+        self.k = Some(k);
+        self
+    }
+
+    /// Ask for an explicit optimization goal instead of the service
+    /// default.
+    pub fn goal(mut self, goal: OptGoal) -> Query {
+        self.goal = Some(goal);
+        self
+    }
+
+    pub fn workload(&self) -> Workload {
+        self.workload
+    }
+
+    /// The explicit partition count, if one was set with [`Query::k`].
+    pub fn partitions(&self) -> Option<usize> {
+        self.k
+    }
+
+    /// The explicit goal, if one was set with [`Query::goal`].
+    pub fn opt_goal(&self) -> Option<OptGoal> {
+        self.goal
+    }
+
+    /// Resolve the optional fields against a service's defaults.
+    fn resolve(&self, meta: &ServiceMeta) -> (Workload, usize, OptGoal) {
+        (self.workload, self.k.unwrap_or(meta.default_k), self.goal.unwrap_or(meta.default_goal))
+    }
+}
+
 /// Human-readable summary of a trained service (the `ease inspect` view).
 #[derive(Debug, Clone)]
 pub struct ServiceInfo {
@@ -385,17 +453,57 @@ impl EaseService {
         self.ease.processing_time.supported_workloads()
     }
 
-    /// Recommend a partitioner at the service's default partition count.
+    /// Answer a [`Query`] from already-extracted properties — the core
+    /// entry the whole `recommend*` family funnels through. Unset query
+    /// fields resolve against [`ServiceMeta`] here, at answer time.
     ///
     /// Returns the full predicted ranking; [`EaseError::UnsupportedWorkload`]
-    /// if the service was never trained on `workload`.
+    /// if the service was never trained on the query's workload.
+    pub fn recommend_query(
+        &self,
+        props: &GraphProperties,
+        query: Query,
+    ) -> Result<Selection, EaseError> {
+        let (workload, k, goal) = query.resolve(&self.meta);
+        self.ease.try_select(props, workload, k, goal)
+    }
+
+    /// Answer a [`Query`] straight from an in-memory graph: advanced-tier
+    /// properties come from the fingerprint-keyed LRU cache when this
+    /// graph (by content) was queried before, so repeated queries skip
+    /// extraction entirely — hashing the edge list is the only per-query
+    /// `O(|E|)` work.
+    pub fn recommend_query_graph(
+        &self,
+        graph: &Graph,
+        query: Query,
+    ) -> Result<Selection, EaseError> {
+        self.recommend_query_prepared(&PreparedGraph::of(graph), query)
+    }
+
+    /// Answer a [`Query`] from a shared [`PreparedGraph`] analysis context
+    /// — the ingestion-agnostic entry: the context may wrap an in-memory
+    /// graph, a memory-mapped `.bel` file, or a streamed text edge list,
+    /// and the recommendation is bit-identical across all of them. No
+    /// owned `Vec<Edge>` is materialized for source-backed contexts.
+    pub fn recommend_query_prepared(
+        &self,
+        prepared: &PreparedGraph<'_>,
+        query: Query,
+    ) -> Result<Selection, EaseError> {
+        let props = self.cached_properties_prepared(prepared);
+        self.recommend_query(&props, query)
+    }
+
+    /// Recommend a partitioner at the service's default partition count.
+    /// Thin wrapper over [`EaseService::recommend_query`].
     pub fn recommend(
         &self,
         props: &GraphProperties,
         workload: Workload,
         goal: OptGoal,
     ) -> Result<Selection, EaseError> {
-        self.recommend_with_k(props, workload, self.meta.default_k, goal)
+        self.recommend_query(props, Query::new(workload).goal(goal))
     }
 
     /// [`EaseService::recommend`] with an explicit partition count.
@@ -406,20 +514,18 @@ impl EaseService {
         k: usize,
         goal: OptGoal,
     ) -> Result<Selection, EaseError> {
-        self.ease.try_select(props, workload, k, goal)
+        self.recommend_query(props, Query::new(workload).k(k).goal(goal))
     }
 
-    /// Recommend straight from a graph: advanced-tier properties come from
-    /// the fingerprint-keyed LRU cache when this graph (by content) was
-    /// queried before, so repeated queries skip extraction entirely —
-    /// hashing the edge list is the only per-query `O(|E|)` work.
+    /// Recommend straight from a graph at the service's default partition
+    /// count. Thin wrapper over [`EaseService::recommend_query_graph`].
     pub fn recommend_graph(
         &self,
         graph: &Graph,
         workload: Workload,
         goal: OptGoal,
     ) -> Result<Selection, EaseError> {
-        self.recommend_graph_with_k(graph, workload, self.meta.default_k, goal)
+        self.recommend_query_graph(graph, Query::new(workload).goal(goal))
     }
 
     /// [`EaseService::recommend_graph`] with an explicit partition count.
@@ -430,21 +536,19 @@ impl EaseService {
         k: usize,
         goal: OptGoal,
     ) -> Result<Selection, EaseError> {
-        self.recommend_prepared_with_k(&PreparedGraph::of(graph), workload, k, goal)
+        self.recommend_query_graph(graph, Query::new(workload).k(k).goal(goal))
     }
 
-    /// Recommend from a shared [`PreparedGraph`] analysis context — the
-    /// ingestion-agnostic entry: the context may wrap an in-memory graph, a
-    /// memory-mapped `.bel` file, or a streamed text edge list, and the
-    /// recommendation is bit-identical across all of them. No owned
-    /// `Vec<Edge>` is materialized for source-backed contexts.
+    /// Recommend from a shared analysis context at the service's default
+    /// partition count. Thin wrapper over
+    /// [`EaseService::recommend_query_prepared`].
     pub fn recommend_prepared(
         &self,
         prepared: &PreparedGraph<'_>,
         workload: Workload,
         goal: OptGoal,
     ) -> Result<Selection, EaseError> {
-        self.recommend_prepared_with_k(prepared, workload, self.meta.default_k, goal)
+        self.recommend_query_prepared(prepared, Query::new(workload).goal(goal))
     }
 
     /// [`EaseService::recommend_prepared`] with an explicit partition count.
@@ -455,8 +559,7 @@ impl EaseService {
         k: usize,
         goal: OptGoal,
     ) -> Result<Selection, EaseError> {
-        let props = self.cached_properties_prepared(prepared);
-        self.recommend_with_k(&props, workload, k, goal)
+        self.recommend_query_prepared(prepared, Query::new(workload).k(k).goal(goal))
     }
 
     /// Advanced-tier properties of `graph`, served from the query-side LRU
@@ -904,6 +1007,44 @@ mod tests {
             }
             other => panic!("expected UnsupportedWorkload, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn query_builder_resolves_service_defaults_and_matches_wrappers() {
+        let service = tiny_builder().train().unwrap();
+        let graph = socfb_analogue(Scale::Tiny, 3).graph;
+        let props = GraphProperties::compute_advanced(&graph);
+        let workload = Workload::PageRank { iterations: 3 };
+
+        // unset fields resolve to the trained defaults at answer time
+        let bare = service.recommend_query(&props, Query::new(workload)).unwrap();
+        let explicit = service
+            .recommend_with_k(
+                &props,
+                workload,
+                service.meta().default_k,
+                service.meta().default_goal,
+            )
+            .unwrap();
+        assert_eq!(bare.best, explicit.best);
+        for (a, b) in bare.candidates.iter().zip(&explicit.candidates) {
+            assert_eq!(a.end_to_end_secs.to_bits(), b.end_to_end_secs.to_bits());
+        }
+
+        // explicit fields win, and every wrapper funnels through the same
+        // builder path — the three input kinds agree bit-for-bit
+        let query = Query::new(workload).k(2).goal(OptGoal::ProcessingOnly);
+        assert_eq!(query.partitions(), Some(2));
+        assert_eq!(query.opt_goal(), Some(OptGoal::ProcessingOnly));
+        let by_props = service.recommend_query(&props, query).unwrap();
+        let by_graph = service.recommend_query_graph(&graph, query).unwrap();
+        let by_prepared =
+            service.recommend_query_prepared(&PreparedGraph::of(&graph), query).unwrap();
+        let wrapper =
+            service.recommend_with_k(&props, workload, 2, OptGoal::ProcessingOnly).unwrap();
+        assert_eq!(by_props.best, wrapper.best);
+        assert_eq!(by_graph.best, wrapper.best);
+        assert_eq!(by_prepared.best, wrapper.best);
     }
 
     #[test]

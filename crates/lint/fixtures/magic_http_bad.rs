@@ -1,0 +1,4 @@
+pub const GET_PREFIX: [u8; 2] = [b'G', b'E'];
+pub const POST_PREFIX: [u8; 2] = [b'P', b'O'];
+pub const LONE_BYTE: u8 = b'G';
+pub const NOT_A_PAIR: [u8; 2] = [b'G', b'Q'];

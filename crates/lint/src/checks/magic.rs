@@ -10,6 +10,7 @@
 //!
 //! * an integer literal with the magic's exact value (`0xEA5E`),
 //! * the split-byte pair (`0xEA, 0x5E`) the framing code writes,
+//! * the split byte-char pair (`b'G', b'E'`) the HTTP sniffer matches,
 //! * a string/byte-string literal containing the magic text
 //!   (`b"EASEBEL1"`).
 //!
@@ -27,6 +28,8 @@ pub struct MagicRule {
     pub value: Option<u128>,
     /// Split-byte form `[hi, lo]`, as written in framing code.
     pub byte_pair: Option<[u128; 2]>,
+    /// Split byte-char form `[b'G', b'E']`, as written in sniffing code.
+    pub char_pair: Option<[&'static str; 2]>,
     /// Text form, matched as a substring of string-ish literals.
     pub text: Option<&'static str>,
     /// Human name used in findings.
@@ -41,6 +44,7 @@ pub const RULES: &[MagicRule] = &[
     MagicRule {
         value: Some(0xEA5E), // lint: magic-ok(this table IS the magic catalogue)
         byte_pair: Some([0xEA, 0x5E]), // lint: magic-ok(this table IS the magic catalogue)
+        char_pair: None,
         text: None,
         name: "0xEA5E (serve v1 frame magic, FRAME_MAGIC)",
         home: "crates/core/src/serve/protocol.rs",
@@ -48,6 +52,7 @@ pub const RULES: &[MagicRule] = &[
     MagicRule {
         value: Some(0xEA5F), // lint: magic-ok(this table IS the magic catalogue)
         byte_pair: Some([0xEA, 0x5F]), // lint: magic-ok(this table IS the magic catalogue)
+        char_pair: None,
         text: None,
         name: "0xEA5F (serve v2 pipelined frame magic, FRAME_MAGIC_V2)",
         home: "crates/core/src/serve/protocol.rs",
@@ -55,6 +60,7 @@ pub const RULES: &[MagicRule] = &[
     MagicRule {
         value: None,
         byte_pair: None,
+        char_pair: None,
         text: Some("EASEBEL1"), // lint: magic-ok(this table IS the magic catalogue)
         name: "\"EASEBEL1\" (binary edge-list format magic, BEL_MAGIC)", // lint: magic-ok(finding text names the magic)
         home: "crates/graph/src/bel.rs",
@@ -62,6 +68,7 @@ pub const RULES: &[MagicRule] = &[
     MagicRule {
         value: None,
         byte_pair: None,
+        char_pair: None,
         text: Some("EASEMODL"), // lint: magic-ok(this table IS the magic catalogue)
         name: "\"EASEMODL\" (model persistence magic, persist::MAGIC)", // lint: magic-ok(finding text names the magic)
         home: "crates/ml/src/persist.rs",
@@ -69,9 +76,26 @@ pub const RULES: &[MagicRule] = &[
     MagicRule {
         value: None,
         byte_pair: None,
+        char_pair: None,
         text: Some("EASECSR1"), // lint: magic-ok(this table IS the magic catalogue)
         name: "\"EASECSR1\" (CSR spill file magic, SPILL_MAGIC)", // lint: magic-ok(finding text names the magic)
         home: "crates/graph/src/spill.rs",
+    },
+    MagicRule {
+        value: None,
+        byte_pair: None,
+        char_pair: Some(["G", "E"]),
+        text: None,
+        name: "[b'G', b'E'] (HTTP GET sniff prefix, http::SNIFF_GET)",
+        home: "crates/core/src/serve/http.rs",
+    },
+    MagicRule {
+        value: None,
+        byte_pair: None,
+        char_pair: Some(["P", "O"]),
+        text: None,
+        name: "[b'P', b'O'] (HTTP POST sniff prefix, http::SNIFF_POST)",
+        home: "crates/core/src/serve/http.rs",
     },
 ];
 
@@ -93,6 +117,13 @@ pub fn check(ctx: &Ctx, out: &mut Vec<Finding>) {
                         })
                 }
                 TokKind::Str => rule.text.is_some_and(|t| tok.text.contains(t)),
+                TokKind::Char => rule.char_pair.is_some_and(|[hi, lo]| {
+                    tok.text == hi
+                        && tokens.get(i + 1).is_some_and(|t| t.text == ",")
+                        && tokens
+                            .get(i + 2)
+                            .is_some_and(|t| t.kind == TokKind::Char && t.text == lo)
+                }),
                 _ => false,
             };
             if hit && !ctx.annotations.allows(Kind::MagicOk, tok.line) {

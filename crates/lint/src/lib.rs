@@ -166,7 +166,9 @@ impl CheckId {
                  Protected: 0xEA5E (FRAME_MAGIC) and 0xEA5F (FRAME_MAGIC_V2) in\n\
                  crates/core/src/serve/protocol.rs, \"EASEBEL1\" (BEL_MAGIC) in\n\
                  crates/graph/src/bel.rs, \"EASEMODL\" (persist::MAGIC) in\n\
-                 crates/ml/src/persist.rs. Integer, split-byte-pair (0xEA, 0x5E) and\n\
+                 crates/ml/src/persist.rs, and the HTTP sniff prefixes (b'G', b'E') /\n\
+                 (b'P', b'O') (SNIFF_GET / SNIFF_POST) in crates/core/src/serve/http.rs.\n\
+                 Integer, split-byte-pair (0xEA, 0x5E), split-byte-char-pair and\n\
                  string-literal spellings are all detected.\n\
                  \n\
                  Everywhere outside the home module, reference the exported constant — a\n\

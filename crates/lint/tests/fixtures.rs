@@ -18,6 +18,7 @@ const UNSAFE_GOOD: &str = include_str!("../fixtures/unsafe_good.rs");
 const LOCK_IO_BAD: &str = include_str!("../fixtures/lock_io_bad.rs");
 const LOCK_IO_GOOD: &str = include_str!("../fixtures/lock_io_good.rs");
 const MAGIC_BAD: &str = include_str!("../fixtures/magic_bad.rs");
+const MAGIC_HTTP_BAD: &str = include_str!("../fixtures/magic_http_bad.rs");
 const ANNOTATION_BAD: &str = include_str!("../fixtures/annotation_bad.rs");
 
 fn only(check: CheckId) -> BTreeSet<CheckId> {
@@ -131,6 +132,17 @@ fn panic_paths_in_the_router_and_ring_are_flagged() {
     }
 }
 
+/// PR 10: the HTTP facade and JSON codec are daemon code — both sit
+/// under `serve/`, so the path gate covers them with no new wiring, and
+/// this pins that down.
+#[test]
+fn panic_paths_in_the_http_facade_and_json_codec_are_flagged() {
+    for path in ["crates/core/src/serve/http.rs", "crates/core/src/serve/json.rs"] {
+        let findings = lint_source(path, PANIC_BAD, &only(CheckId::PanicPath));
+        assert_eq!(lines(&findings), [2, 4, 8], "{path}: {findings:?}");
+    }
+}
+
 #[test]
 fn annotated_and_test_code_panic_paths_are_clean() {
     let findings = lint_source("crates/core/src/serve/handler.rs", PANIC_GOOD, &all_checks());
@@ -195,6 +207,16 @@ fn lock_across_io_in_the_router_is_flagged() {
     assert_eq!(lines(&findings), [6], "{findings:?}");
 }
 
+/// PR 10: HTTP sessions do socket I/O per request — a guard held across
+/// a `write_all` in `serve/http.rs` would stall every keep-alive peer, so
+/// the facade sits inside the lock-across-io scope automatically.
+#[test]
+fn lock_across_io_in_the_http_facade_is_flagged() {
+    let findings =
+        lint_source("crates/core/src/serve/http.rs", LOCK_IO_BAD, &only(CheckId::LockAcrossIo));
+    assert_eq!(lines(&findings), [6], "{findings:?}");
+}
+
 /// The check is scoped to serve/ — a CLI tool may hold locks across
 /// writes to a local file.
 #[test]
@@ -221,6 +243,33 @@ fn home_module_is_exempt_for_its_own_magic_only() {
     let findings =
         lint_source("crates/core/src/serve/protocol.rs", MAGIC_BAD, &only(CheckId::MagicConstants));
     assert_eq!(lines(&findings), [3], "{findings:?}");
+}
+
+/// PR 10: the connection sniffer's HTTP prefixes are protocol magics —
+/// a second spelling of `[b'G', b'E']` / `[b'P', b'O']` outside
+/// `serve/http.rs` would fork what the listener recognizes. A lone
+/// byte-char or a non-prefix pair is not a sniff prefix.
+#[test]
+fn duplicated_http_sniff_prefixes_are_flagged() {
+    let findings = lint_source(
+        "crates/core/src/serve/server.rs",
+        MAGIC_HTTP_BAD,
+        &only(CheckId::MagicConstants),
+    );
+    assert_eq!(lines(&findings), [1, 2], "{findings:?}");
+    assert!(findings[0].message.contains("SNIFF_GET"), "{}", findings[0].message);
+    assert!(findings[1].message.contains("SNIFF_POST"), "{}", findings[1].message);
+}
+
+/// `serve/http.rs` is the sniff prefixes' home module and may spell them.
+#[test]
+fn http_module_may_spell_its_own_sniff_prefixes() {
+    let findings = lint_source(
+        "crates/core/src/serve/http.rs",
+        MAGIC_HTTP_BAD,
+        &only(CheckId::MagicConstants),
+    );
+    assert!(findings.is_empty(), "{findings:?}");
 }
 
 // ---------------------------------------------------------------------

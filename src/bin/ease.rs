@@ -12,11 +12,11 @@
 //!
 //! # serve the trained model from a resident daemon (warm property cache)
 //! ease serve --model ease.model --socket /tmp/ease.sock --tcp 127.0.0.1:7654 &
-//! ease client recommend --socket /tmp/ease.sock --graph graph.bel --workload pr
-//! ease client recommend --tcp 127.0.0.1:7654 --graph graph.bel --workload pr
-//! ease recommend --daemon /tmp/ease.sock --graph graph.bel --workload pr
-//! ease recommend --daemon-tcp 127.0.0.1:7654 --graph graph.bel --workload pr
-//! ease client shutdown --socket /tmp/ease.sock
+//! ease client recommend --endpoint unix:/tmp/ease.sock --graph graph.bel --workload pr
+//! ease client recommend --endpoint tcp:127.0.0.1:7654 --graph graph.bel --workload pr
+//! ease recommend --endpoint http:127.0.0.1:7654 --graph graph.bel --workload pr
+//! curl 'http://127.0.0.1:7654/recommend?graph=graph.bel&workload=pr'
+//! ease client shutdown --endpoint unix:/tmp/ease.sock
 //! ```
 //!
 //! Graph inputs are format-dispatched by extension: `.bel` files are
@@ -82,10 +82,11 @@ RECOMMEND OPTIONS:
     --k <n>               Partition count                 [default: service]
     --goal <g>            e2e | processing                [default: e2e]
     --top <n>             How many candidates to print    [default: 5]
-    --daemon <socket>     Proxy the query to a running `ease serve` daemon
-                          instead of loading a model; the answer is
-                          bit-identical to the one-shot output
-    --daemon-tcp <addr>   Same, over the daemon's TCP listener
+    --endpoint <ep>       Proxy the query to a running `ease serve` daemon
+                          (or `ease route` fleet) instead of loading a
+                          model: unix:<path>, tcp:<host:port> (binary v2),
+                          or http:<host:port> (the JSON facade). The
+                          answer is bit-identical to the one-shot output
     --memory-budget <sz>  Cap derived analysis state (CSRs) at <sz> bytes
                           (accepts 64k/512MiB/2gb suffixes, 0, unlimited);
                           over-budget builds spill to temp files — same
@@ -95,8 +96,8 @@ FEATURES OPTIONS:
     <edge-list>           Edge-list file, text or .bel (positional;
                           --graph <path> also accepted)
     --tier <t>            simple | basic | advanced       [default: advanced]
-    --daemon <socket>     Proxy the extraction to a running daemon
-    --daemon-tcp <addr>   Same, over the daemon's TCP listener
+    --endpoint <ep>       Proxy the extraction to a running daemon:
+                          unix:<path>, tcp:<host:port>, or http:<host:port>
     --memory-budget <sz>  As for recommend: spill over-budget CSRs to disk
 
 SERVE OPTIONS:
@@ -110,15 +111,21 @@ SERVE OPTIONS:
     --memory-budget <sz>  One shared cap on derived analysis state across
                           all workers; over-budget CSR builds spill to disk
     The daemon loads the model once and keeps the fingerprint-keyed
-    property cache warm across requests and clients. TCP connections speak
-    the pipelined v2 framing: many requests per connection, answered out
-    of order as they complete. Stop the daemon with `ease client shutdown`
-    (graceful: drains in-flight requests, removes the socket file, exits 0).
+    property cache warm across requests and clients. Every listener sniffs
+    the format per connection: binary v2 framing (many requests per
+    connection, answered out of order as they complete) or plain HTTP/1.1
+    with JSON bodies — `curl 'http://host:port/recommend?graph=g.bel&
+    workload=pr'` works against the same port, no extra listener. Stop the
+    daemon with `ease client shutdown` (graceful: drains in-flight
+    requests, removes the socket file, exits 0).
 
 ROUTE OPTIONS:
     --backend <ep>        A backend daemon to front; repeatable (at least
-                          one). `host:port`, `tcp:host:port`, or
-                          `unix:/path/to.sock`
+                          one). `unix:<path>`, `tcp:<host:port>`, or a
+                          bare `host:port` (TCP). `http:` backends are
+                          rejected: the router multiplexes binary v2
+                          sessions. (Clients may still speak HTTP *to*
+                          the router — its listener sniffs like serve's.)
     --listen <addr>       TCP listen address for clients (host:port; port 0
                           picks an ephemeral port and prints it)
     --socket <path>       Unix socket to listen on; may be combined with
@@ -136,10 +143,11 @@ ROUTE OPTIONS:
     spilling. `cache-stats` through the router aggregates the whole fleet.
 
 CLIENT OPTIONS:
-    ease client <action> (--socket <path> | --tcp <addr>) [query options]
+    ease client <action> --endpoint <ep> [query options]
     Actions: recommend | features | cache-stats | ping | shutdown
+    Endpoints: unix:<path> | tcp:<host:port> | http:<host:port>
     recommend and features take the same query options as the one-shot
-    subcommands and print byte-identical answers over either transport.
+    subcommands and print byte-identical answers over every transport.
 
 INSPECT OPTIONS:
     --model <path>        Saved service (required)
@@ -532,17 +540,44 @@ fn proxy_to_daemon(endpoint: &Endpoint, request: Request) -> Result<(), CliError
     Ok(())
 }
 
-/// `--daemon <socket>` / `--daemon-tcp <addr>` on the one-shot
-/// subcommands: where to proxy the query instead of loading a model.
+/// Render an [`Endpoint::parse`] failure for `flag` as a usage error
+/// (exit 2) naming the accepted forms.
+fn endpoint_usage(flag: &str, spec: &str) -> CliError {
+    CliError::Usage(format!(
+        "{flag} `{spec}` is not an endpoint \
+         (expected unix:<path>, tcp:<host:port>, or http:<host:port>)"
+    ))
+}
+
+/// One stderr line steering callers of a pre-endpoint flag spelling to
+/// the `--endpoint` form; the old flag keeps working.
+fn warn_deprecated_flag(old: &str, new: &str) {
+    eprintln!("warning: {old} is deprecated; use {new}");
+}
+
+/// Where to proxy a one-shot query instead of loading a model:
+/// `--endpoint unix:<path>|tcp:<addr>|http:<addr>`. The pre-endpoint
+/// spellings `--daemon <socket>` and `--daemon-tcp <addr>` still work as
+/// deprecated aliases (one warning line on stderr).
 fn daemon_endpoint(flags: &Flags) -> Result<Option<Endpoint>, CliError> {
-    match (flags.get("daemon"), flags.get("daemon-tcp")) {
-        (Some(_), Some(_)) => {
-            Err(CliError::Usage("--daemon and --daemon-tcp are mutually exclusive".into()))
-        }
-        (Some(socket), None) => Ok(Some(Endpoint::unix(socket))),
-        (None, Some(addr)) => Ok(Some(Endpoint::tcp(addr))),
-        (None, None) => Ok(None),
+    let mut chosen: Vec<Endpoint> = Vec::new();
+    if let Some(spec) = flags.get("endpoint") {
+        chosen.push(Endpoint::parse(spec).map_err(|_| endpoint_usage("--endpoint", spec))?);
     }
+    if let Some(socket) = flags.get("daemon") {
+        warn_deprecated_flag("--daemon <socket>", "--endpoint unix:<path>");
+        chosen.push(Endpoint::unix(socket));
+    }
+    if let Some(addr) = flags.get("daemon-tcp") {
+        warn_deprecated_flag("--daemon-tcp <addr>", "--endpoint tcp:<host:port>");
+        chosen.push(Endpoint::tcp(addr));
+    }
+    if chosen.len() > 1 {
+        return Err(CliError::Usage(
+            "give one endpoint: --endpoint (or one deprecated --daemon / --daemon-tcp)".into(),
+        ));
+    }
+    Ok(chosen.pop())
 }
 
 fn cmd_recommend(args: &[String]) -> Result<(), CliError> {
@@ -636,30 +671,35 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
         cache.capacity,
     );
     let stop = match handle.socket_path() {
-        Some(path) => format!("--socket {}", path.display()),
-        None => format!("--tcp {}", handle.tcp_addr().expect("no socket implies tcp")),
+        Some(path) => format!("unix:{}", path.display()),
+        None => format!("tcp:{}", handle.tcp_addr().expect("no socket implies tcp")),
     };
-    eprintln!("ease serve: stop with `ease client shutdown {stop}`");
+    eprintln!("ease serve: stop with `ease client shutdown --endpoint {stop}`");
     let summary = handle.join()?;
     eprintln!("ease serve: drained after {} requests", summary.requests_served);
     Ok(())
 }
 
-/// A `--backend` endpoint spec: `unix:/path`, `tcp:host:port`, or a bare
-/// `host:port` (TCP).
-fn parse_backend(spec: &str) -> Endpoint {
-    if let Some(path) = spec.strip_prefix("unix:") {
-        Endpoint::unix(path)
-    } else if let Some(addr) = spec.strip_prefix("tcp:") {
-        Endpoint::tcp(addr)
-    } else {
-        Endpoint::tcp(spec)
+/// A `--backend` endpoint spec, parsed with the shared [`Endpoint::parse`]
+/// grammar (`unix:/path`, `tcp:host:port`, or a bare `host:port` for
+/// TCP). `http:` backends are a usage error: the router multiplexes
+/// pipelined binary v2 sessions to its backends, which the JSON facade
+/// by design does not speak.
+fn parse_backend(spec: &str) -> Result<Endpoint, CliError> {
+    let endpoint = Endpoint::parse(spec).map_err(|_| endpoint_usage("--backend", spec))?;
+    if matches!(endpoint, Endpoint::Http(_)) {
+        return Err(CliError::Usage(format!(
+            "--backend `{spec}`: the router needs binary v2 backends \
+             (unix:<path> or tcp:<host:port>), not http:"
+        )));
     }
+    Ok(endpoint)
 }
 
 fn cmd_route(args: &[String]) -> Result<(), CliError> {
     let flags = Flags::parse(args, &["no-forward-shutdown"])?;
-    let backends: Vec<Endpoint> = flags.get_all("backend").into_iter().map(parse_backend).collect();
+    let backends: Vec<Endpoint> =
+        flags.get_all("backend").into_iter().map(parse_backend).collect::<Result<_, _>>()?;
     if backends.is_empty() {
         return Err(CliError::Usage("route needs at least one --backend".into()));
     }
@@ -710,10 +750,10 @@ fn cmd_route(args: &[String]) -> Result<(), CliError> {
         endpoints.join(" + ")
     );
     let stop = match handle.socket_path() {
-        Some(path) => format!("--socket {}", path.display()),
-        None => format!("--tcp {}", handle.tcp_addr().expect("no socket implies tcp")),
+        Some(path) => format!("unix:{}", path.display()),
+        None => format!("tcp:{}", handle.tcp_addr().expect("no socket implies tcp")),
     };
-    eprintln!("ease route: stop with `ease client shutdown {stop}`");
+    eprintln!("ease route: stop with `ease client shutdown --endpoint {stop}`");
     let summary = handle.join()?;
     eprintln!("ease route: drained after {} requests", summary.requests_served);
     Ok(())
@@ -775,15 +815,28 @@ fn cmd_client(args: &[String]) -> Result<(), CliError> {
     }
 }
 
-/// `--socket <path>` or `--tcp <addr>` on `ease client` — exactly one.
+/// `--endpoint <ep>` on `ease client` — exactly one endpoint. The
+/// pre-endpoint `--socket <path>` / `--tcp <addr>` spellings still work
+/// as deprecated aliases (one warning line on stderr).
 fn client_endpoint(flags: &Flags) -> Result<Endpoint, CliError> {
-    match (flags.get("socket"), flags.get("tcp")) {
-        (Some(_), Some(_)) => {
-            Err(CliError::Usage("--socket and --tcp are mutually exclusive".into()))
-        }
-        (Some(socket), None) => Ok(Endpoint::unix(socket)),
-        (None, Some(addr)) => Ok(Endpoint::tcp(addr)),
-        (None, None) => Err(CliError::Usage("--socket or --tcp is required".into())),
+    let mut chosen: Vec<Endpoint> = Vec::new();
+    if let Some(spec) = flags.get("endpoint") {
+        chosen.push(Endpoint::parse(spec).map_err(|_| endpoint_usage("--endpoint", spec))?);
+    }
+    if let Some(socket) = flags.get("socket") {
+        warn_deprecated_flag("--socket <path>", "--endpoint unix:<path>");
+        chosen.push(Endpoint::unix(socket));
+    }
+    if let Some(addr) = flags.get("tcp") {
+        warn_deprecated_flag("--tcp <addr>", "--endpoint tcp:<host:port>");
+        chosen.push(Endpoint::tcp(addr));
+    }
+    match chosen.len() {
+        0 => Err(CliError::Usage("--endpoint is required".into())),
+        1 => Ok(chosen.pop().expect("len checked")),
+        _ => Err(CliError::Usage(
+            "give one endpoint: --endpoint (or one deprecated --socket / --tcp)".into(),
+        )),
     }
 }
 

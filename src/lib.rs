@@ -22,7 +22,7 @@
 //! the full lifecycle in one doctest:
 //!
 //! ```
-//! use ease_repro::{EaseServiceBuilder, EaseService, OptGoal, RecommendQuery};
+//! use ease_repro::{EaseServiceBuilder, EaseService, OptGoal, Query, RecommendQuery};
 //! use ease_repro::core::profiling::TimingMode;
 //! use ease_repro::graph::GraphProperties;
 //! use ease_repro::graphgen::Scale;
@@ -43,7 +43,10 @@
 //!
 //! let graph = ease_repro::graphgen::realworld::socfb_analogue(Scale::Tiny, 7).graph;
 //! let props = GraphProperties::compute_advanced(&graph);
-//! let pick = service.recommend(&props, Workload::PageRank { iterations: 3 }, OptGoal::EndToEnd)?;
+//! // one Query value works against every input kind and every service;
+//! // unset fields (here: k) resolve to the service's trained defaults
+//! let query = Query::new(Workload::PageRank { iterations: 3 }).goal(OptGoal::EndToEnd);
+//! let pick = service.recommend_query(&props, query)?;
 //! assert!(service.catalog().contains(&pick.best));
 //!
 //! // save → load → identical selection
@@ -51,7 +54,7 @@
 //! service.save(&path)?;
 //! let restored = EaseService::load(&path)?;
 //! std::fs::remove_file(&path).ok();
-//! let again = restored.recommend(&props, Workload::PageRank { iterations: 3 }, OptGoal::EndToEnd)?;
+//! let again = restored.recommend_query(&props, query)?;
 //! assert_eq!(pick.best, again.best);
 //!
 //! // concurrent queries fan out over std::thread
@@ -74,7 +77,7 @@ pub use ease_procsim as procsim;
 
 pub use ease::serve;
 pub use ease::{
-    EaseError, EaseService, EaseServiceBuilder, OptGoal, PropertyCacheStats, RecommendQuery,
+    EaseError, EaseService, EaseServiceBuilder, OptGoal, PropertyCacheStats, Query, RecommendQuery,
     Selection, ServeError, ServiceInfo, ServiceMeta,
 };
 pub use ease_graph::{BelSource, GraphSource, PreparedGraph, TextStreamSource};

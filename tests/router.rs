@@ -10,7 +10,7 @@
 #![cfg(unix)]
 
 use ease_repro::core::profiling::TimingMode;
-use ease_repro::graph::{bel, MemoryBudget};
+use ease_repro::graph::{bel, GraphSource, MemoryBudget};
 use ease_repro::graphgen::realworld::socfb_analogue;
 use ease_repro::graphgen::Scale;
 use ease_repro::partition::PartitionerId;
@@ -342,7 +342,15 @@ fn a_saturated_fleet_sheds_with_a_typed_overloaded_answer() {
     let mut client = PipelinedClient::connect(&front).expect("connect router");
 
     let graph = &fx.graphs[0];
-    let needed = std::fs::metadata(graph).expect("stat graph").len();
+    // admission sniffs the .bel header and estimates the advanced tier's
+    // CSR charge (offsets + undirected u32 targets), not the file size
+    let src = ease_repro::graph::BelSource::open(graph).expect("open bel");
+    let needed = 8 * (src.num_vertices() as u64 + 1) + 8 * src.edge_count() as u64;
+    assert!(
+        needed < std::fs::metadata(graph).expect("stat graph").len(),
+        "the sniffed estimate undercuts the old file-size one"
+    );
+    drop(src);
     match client.call(&recommend_request(graph, "pr")).expect("transport ok") {
         Response::Overloaded { needed: got_needed, headroom } => {
             assert_eq!(got_needed, needed, "needed = the query's estimated footprint");
@@ -400,6 +408,46 @@ fn oversized_queries_steer_to_the_backend_with_headroom() {
         handle.trigger_shutdown();
         handle.join().expect("backend join");
     }
+}
+
+/// Regression for the file-size admission estimate: a `.bel` query whose
+/// file is bigger than the fleet's headroom used to be shed outright,
+/// even though the derived CSR state it actually needs fits fine. With
+/// the header-sniffed estimate the same budget admits it — answered
+/// bit-identically, nothing spilled.
+#[test]
+fn header_sniffed_admission_admits_what_file_size_used_to_shed() {
+    let fx = fixtures();
+    let graph = &fx.graphs[1];
+    let src = ease_repro::graph::BelSource::open(graph).expect("open bel");
+    let estimate = 8 * (src.num_vertices() as u64 + 1) + 8 * src.edge_count() as u64;
+    drop(src);
+    let file_size = std::fs::metadata(graph).expect("stat graph").len();
+    let budget_bytes = (estimate + file_size) / 2;
+    assert!(
+        estimate <= budget_bytes && budget_bytes < file_size,
+        "a budget the old file-size estimate shed against ({budget_bytes} < {file_size}) \
+         but the CSR charge ({estimate}) fits"
+    );
+
+    let budget = Arc::new(MemoryBudget::bytes(budget_bytes as usize).with_spill_dir(&fx.dir));
+    let (backend, ep) = start_backend("sniff-admit", Some(budget));
+    let (router, front) = start_router("sniff-admit", vec![ep.clone()], false);
+
+    let expected = one_shot_answer(graph, "pr");
+    let got = serve::expect_answer(
+        serve::call_endpoint(&front, &recommend_request(graph, "pr")).expect("transport ok"),
+    )
+    .expect("admitted, not shed");
+    assert_eq!(got, expected, "admitted answers stay bit-identical");
+
+    let stats = stats_of(serve::call_endpoint(&ep, &Request::CacheStats).expect("stats"));
+    assert_eq!(stats.spilled_csr_builds, 0, "the charge really did fit the budget");
+
+    router.trigger_shutdown();
+    router.join().expect("router join");
+    backend.trigger_shutdown();
+    backend.join().expect("backend join");
 }
 
 // ---------------------------------------------------------------------
